@@ -1,0 +1,234 @@
+//! The Batfish-like baseline: simulation-based verification. Fast for one
+//! snapshot, but `k`-failure coverage requires *enumerating* every failure
+//! scenario and re-simulating — `Σ (n choose i)` control-plane convergences
+//! (§2), which is what Tables 4 and 5 show blowing up.
+
+use std::collections::HashSet;
+
+use hoyan_core::NetworkModel;
+use hoyan_nettypes::{Ipv4Prefix, LinkId, NodeId};
+
+use crate::concrete::{converge, ConcreteState};
+use crate::failure_sets;
+
+/// The simulation-enumeration verifier.
+pub struct BatfishLike<'n> {
+    net: &'n NetworkModel,
+    /// Optional budget: abort (returning `None`) after this many scenarios.
+    pub scenario_budget: Option<usize>,
+    /// Optional wall-clock deadline: abort (returning `None`) past it.
+    pub deadline: Option<std::time::Instant>,
+    /// Scenarios actually simulated by the last query.
+    pub scenarios_run: usize,
+}
+
+impl<'n> BatfishLike<'n> {
+    /// A verifier over `net`.
+    pub fn new(net: &'n NetworkModel) -> Self {
+        BatfishLike {
+            net,
+            scenario_budget: None,
+            deadline: None,
+            scenarios_run: 0,
+        }
+    }
+
+    /// Converges one concrete scenario.
+    pub fn simulate(&self, prefixes: &[Ipv4Prefix], dead: &HashSet<LinkId>) -> ConcreteState {
+        converge(self.net, prefixes, dead)
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if let Some(budget) = self.scenario_budget {
+            if self.scenarios_run >= budget {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() > d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exhaustive verification: simulates **every** scenario of at most `k`
+    /// failures (no early exit — this is the full `Σ (n choose i)` cost a
+    /// simulation-based verifier pays to *prove* a property) and returns the
+    /// number of scenarios in which `node` lacks a route. `None` = budget
+    /// exhausted.
+    pub fn count_breaking_scenarios(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+    ) -> Option<usize> {
+        let sets = failure_sets(self.net.topology.link_count(), k);
+        self.scenarios_run = 0;
+        let mut breaking = 0usize;
+        for dead_links in sets {
+            if self.out_of_budget() {
+                return None;
+            }
+            self.scenarios_run += 1;
+            let dead: HashSet<LinkId> = dead_links.into_iter().collect();
+            let state = converge(self.net, &[prefix], &dead);
+            if !state.has_route(node, prefix) {
+                breaking += 1;
+            }
+        }
+        Some(breaking)
+    }
+
+    /// Is a route for `prefix` present at `node` under **every** scenario
+    /// of at most `k` failures? `None` = budget exhausted (the `> 24h`
+    /// table cells).
+    pub fn route_reachable_under_k(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+    ) -> Option<bool> {
+        let sets = failure_sets(self.net.topology.link_count(), k);
+        self.scenarios_run = 0;
+        for dead_links in sets {
+            if self.out_of_budget() {
+                return None;
+            }
+            self.scenarios_run += 1;
+            let dead: HashSet<LinkId> = dead_links.into_iter().collect();
+            let state = converge(self.net, &[prefix], &dead);
+            if !state.has_route(node, prefix) {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// The minimum failure-set size that breaks reachability, searching by
+    /// increasing size up to `k` (exhaustive, like running Batfish `(n
+    /// choose k)` times). `Ok(None)` = survives everything up to `k`.
+    pub fn min_failures_to_break(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+    ) -> Option<Option<usize>> {
+        let sets = failure_sets(self.net.topology.link_count(), k);
+        self.scenarios_run = 0;
+        for dead_links in sets {
+            if self.out_of_budget() {
+                return None;
+            }
+            self.scenarios_run += 1;
+            let size = dead_links.len();
+            let dead: HashSet<LinkId> = dead_links.into_iter().collect();
+            let state = converge(self.net, &[prefix], &dead);
+            if !state.has_route(node, prefix) {
+                return Some(Some(size));
+            }
+        }
+        Some(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_core::Simulation;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn diamond() -> NetworkModel {
+        let texts = [
+            concat!(
+                "hostname GW\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 100\n network 10.0.1.0/24\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ),
+            concat!(
+                "hostname M1\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 200\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ),
+            concat!(
+                "hostname M2\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 300\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ),
+            concat!(
+                "hostname S\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 400\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ),
+        ];
+        let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_hoyan_on_the_diamond() {
+        let net = diamond();
+        let p = pfx("10.0.1.0/24");
+        let s = net.topology.node("S").unwrap();
+
+        // Hoyan: conditioned simulation.
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(3), None);
+        sim.run().unwrap();
+        let v = sim.reach_cond(s, p);
+        let hoyan_min = sim.mgr.min_failures_to_falsify(v);
+
+        // Batfish-like: enumerate.
+        let mut bf = BatfishLike::new(&net);
+        assert_eq!(bf.route_reachable_under_k(p, s, 1), Some(true));
+        assert_eq!(bf.route_reachable_under_k(p, s, 2), Some(false));
+        assert_eq!(bf.min_failures_to_break(p, s, 3), Some(Some(2)));
+        assert_eq!(hoyan_min, 2);
+    }
+
+    #[test]
+    fn scenario_count_is_binomial() {
+        let net = diamond(); // 4 links
+        let mut bf = BatfishLike::new(&net);
+        let _ = bf.route_reachable_under_k(pfx("10.0.1.0/24"), net.topology.node("GW").unwrap(), 2);
+        // 1 + 4 + 6 = 11 scenarios (GW always has the local route, so no
+        // early exit).
+        assert_eq!(bf.scenarios_run, 11);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let net = diamond();
+        let s = net.topology.node("S").unwrap();
+        let mut bf = BatfishLike::new(&net);
+        bf.scenario_budget = Some(3);
+        assert_eq!(bf.route_reachable_under_k(pfx("10.0.1.0/24"), s, 2), None);
+    }
+
+    #[test]
+    fn agrees_with_verifier_on_random_scenarios() {
+        // Cross-check: concrete converge() vs Hoyan's conditioned sim
+        // evaluated under each specific failure assignment.
+        let net = diamond();
+        let p = pfx("10.0.1.0/24");
+        let mut sim = Simulation::new_bgp(&net, vec![p], None, None);
+        sim.run().unwrap();
+        for dead_links in failure_sets(net.topology.link_count(), 2) {
+            let dead: HashSet<LinkId> = dead_links.iter().copied().collect();
+            let state = converge(&net, &[p], &dead);
+            let mut assign = vec![true; net.topology.link_count()];
+            for l in &dead {
+                assign[l.0 as usize] = false;
+            }
+            for n in net.topology.nodes() {
+                let cond = sim.reach_cond(n, p);
+                let hoyan_reach = sim.mgr.eval(cond, &assign);
+                let concrete_reach = state.has_route(n, p);
+                assert_eq!(
+                    hoyan_reach,
+                    concrete_reach,
+                    "divergence at {} under {:?}",
+                    net.topology.name(n),
+                    dead
+                );
+            }
+        }
+    }
+}

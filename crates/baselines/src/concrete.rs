@@ -1,0 +1,363 @@
+//! A plain, unconditioned control-plane simulator: converges one concrete
+//! topology (some links dead) to its steady state. This is the inner loop
+//! of the Batfish-like baseline and the per-scenario engine of the
+//! Plankton-like one; it shares the device behavior models with Hoyan so
+//! both verifiers agree route-for-route on any single scenario.
+
+use std::collections::{HashMap, HashSet};
+
+use hoyan_config::RedistSource;
+use hoyan_core::NetworkModel;
+use hoyan_device::{cmp_candidates, Candidate, LearnedFrom, SessionKind};
+use hoyan_nettypes::{Ipv4Prefix, LinkId, NodeId, Origin, RouteAttrs};
+
+/// One concrete route in a node's RIB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteRoute {
+    /// Attributes as stored.
+    pub attrs: RouteAttrs,
+    /// Advertising peer.
+    pub from: Option<NodeId>,
+    /// How it was learned.
+    pub learned: LearnedFrom,
+    /// BGP next hop.
+    pub next_hop: Option<NodeId>,
+    /// IGP metric to the next hop on the surviving topology.
+    pub igp_metric: u64,
+    /// Advertiser's router id.
+    pub peer_router_id: u32,
+    /// iBGP reflection hops (cluster-list proxy).
+    pub ibgp_hops: u32,
+}
+
+impl ConcreteRoute {
+    fn candidate(&self) -> Candidate {
+        Candidate {
+            attrs: self.attrs.clone(),
+            from_ebgp: matches!(self.learned, LearnedFrom::Ebgp | LearnedFrom::Local),
+            igp_metric: self.igp_metric,
+            ibgp_hops: self.ibgp_hops,
+            peer_router_id: self.peer_router_id,
+        }
+    }
+}
+
+/// Converged state of one concrete scenario.
+#[derive(Clone, Debug, Default)]
+pub struct ConcreteState {
+    /// Ranked routes per (node, prefix); index 0 is the best.
+    pub ribs: HashMap<(NodeId, Ipv4Prefix), Vec<ConcreteRoute>>,
+}
+
+impl ConcreteState {
+    /// The best route at a node.
+    pub fn best(&self, node: NodeId, prefix: Ipv4Prefix) -> Option<&ConcreteRoute> {
+        self.ribs.get(&(node, prefix)).and_then(|v| v.first())
+    }
+
+    /// Whether any route exists at a node.
+    pub fn has_route(&self, node: NodeId, prefix: Ipv4Prefix) -> bool {
+        self.ribs.contains_key(&(node, prefix))
+    }
+}
+
+/// IGP (IS-IS) shortest-path distances on the surviving topology.
+pub fn igp_distances_with_failures(
+    net: &NetworkModel,
+    src: NodeId,
+    dead: &HashSet<LinkId>,
+) -> Vec<Option<u64>> {
+    let n = net.topology.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    dist[src.0 as usize] = Some(0);
+    if !net.runs_isis(src) {
+        return dist;
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0u64, src.0)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if dist[u as usize] != Some(d) {
+            continue;
+        }
+        let u_id = NodeId(u);
+        for &(v, link) in net.topology.neighbors(u_id) {
+            if dead.contains(&link) || !net.isis_adjacency(u_id, v) {
+                continue;
+            }
+            let nd = d + net.topology.metric_from(u_id, link) as u64;
+            if dist[v.0 as usize].is_none_or(|old| nd < old) {
+                dist[v.0 as usize] = Some(nd);
+                heap.push(std::cmp::Reverse((nd, v.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// Converges `prefixes` on the topology with `dead` links failed.
+///
+/// Synchronous rounds: every node recomputes its best routes from what it
+/// last received and re-announces; a fixpoint is reached when a full round
+/// changes nothing. Per-(sender, receiver) slots give BGP's implicit-
+/// withdraw semantics.
+pub fn converge(
+    net: &NetworkModel,
+    prefixes: &[Ipv4Prefix],
+    dead: &HashSet<LinkId>,
+) -> ConcreteState {
+    let n = net.topology.node_count();
+    // IGP distances per node (for session liveness + metric tie-break).
+    let dist: Vec<Vec<Option<u64>>> = (0..n)
+        .map(|i| igp_distances_with_failures(net, NodeId(i as u32), dead))
+        .collect();
+
+    // received[(receiver, sender, prefix)] = route as accepted by ingress.
+    let mut received: HashMap<(NodeId, NodeId, Ipv4Prefix), ConcreteRoute> = HashMap::new();
+
+    // Local seeds.
+    let mut locals: HashMap<(NodeId, Ipv4Prefix), Vec<ConcreteRoute>> = HashMap::new();
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        let dev = net.device(node);
+        let Some(bgp) = dev.config.bgp.as_ref() else {
+            continue;
+        };
+        for p in prefixes {
+            let mut seeds = Vec::new();
+            if bgp.networks.contains(p) {
+                let mut attrs = RouteAttrs::originated();
+                attrs.weight = hoyan_core::LOCAL_WEIGHT;
+                seeds.push(attrs);
+            }
+            if bgp.redistribute.contains(&RedistSource::Static)
+                && dev.config.static_routes.iter().any(|s| s.prefix == *p)
+                && dev.redistribution_admits(*p)
+            {
+                let mut attrs = RouteAttrs::originated();
+                attrs.weight = hoyan_core::LOCAL_WEIGHT;
+                attrs.origin = Origin::Incomplete;
+                seeds.push(attrs);
+            }
+            for attrs in seeds {
+                locals.entry((node, *p)).or_default().push(ConcreteRoute {
+                    attrs,
+                    from: None,
+                    learned: LearnedFrom::Local,
+                    next_hop: None,
+                    igp_metric: 0,
+                    peer_router_id: dev.config.router_id,
+                    ibgp_hops: 0,
+                });
+            }
+        }
+    }
+
+    let ranked_rib = |received: &HashMap<(NodeId, NodeId, Ipv4Prefix), ConcreteRoute>,
+                      node: NodeId,
+                      p: Ipv4Prefix|
+     -> Vec<ConcreteRoute> {
+        let mut rib: Vec<ConcreteRoute> = locals.get(&(node, p)).cloned().unwrap_or_default();
+        for s in net.sessions_of(node) {
+            if let Some(r) = received.get(&(node, s.peer, p)) {
+                rib.push(r.clone());
+            }
+        }
+        rib.sort_by(|a, b| cmp_candidates(&a.candidate(), &b.candidate()));
+        rib
+    };
+
+    let max_rounds = 4 * n + 16;
+    for _round in 0..max_rounds {
+        let mut changed = false;
+        for i in 0..n {
+            let u = NodeId(i as u32);
+            let dev = net.device(u);
+            for p in prefixes {
+                let rib = ranked_rib(&received, u, *p);
+                let best = rib.first();
+                for s in net.sessions_of(u) {
+                    // Session liveness on the surviving topology.
+                    let alive = match s.kind {
+                        SessionKind::Ebgp => s.link.map(|l| !dead.contains(&l)).unwrap_or(false),
+                        SessionKind::Ibgp => {
+                            dist[u.0 as usize][s.peer.0 as usize].is_some()
+                                && dist[s.peer.0 as usize][u.0 as usize].is_some()
+                        }
+                    };
+                    let key = (s.peer, u, *p);
+                    let mut new_val: Option<ConcreteRoute> = None;
+                    if alive {
+                        if let Some(best) = best {
+                            let neighbor =
+                                &dev.config.bgp.as_ref().expect("session").neighbors
+                                    [s.neighbor_idx];
+                            let eligible = best.from != Some(s.peer)
+                                && dev.may_advertise(best.learned, s.kind, neighbor);
+                            if eligible {
+                                if let Some(egress) =
+                                    dev.control_egress(neighbor, s.kind, *p, &best.attrs)
+                                {
+                                    // Receiver-side ingress.
+                                    let peer_dev = net.device(s.peer);
+                                    let from_name = net.topology.name(u);
+                                    if let Some(peer_neighbor) = peer_dev
+                                        .config
+                                        .bgp
+                                        .as_ref()
+                                        .and_then(|b| b.neighbor(from_name))
+                                    {
+                                        if let Some(attrs_in) = peer_dev.control_ingress(
+                                            peer_neighbor,
+                                            s.kind,
+                                            *p,
+                                            &egress.attrs,
+                                        ) {
+                                            let next_hop = if egress.next_hop_self {
+                                                Some(u)
+                                            } else {
+                                                best.next_hop.or(Some(u))
+                                            };
+                                            let igp_metric = next_hop
+                                                .and_then(|nh| {
+                                                    dist[s.peer.0 as usize][nh.0 as usize]
+                                                })
+                                                .unwrap_or(0);
+                                            let learned = match s.kind {
+                                                SessionKind::Ebgp => LearnedFrom::Ebgp,
+                                                SessionKind::Ibgp => {
+                                                    if peer_neighbor.rr_client {
+                                                        LearnedFrom::IbgpClient
+                                                    } else {
+                                                        LearnedFrom::IbgpNonClient
+                                                    }
+                                                }
+                                            };
+                                            let ibgp_hops = match s.kind {
+                                                SessionKind::Ibgp => best.ibgp_hops + 1,
+                                                SessionKind::Ebgp => 0,
+                                            };
+                                            new_val = Some(ConcreteRoute {
+                                                attrs: attrs_in,
+                                                from: Some(u),
+                                                learned,
+                                                next_hop,
+                                                igp_metric,
+                                                peer_router_id: dev.config.router_id,
+                                                ibgp_hops,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let old = received.get(&key);
+                    if old != new_val.as_ref() {
+                        changed = true;
+                        match new_val {
+                            Some(v) => {
+                                received.insert(key, v);
+                            }
+                            None => {
+                                received.remove(&key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut state = ConcreteState::default();
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        for p in prefixes {
+            let rib = ranked_rib(&received, node, *p);
+            if !rib.is_empty() {
+                state.ribs.insert((node, *p), rib);
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn diamond() -> NetworkModel {
+        let configs = vec![
+            parse_config(concat!(
+                "hostname GW\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 100\n network 10.0.1.0/24\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ))
+            .unwrap(),
+            parse_config(concat!(
+                "hostname M1\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 200\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ))
+            .unwrap(),
+            parse_config(concat!(
+                "hostname M2\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 300\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ))
+            .unwrap(),
+            parse_config(concat!(
+                "hostname S\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 400\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ))
+            .unwrap(),
+        ];
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    #[test]
+    fn healthy_topology_propagates_everywhere() {
+        let net = diamond();
+        let state = converge(&net, &[pfx("10.0.1.0/24")], &HashSet::new());
+        for name in ["GW", "M1", "M2", "S"] {
+            let n = net.topology.node(name).unwrap();
+            assert!(state.has_route(n, pfx("10.0.1.0/24")), "{name} missing route");
+        }
+        let s = net.topology.node("S").unwrap();
+        assert_eq!(state.ribs[&(s, pfx("10.0.1.0/24"))].len(), 2);
+    }
+
+    #[test]
+    fn failure_reroutes_through_surviving_path() {
+        let net = diamond();
+        let gw = net.topology.node("GW").unwrap();
+        let m1 = net.topology.node("M1").unwrap();
+        let s = net.topology.node("S").unwrap();
+        let dead: HashSet<LinkId> = [net.topology.link_between(gw, m1).unwrap()].into();
+        let state = converge(&net, &[pfx("10.0.1.0/24")], &dead);
+        let best = state.best(s, pfx("10.0.1.0/24")).unwrap();
+        // Only the M2 path remains.
+        let m2 = net.topology.node("M2").unwrap();
+        assert_eq!(best.from, Some(m2));
+        assert_eq!(state.ribs[&(s, pfx("10.0.1.0/24"))].len(), 1);
+    }
+
+    #[test]
+    fn disconnection_empties_rib() {
+        let net = diamond();
+        let gw = net.topology.node("GW").unwrap();
+        let m1 = net.topology.node("M1").unwrap();
+        let m2 = net.topology.node("M2").unwrap();
+        let dead: HashSet<LinkId> = [
+            net.topology.link_between(gw, m1).unwrap(),
+            net.topology.link_between(gw, m2).unwrap(),
+        ]
+        .into();
+        let state = converge(&net, &[pfx("10.0.1.0/24")], &dead);
+        let s = net.topology.node("S").unwrap();
+        assert!(!state.has_route(s, pfx("10.0.1.0/24")));
+        assert!(state.has_route(gw, pfx("10.0.1.0/24"))); // local seed
+    }
+}

@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! Reimplementations of the three verifier families Hoyan is compared
+//! against in §8.2, over the same configuration IR and device behavior
+//! models, so the comparison isolates the *verification strategy*:
+//!
+//! - [`concrete`]: a plain (unconditioned) control-plane simulator — the
+//!   building block of the Batfish-like baseline;
+//! - [`batfish`]: simulation-based verification that enumerates every
+//!   failure scenario of at most `k` links — `Σ (n choose i)` simulations;
+//! - [`minesweeper`]: formula-based verification that encodes the whole
+//!   network's route selection for a prefix as one monolithic CNF and asks
+//!   a SAT solver for counterexamples;
+//! - [`plankton`]: model-checking-style verification that explores failure
+//!   scenarios *and* route-arrival orders (convergence ambiguity) per
+//!   scenario.
+//!
+//! None of these carry topology conditions — that is precisely Hoyan's
+//! advantage the experiments demonstrate.
+
+pub mod batfish;
+pub mod concrete;
+pub mod minesweeper;
+pub mod plankton;
+
+pub use batfish::BatfishLike;
+pub use concrete::{ConcreteRoute, ConcreteState};
+pub use minesweeper::MinesweeperLike;
+pub use plankton::PlanktonLike;
+
+use hoyan_nettypes::LinkId;
+
+/// All failure sets of size at most `k` out of `n` links, smallest first —
+/// the `Σ (n choose i)` scenarios a simulation-based verifier must
+/// enumerate (§2).
+pub fn failure_sets(n: usize, k: usize) -> Vec<Vec<LinkId>> {
+    let mut out = vec![Vec::new()];
+    for size in 1..=k.min(n) {
+        out.extend(combinations(n, size));
+    }
+    out
+}
+
+fn combinations(n: usize, size: usize) -> Vec<Vec<LinkId>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(combo.iter().map(|i| LinkId(*i as u32)).collect());
+        let mut i = size;
+        let mut advanced = false;
+        while i > 0 {
+            i -= 1;
+            if combo[i] != i + n - size {
+                combo[i] += 1;
+                for j in i + 1..size {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_set_counts_are_binomial_sums() {
+        // n=5, k=2: 1 + 5 + 10 = 16.
+        assert_eq!(failure_sets(5, 2).len(), 16);
+        // n=4, k=0: only the empty set.
+        assert_eq!(failure_sets(4, 0).len(), 1);
+        // n=3, k=3: the full power set = 8.
+        assert_eq!(failure_sets(3, 3).len(), 8);
+    }
+
+    #[test]
+    fn failure_sets_are_distinct() {
+        let sets = failure_sets(6, 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &sets {
+            let key: Vec<u32> = s.iter().map(|l| l.0).collect();
+            assert!(seen.insert(key), "duplicate failure set {s:?}");
+        }
+        assert_eq!(sets.len(), 1 + 6 + 15 + 20);
+    }
+}

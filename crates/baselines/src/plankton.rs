@@ -1,0 +1,354 @@
+//! The Plankton-like baseline: model checking over failure scenarios *and*
+//! route-arrival orders. Per failure scenario it enumerates the distinct
+//! convergence outcomes (equivalence-class exploration stands in for
+//! Plankton's partial-order reduction); a property must hold in every
+//! outcome of every scenario. Handles racing like Hoyan, but pays the
+//! scenario × ordering product the paper shows timing out for k ≥ 2.
+
+use std::collections::{HashSet, VecDeque};
+
+use hoyan_core::NetworkModel;
+use hoyan_device::{cmp_candidates, Candidate, LearnedFrom, SessionKind};
+use hoyan_logic::{Cnf, Formula, Solver};
+use hoyan_nettypes::{Ipv4Prefix, LinkId, NodeId};
+
+use crate::failure_sets;
+
+/// The explicit-exploration verifier.
+pub struct PlanktonLike<'n> {
+    net: &'n NetworkModel,
+    /// Abort after this many (scenario, outcome) explorations.
+    pub exploration_budget: Option<usize>,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<std::time::Instant>,
+    /// Explorations performed by the last query.
+    pub explorations: usize,
+}
+
+impl<'n> PlanktonLike<'n> {
+    /// A verifier over `net`.
+    pub fn new(net: &'n NetworkModel) -> Self {
+        PlanktonLike {
+            net,
+            exploration_budget: None,
+            deadline: None,
+            explorations: 0,
+        }
+    }
+
+    /// All convergence outcomes (projected on "node has a selected route")
+    /// for one failure scenario, up to `limit` outcomes.
+    fn outcomes_for_scenario(
+        &self,
+        prefix: Ipv4Prefix,
+        dead: &HashSet<LinkId>,
+        target: NodeId,
+        limit: usize,
+    ) -> Vec<bool> {
+        // Flood candidates on the surviving topology.
+        #[derive(Clone)]
+        struct R {
+            node: NodeId,
+            attrs: hoyan_nettypes::RouteAttrs,
+            learned: LearnedFrom,
+            from: Option<NodeId>,
+            next_hop: Option<NodeId>,
+            ibgp_hops: u32,
+            parent: Option<usize>,
+            path: Vec<NodeId>,
+        }
+        let net = self.net;
+        let mut routes: Vec<R> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for n in net.topology.nodes() {
+            let Some(bgp) = net.device(n).config.bgp.as_ref() else {
+                continue;
+            };
+            let dev = net.device(n);
+            let mut seeds: Vec<hoyan_nettypes::RouteAttrs> = Vec::new();
+            if bgp.networks.contains(&prefix) {
+                let mut attrs = hoyan_nettypes::RouteAttrs::originated();
+                attrs.weight = hoyan_core::LOCAL_WEIGHT;
+                seeds.push(attrs);
+            }
+            if bgp
+                .redistribute
+                .contains(&hoyan_config::RedistSource::Static)
+                && dev.config.static_routes.iter().any(|s| s.prefix == prefix)
+                && dev.redistribution_admits(prefix)
+            {
+                let mut attrs = hoyan_nettypes::RouteAttrs::originated();
+                attrs.weight = hoyan_core::LOCAL_WEIGHT;
+                attrs.origin = hoyan_nettypes::Origin::Incomplete;
+                seeds.push(attrs);
+            }
+            for attrs in seeds {
+                routes.push(R {
+                    node: n,
+                    attrs,
+                    learned: LearnedFrom::Local,
+                    from: None,
+                    next_hop: None,
+                    ibgp_hops: 0,
+                    parent: None,
+                    path: vec![n],
+                });
+                queue.push_back(routes.len() - 1);
+            }
+        }
+        while let Some(idx) = queue.pop_front() {
+            if routes.len() > 50_000 {
+                break;
+            }
+            let r = routes[idx].clone();
+            let u = r.node;
+            let dev = net.device(u);
+            for s in net.sessions_of(u) {
+                // Session liveness under the scenario.
+                let alive = match s.kind {
+                    SessionKind::Ebgp => s.link.map(|l| !dead.contains(&l)).unwrap_or(false),
+                    SessionKind::Ibgp => {
+                        let d =
+                            crate::concrete::igp_distances_with_failures(net, u, dead);
+                        d[s.peer.0 as usize].is_some()
+                    }
+                };
+                if !alive || r.path.contains(&s.peer) {
+                    continue;
+                }
+                let neighbor = &dev.config.bgp.as_ref().expect("session").neighbors[s.neighbor_idx];
+                if !dev.may_advertise(r.learned, s.kind, neighbor) {
+                    continue;
+                }
+                let Some(egress) = dev.control_egress(neighbor, s.kind, prefix, &r.attrs) else {
+                    continue;
+                };
+                let peer_dev = net.device(s.peer);
+                let from_name = net.topology.name(u);
+                let Some(pn) = peer_dev
+                    .config
+                    .bgp
+                    .as_ref()
+                    .and_then(|b| b.neighbor(from_name))
+                else {
+                    continue;
+                };
+                let Some(attrs_in) = peer_dev.control_ingress(pn, s.kind, prefix, &egress.attrs)
+                else {
+                    continue;
+                };
+                let learned = match s.kind {
+                    SessionKind::Ebgp => LearnedFrom::Ebgp,
+                    SessionKind::Ibgp => {
+                        if pn.rr_client {
+                            LearnedFrom::IbgpClient
+                        } else {
+                            LearnedFrom::IbgpNonClient
+                        }
+                    }
+                };
+                let mut path = r.path.clone();
+                path.push(s.peer);
+                let next_hop = if egress.next_hop_self {
+                    Some(u)
+                } else {
+                    r.next_hop.or(Some(u))
+                };
+                let ibgp_hops = match s.kind {
+                    SessionKind::Ibgp => r.ibgp_hops + 1,
+                    SessionKind::Ebgp => 0,
+                };
+                routes.push(R {
+                    node: s.peer,
+                    attrs: attrs_in,
+                    learned,
+                    from: Some(u),
+                    next_hop,
+                    ibgp_hops,
+                    parent: Some(idx),
+                    path,
+                });
+                queue.push_back(routes.len() - 1);
+            }
+        }
+        if routes.is_empty() {
+            return vec![false];
+        }
+
+        // Selection constraint system; enumerate outcomes projected on
+        // "target selects something".
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); net.topology.node_count()];
+        for (i, r) in routes.iter().enumerate() {
+            per_node[r.node.0 as usize].push(i);
+        }
+        let dist: Vec<Vec<Option<u64>>> = (0..net.topology.node_count())
+            .map(|i| {
+                crate::concrete::igp_distances_with_failures(net, NodeId(i as u32), dead)
+            })
+            .collect();
+        let cand = |r: &R| Candidate {
+            attrs: r.attrs.clone(),
+            from_ebgp: matches!(r.learned, LearnedFrom::Ebgp | LearnedFrom::Local),
+            igp_metric: r
+                .next_hop
+                .and_then(|nh| dist[r.node.0 as usize][nh.0 as usize])
+                .unwrap_or(0),
+            ibgp_hops: r.ibgp_hops,
+            peer_router_id: r.from.map(|f| net.device(f).config.router_id).unwrap_or(0),
+        };
+        let mut formulas = Vec::new();
+        for ids in per_node.iter_mut() {
+            ids.sort_by(|&a, &b| cmp_candidates(&cand(&routes[a]), &cand(&routes[b])));
+            for (rank, &i) in ids.iter().enumerate() {
+                let avail = match routes[i].parent {
+                    None => Formula::Const(true),
+                    Some(p) => Formula::var(p as u32),
+                };
+                let mut rhs: Vec<Formula> = ids[..rank]
+                    .iter()
+                    .map(|&j| Formula::not(Formula::var(j as u32)))
+                    .collect();
+                rhs.push(avail);
+                formulas.push(Formula::iff(Formula::var(i as u32), Formula::And(rhs)));
+            }
+        }
+        let mut cnf = Cnf::new();
+        cnf.ensure_var(routes.len() as u32 - 1);
+        cnf.assert_formula(&Formula::And(formulas));
+        let vars: Vec<u32> = (0..routes.len() as u32).collect();
+        let models = Solver::from_cnf(&cnf).count_models(&vars, limit);
+        let target_ids: Vec<usize> = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.node == target)
+            .map(|(i, _)| i)
+            .collect();
+        models
+            .iter()
+            .map(|m| target_ids.iter().any(|&i| m[i]))
+            .collect()
+    }
+
+    /// Does `node` hold a route for `prefix` in **every** convergence
+    /// outcome of **every** scenario of at most `k` failures? `None` =
+    /// budget exhausted.
+    pub fn route_reachable_under_k(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+    ) -> Option<bool> {
+        self.explore(prefix, node, k, true).map(|b| b == 0)
+    }
+
+    /// Exhaustive exploration: visits every scenario and outcome (no early
+    /// exit) and returns the number of (scenario, outcome) pairs where
+    /// `node` lacks a route. `None` = budget exhausted.
+    pub fn count_breaking(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+    ) -> Option<usize> {
+        self.explore(prefix, node, k, false)
+    }
+
+    fn explore(
+        &mut self,
+        prefix: Ipv4Prefix,
+        node: NodeId,
+        k: usize,
+        early_exit: bool,
+    ) -> Option<usize> {
+        self.explorations = 0;
+        let mut breaking = 0usize;
+        for dead_links in failure_sets(self.net.topology.link_count(), k) {
+            if let Some(budget) = self.exploration_budget {
+                if self.explorations >= budget {
+                    return None;
+                }
+            }
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() > d {
+                    return None;
+                }
+            }
+            let dead: HashSet<LinkId> = dead_links.into_iter().collect();
+            let outcomes = self.outcomes_for_scenario(prefix, &dead, node, 64);
+            self.explorations += outcomes.len().max(1);
+            breaking += outcomes.iter().filter(|ok| !**ok).count();
+            if early_exit && breaking > 0 {
+                return Some(breaking);
+            }
+        }
+        Some(breaking)
+    }
+
+    /// Whether convergence is ambiguous (more than one outcome) in the
+    /// no-failure scenario — Plankton's racing coverage.
+    pub fn racing_ambiguous(&mut self, prefix: Ipv4Prefix) -> bool {
+        let outcomes =
+            self.outcomes_for_scenario(prefix, &HashSet::new(), NodeId(0), 64);
+        // Outcome count > 1 means different orders converge differently —
+        // projected on any node; use full-model count instead.
+        outcomes.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn diamond() -> NetworkModel {
+        let texts = [
+            concat!(
+                "hostname GW\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 100\n network 10.0.1.0/24\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ),
+            concat!(
+                "hostname M1\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 200\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ),
+            concat!(
+                "hostname M2\ninterface e0\n peer GW\ninterface e1\n peer S\n",
+                "router bgp 300\n neighbor GW remote-as 100\n neighbor S remote-as 400\n",
+            ),
+            concat!(
+                "hostname S\ninterface e0\n peer M1\ninterface e1\n peer M2\n",
+                "router bgp 400\n neighbor M1 remote-as 200\n neighbor M2 remote-as 300\n",
+            ),
+        ];
+        let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_diamond() {
+        let net = diamond();
+        let p = pfx("10.0.1.0/24");
+        let s = net.topology.node("S").unwrap();
+        let mut pl = PlanktonLike::new(&net);
+        assert_eq!(pl.route_reachable_under_k(p, s, 1), Some(true));
+        assert_eq!(pl.route_reachable_under_k(p, s, 2), Some(false));
+        assert!(pl.explorations > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let net = diamond();
+        let s = net.topology.node("S").unwrap();
+        let mut pl = PlanktonLike::new(&net);
+        pl.exploration_budget = Some(2);
+        assert_eq!(pl.route_reachable_under_k(pfx("10.0.1.0/24"), s, 2), None);
+    }
+
+    #[test]
+    fn diamond_has_unambiguous_convergence() {
+        let net = diamond();
+        let mut pl = PlanktonLike::new(&net);
+        assert!(!pl.racing_ambiguous(pfx("10.0.1.0/24")));
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end pipeline benchmarks: parsing, the conditioned per-prefix
+//! simulation at each k (Figure 8's inner loop), packet walks, IS-IS
+//! database construction, and racing detection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoyan_core::{packet_reach, IsisDb, NetworkModel, Simulation};
+use hoyan_device::{Packet, VsbProfile};
+use hoyan_topogen::WanSpec;
+
+fn build() -> (hoyan_topogen::Wan, NetworkModel) {
+    let wan = WanSpec::small(42).build();
+    let net =
+        NetworkModel::from_configs(wan.configs.clone(), VsbProfile::ground_truth).unwrap();
+    (wan, net)
+}
+
+fn parse(c: &mut Criterion) {
+    let wan = WanSpec::small(42).build();
+    let total_lines: usize = wan.texts.iter().map(|t| t.lines().count()).sum();
+    c.bench_function("parse/small_wan_configs", |b| {
+        b.iter(|| {
+            for t in &wan.texts {
+                black_box(hoyan_config::parse_config(t).unwrap());
+            }
+        })
+    });
+    println!("(parsing {total_lines} config lines per iteration)");
+}
+
+fn simulate(c: &mut Criterion) {
+    let (wan, net) = build();
+    let p = wan.customer_prefixes[0];
+    let mut group = c.benchmark_group("simulate/one_prefix");
+    for k in 0..=3u32 {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = Simulation::new_bgp(&net, vec![p], Some(k), None);
+                sim.run().unwrap();
+                black_box(sim.stats.delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn isis(c: &mut Criterion) {
+    let (_wan, net) = build();
+    let mut group = c.benchmark_group("isis/db_build");
+    group.sample_size(10);
+    for k in [0u32, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(IsisDb::build(&net, Some(k)).unwrap().stats.delivered))
+        });
+    }
+    group.finish();
+}
+
+fn packet(c: &mut Criterion) {
+    let (wan, net) = build();
+    let p = wan.customer_prefixes[0];
+    let isis = IsisDb::build(&net, Some(3)).unwrap();
+    c.bench_function("packet/walk_k3", |b| {
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(3), Some(&isis));
+        sim.run().unwrap();
+        let src = net.topology.node("MAN1x0").unwrap();
+        let packet = Packet {
+            src: "192.0.2.1".parse().unwrap(),
+            dst: p.network(),
+            proto: hoyan_config::AclProto::Tcp,
+        };
+        b.iter(|| {
+            black_box(
+                packet_reach(&mut sim, &net, Some(&isis), src, p, packet, Some(3))
+                    .branches,
+            )
+        })
+    });
+}
+
+fn racing(c: &mut Criterion) {
+    let (wan, net) = build();
+    let p = wan.customer_prefixes[0];
+    c.bench_function("racing/check_one_prefix", |b| {
+        b.iter(|| black_box(hoyan_core::racing_check(&net, p, 2).candidates))
+    });
+}
+
+criterion_group!(benches, parse, simulate, isis, packet, racing);
+criterion_main!(benches);

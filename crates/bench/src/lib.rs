@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Shared machinery for the experiment harness and the Criterion benches:
+//! CDF summarisation and duration formatting used by every table/figure
+//! reproduction.
+
+/// Summarises a sample into the percentile rows the paper's CDFs convey.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// Sorted sample.
+    pub sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw values.
+    pub fn new(mut values: Vec<f64>) -> Cdf {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted: values }
+    }
+
+    /// Value at percentile `p` (0..=100).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((p / 100.0) * (self.sorted.len() - 1) as f64).round() as usize;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let n = self.sorted.iter().take_while(|v| **v <= x).count();
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Prints the standard percentile row used across the experiments.
+    pub fn print_row(&self, label: &str, unit: &str) {
+        println!(
+            "  {label:<28} p10={:>10.3}{unit} p50={:>10.3}{unit} p90={:>10.3}{unit} p99={:>10.3}{unit} max={:>10.3}{unit} (n={})",
+            self.percentile(10.0),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.percentile(100.0),
+            self.sorted.len(),
+        );
+    }
+}
+
+/// Formats a duration in the unit mix the paper's tables use.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.0}ms", s * 1000.0)
+    } else if s < 120.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let c = Cdf::new((1..=100).map(|i| i as f64).collect());
+        // Index rounding: p50 of 1..=100 lands on the 50th index (value 51).
+        assert_eq!(c.percentile(50.0), 51.0);
+        assert_eq!(c.percentile(100.0), 100.0);
+        assert_eq!(c.percentile(0.0), 1.0);
+        assert!((c.fraction_leq(25.0) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(std::time::Duration::from_millis(12)), "12ms");
+        assert_eq!(fmt_dur(std::time::Duration::from_secs(2)), "2.0s");
+        assert_eq!(fmt_dur(std::time::Duration::from_secs(300)), "5.0min");
+    }
+}

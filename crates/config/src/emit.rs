@@ -1,0 +1,305 @@
+//! The configuration pretty-printer: the inverse of [`crate::parse`].
+//!
+//! `parse(emit(cfg)) == cfg` is enforced by a property test; topogen
+//! generates WANs by building [`DeviceConfig`] values and emitting them, so
+//! the whole pipeline exercises the parser on every generated network.
+
+use std::fmt::Write as _;
+
+use crate::ir::*;
+
+fn action_str(a: Action) -> &'static str {
+    match a {
+        Action::Permit => "permit",
+        Action::Deny => "deny",
+    }
+}
+
+/// Renders a [`DeviceConfig`] to configuration text.
+pub fn emit_config(cfg: &DeviceConfig) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "hostname {}", cfg.hostname).unwrap();
+    writeln!(w, "vendor {}", cfg.vendor.letter()).unwrap();
+    if cfg.router_id != 0 {
+        writeln!(w, "router-id {}", cfg.router_id).unwrap();
+    }
+    let defaults = ProtocolPreferences::default();
+    if cfg.preferences.ebgp != defaults.ebgp {
+        writeln!(w, "ip protocol-preference ebgp {}", cfg.preferences.ebgp).unwrap();
+    }
+    if cfg.preferences.ibgp != defaults.ibgp {
+        writeln!(w, "ip protocol-preference ibgp {}", cfg.preferences.ibgp).unwrap();
+    }
+    if cfg.preferences.isis != defaults.isis {
+        writeln!(w, "ip protocol-preference isis {}", cfg.preferences.isis).unwrap();
+    }
+
+    for iface in &cfg.interfaces {
+        writeln!(w, "interface {}", iface.name).unwrap();
+        if !iface.peer.is_empty() {
+            writeln!(w, "  peer {}", iface.peer).unwrap();
+        }
+        if iface.link_metric != 10 {
+            writeln!(w, "  link-metric {}", iface.link_metric).unwrap();
+        }
+        if let Some(acl) = &iface.acl_in {
+            writeln!(w, "  access-group {acl} in").unwrap();
+        }
+        if let Some(acl) = &iface.acl_out {
+            writeln!(w, "  access-group {acl} out").unwrap();
+        }
+    }
+
+    for (name, pl) in &cfg.prefix_lists {
+        for e in &pl.entries {
+            write!(
+                w,
+                "ip prefix-list {name} {} {}",
+                action_str(e.action),
+                e.prefix
+            )
+            .unwrap();
+            if let Some(ge) = e.ge {
+                write!(w, " ge {ge}").unwrap();
+            }
+            if let Some(le) = e.le {
+                write!(w, " le {le}").unwrap();
+            }
+            writeln!(w).unwrap();
+        }
+    }
+
+    for (name, cl) in &cfg.community_lists {
+        for (a, c) in &cl.entries {
+            writeln!(w, "ip community-list {name} {} {c}", action_str(*a)).unwrap();
+        }
+    }
+
+    for (name, entries) in &cfg.acls {
+        for e in entries {
+            let proto = match e.proto {
+                AclProto::Ip => "ip",
+                AclProto::Tcp => "tcp",
+                AclProto::Udp => "udp",
+            };
+            let src = e.src.map_or("any".to_string(), |p| p.to_string());
+            let dst = e.dst.map_or("any".to_string(), |p| p.to_string());
+            writeln!(
+                w,
+                "access-list {name} {} {proto} {src} {dst}",
+                action_str(e.action)
+            )
+            .unwrap();
+        }
+    }
+
+    for (name, rm) in &cfg.route_maps {
+        for e in &rm.entries {
+            writeln!(w, "route-map {name} {} {}", action_str(e.action), e.seq).unwrap();
+            for m in &e.matches {
+                match m {
+                    MatchClause::PrefixList(n) => writeln!(w, "  match prefix-list {n}").unwrap(),
+                    MatchClause::CommunityList(n) => {
+                        writeln!(w, "  match community-list {n}").unwrap()
+                    }
+                    MatchClause::Community(c) => writeln!(w, "  match community {c}").unwrap(),
+                    MatchClause::Prefix(p) => writeln!(w, "  match prefix {p}").unwrap(),
+                    MatchClause::AsPathContains(a) => {
+                        writeln!(w, "  match as-path-contains {a}").unwrap()
+                    }
+                }
+            }
+            for s in &e.sets {
+                match s {
+                    SetClause::LocalPref(v) => writeln!(w, "  set local-preference {v}").unwrap(),
+                    SetClause::Weight(v) => writeln!(w, "  set weight {v}").unwrap(),
+                    SetClause::Med(v) => writeln!(w, "  set med {v}").unwrap(),
+                    SetClause::Community {
+                        community,
+                        additive,
+                    } => {
+                        if *additive {
+                            writeln!(w, "  set community {community} additive").unwrap();
+                        } else {
+                            writeln!(w, "  set community {community}").unwrap();
+                        }
+                    }
+                    SetClause::StripCommunities => writeln!(w, "  set community none").unwrap(),
+                    SetClause::Prepend(asns) => {
+                        let list: Vec<String> = asns.iter().map(|a| a.to_string()).collect();
+                        writeln!(w, "  set as-path prepend {}", list.join(" ")).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(bgp) = &cfg.bgp {
+        writeln!(w, "router bgp {}", bgp.asn).unwrap();
+        for p in &bgp.networks {
+            writeln!(w, "  network {p}").unwrap();
+        }
+        for a in &bgp.aggregates {
+            if a.summary_only {
+                writeln!(w, "  aggregate-address {} summary-only", a.prefix).unwrap();
+            } else {
+                writeln!(w, "  aggregate-address {}", a.prefix).unwrap();
+            }
+        }
+        for r in &bgp.redistribute {
+            match r {
+                RedistSource::Static => writeln!(w, "  redistribute static").unwrap(),
+                RedistSource::Isis => writeln!(w, "  redistribute isis").unwrap(),
+            }
+        }
+        for n in &bgp.neighbors {
+            writeln!(w, "  neighbor {} remote-as {}", n.peer, n.remote_as).unwrap();
+            if let Some(rm) = &n.route_map_in {
+                writeln!(w, "  neighbor {} route-map {rm} in", n.peer).unwrap();
+            }
+            if let Some(rm) = &n.route_map_out {
+                writeln!(w, "  neighbor {} route-map {rm} out", n.peer).unwrap();
+            }
+            if let Some(weight) = n.weight {
+                writeln!(w, "  neighbor {} weight {weight}", n.peer).unwrap();
+            }
+            if n.next_hop_self {
+                writeln!(w, "  neighbor {} next-hop-self", n.peer).unwrap();
+            }
+            if n.remove_private_as {
+                writeln!(w, "  neighbor {} remove-private-as", n.peer).unwrap();
+            }
+            if n.allowas_in {
+                writeln!(w, "  neighbor {} allowas-in", n.peer).unwrap();
+            }
+            if let Some(las) = n.local_as {
+                writeln!(w, "  neighbor {} local-as {las}", n.peer).unwrap();
+            }
+            if n.rr_client {
+                writeln!(w, "  neighbor {} route-reflector-client", n.peer).unwrap();
+            }
+        }
+    }
+
+    if let Some(isis) = &cfg.isis {
+        match isis.protocol {
+            IgpKind::Isis => writeln!(w, "router isis").unwrap(),
+            IgpKind::Ospf => writeln!(w, "router ospf").unwrap(),
+        }
+        writeln!(w, "  area {}", isis.area).unwrap();
+        let level = match isis.level {
+            IsisLevel::L1 => "level-1",
+            IsisLevel::L2 => "level-2",
+            IsisLevel::L1L2 => "level-1-2",
+        };
+        writeln!(w, "  is-level {level}").unwrap();
+    }
+
+    for s in &cfg.static_routes {
+        writeln!(
+            w,
+            "ip route {} {} preference {}",
+            s.prefix, s.next_hop, s.preference
+        )
+        .unwrap();
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_config;
+    use hoyan_nettypes::pfx;
+
+    #[test]
+    fn emit_then_parse_roundtrips() {
+        let mut cfg = DeviceConfig::new("R1");
+        cfg.vendor = Vendor::C;
+        cfg.router_id = 5;
+        cfg.interfaces.push(InterfaceConfig {
+            name: "eth0".into(),
+            peer: "R2".into(),
+            link_metric: 30,
+            acl_in: Some("A1".into()),
+            acl_out: None,
+        });
+        cfg.prefix_lists.insert(
+            "PL".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    action: Action::Permit,
+                    prefix: pfx("10.0.0.0/8"),
+                    ge: Some(9),
+                    le: Some(24),
+                }],
+            },
+        );
+        cfg.acls.insert(
+            "A1".into(),
+            vec![AclEntry {
+                action: Action::Deny,
+                proto: AclProto::Udp,
+                src: None,
+                dst: Some(pfx("10.0.0.0/8")),
+            }],
+        );
+        let mut rm = RouteMap::default();
+        rm.entries.push(RouteMapEntry {
+            seq: 10,
+            action: Action::Permit,
+            matches: vec![MatchClause::PrefixList("PL".into())],
+            sets: vec![
+                SetClause::LocalPref(300),
+                SetClause::Community {
+                    community: "100:920".parse().unwrap(),
+                    additive: true,
+                },
+            ],
+        });
+        cfg.route_maps.insert("RM".into(), rm);
+        let mut bgp = BgpConfig::new(65001);
+        bgp.networks.push(pfx("10.0.1.0/24"));
+        bgp.aggregates.push(Aggregate {
+            prefix: pfx("10.0.0.0/30"),
+            summary_only: true,
+        });
+        bgp.redistribute.push(RedistSource::Isis);
+        let mut n = Neighbor::new("R2", 65002);
+        n.route_map_in = Some("RM".into());
+        n.weight = Some(7);
+        n.local_as = Some(64999);
+        bgp.neighbors.push(n);
+        cfg.bgp = Some(bgp);
+        cfg.isis = Some(IsisConfig {
+            area: 3,
+            level: IsisLevel::L2,
+            protocol: IgpKind::Isis,
+        });
+        cfg.static_routes.push(StaticRoute {
+            prefix: pfx("10.9.0.0/16"),
+            next_hop: "R2".into(),
+            preference: 150,
+        });
+        cfg.preferences.ebgp = 30;
+
+        let text = emit_config(&cfg);
+        let back = parse_config(&text).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn minimal_config_roundtrips() {
+        let cfg = DeviceConfig::new("X");
+        let back = parse_config(&emit_config(&cfg)).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn line_count_counts_emitted_lines() {
+        let cfg = DeviceConfig::new("X");
+        assert_eq!(cfg.line_count(), 2); // hostname + vendor
+    }
+}

@@ -1,0 +1,529 @@
+//! The typed intermediate representation of a device configuration.
+
+use std::collections::BTreeMap;
+
+use hoyan_nettypes::{AsNum, Community, Ipv4Prefix};
+
+/// The device's vendor. The three synthetic vendors differ in their
+/// *default* behaviors — the vendor-specific behaviors (VSBs) of the paper's
+/// Table 2 — which are materialized by `hoyan-device::VsbProfile`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Vendor {
+    /// Vendor A (the majority vendor on the WAN).
+    #[default]
+    A,
+    /// Vendor B (strips communities by default, among other differences).
+    B,
+    /// Vendor C.
+    C,
+}
+
+impl Vendor {
+    /// Parses `A`/`B`/`C`.
+    pub fn parse(s: &str) -> Option<Vendor> {
+        match s {
+            "A" | "a" => Some(Vendor::A),
+            "B" | "b" => Some(Vendor::B),
+            "C" | "c" => Some(Vendor::C),
+            _ => None,
+        }
+    }
+
+    /// The canonical letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Vendor::A => "A",
+            Vendor::B => "B",
+            Vendor::C => "C",
+        }
+    }
+}
+
+/// Permit or deny, as used by prefix-lists, route-maps and ACLs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Accept the matching object.
+    Permit,
+    /// Reject the matching object.
+    Deny,
+}
+
+/// One physical interface. Links are derived from `peer`: devices X and Y
+/// are connected iff X has an interface with `peer Y` and Y one with
+/// `peer X`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterfaceConfig {
+    /// Interface name (`eth0`, ...).
+    pub name: String,
+    /// Hostname of the device at the other end of the link.
+    pub peer: String,
+    /// IS-IS link metric (defaults to 10 like most IGPs).
+    pub link_metric: u32,
+    /// Data-plane ACL applied to packets arriving on this interface.
+    pub acl_in: Option<String>,
+    /// Data-plane ACL applied to packets leaving via this interface.
+    pub acl_out: Option<String>,
+}
+
+/// One entry of a prefix-list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixListEntry {
+    /// Permit or deny.
+    pub action: Action,
+    /// The prefix to match.
+    pub prefix: Ipv4Prefix,
+    /// Match prefixes with length `>= ge` inside `prefix`.
+    pub ge: Option<u8>,
+    /// Match prefixes with length `<= le` inside `prefix`.
+    pub le: Option<u8>,
+}
+
+impl PrefixListEntry {
+    /// Whether `p` matches this entry (ignoring the action).
+    pub fn matches(&self, p: Ipv4Prefix) -> bool {
+        if !self.prefix.contains(p) {
+            return false;
+        }
+        match (self.ge, self.le) {
+            (None, None) => p.len() == self.prefix.len(),
+            (ge, le) => {
+                let lower = ge.unwrap_or(self.prefix.len());
+                let upper = le.unwrap_or(32);
+                p.len() >= lower && p.len() <= upper
+            }
+        }
+    }
+}
+
+/// An ordered prefix-list. First matching entry decides; an unmatched
+/// prefix is denied (prefix-lists have an implicit deny on all vendors —
+/// unlike route policies, this is standardized behaviour).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PrefixList {
+    /// Entries in match order.
+    pub entries: Vec<PrefixListEntry>,
+}
+
+impl PrefixList {
+    /// Whether `p` is permitted.
+    pub fn permits(&self, p: Ipv4Prefix) -> bool {
+        for e in &self.entries {
+            if e.matches(p) {
+                return e.action == Action::Permit;
+            }
+        }
+        false
+    }
+}
+
+/// An ordered community-list (same implicit-deny convention).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CommunityList {
+    /// `(action, community)` pairs in match order.
+    pub entries: Vec<(Action, Community)>,
+}
+
+/// A match clause inside a route-map entry. All clauses of an entry must
+/// match (AND semantics, as on real devices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchClause {
+    /// Prefix is permitted by the named prefix-list.
+    PrefixList(String),
+    /// Route carries a community permitted by the named community-list.
+    CommunityList(String),
+    /// Route carries this exact community.
+    Community(Community),
+    /// Exact prefix match.
+    Prefix(Ipv4Prefix),
+    /// AS path contains the given AS number.
+    AsPathContains(AsNum),
+}
+
+/// A set clause inside a route-map entry, applied when the entry permits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetClause {
+    /// Set local preference.
+    LocalPref(u32),
+    /// Set the Cisco-style weight.
+    Weight(u32),
+    /// Set the MED.
+    Med(u32),
+    /// Add a community (`additive`) or replace the set with it.
+    Community {
+        /// The community to attach.
+        community: Community,
+        /// Keep the existing communities and add this one.
+        additive: bool,
+    },
+    /// Remove every community.
+    StripCommunities,
+    /// Prepend AS numbers to the path.
+    Prepend(Vec<AsNum>),
+}
+
+/// One `route-map NAME <action> <seq>` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMapEntry {
+    /// Sequence number; entries are evaluated in ascending order.
+    pub seq: u32,
+    /// Permit (apply sets, accept) or deny (reject) on match.
+    pub action: Action,
+    /// Match clauses (empty = match everything).
+    pub matches: Vec<MatchClause>,
+    /// Set clauses applied on permit.
+    pub sets: Vec<SetClause>,
+}
+
+/// A named route-map. What happens to a route matching *no* entry is
+/// vendor-specific (the "default route policy" VSB).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RouteMap {
+    /// Entries sorted by sequence number.
+    pub entries: Vec<RouteMapEntry>,
+}
+
+/// Data-plane ACL protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AclProto {
+    /// Any IP traffic.
+    Ip,
+    /// TCP only.
+    Tcp,
+    /// UDP only.
+    Udp,
+}
+
+/// One data-plane ACL entry. `None` source/destination means `any`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AclEntry {
+    /// Permit or deny.
+    pub action: Action,
+    /// Protocol selector.
+    pub proto: AclProto,
+    /// Source prefix (None = any).
+    pub src: Option<Ipv4Prefix>,
+    /// Destination prefix (None = any).
+    pub dst: Option<Ipv4Prefix>,
+}
+
+/// A BGP route aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aggregate {
+    /// The aggregate prefix announced when contributing routes exist.
+    pub prefix: Ipv4Prefix,
+    /// Suppress the more-specific contributing routes.
+    pub summary_only: bool,
+}
+
+/// Sources that can be redistributed into BGP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedistSource {
+    /// Static routes.
+    Static,
+    /// IS-IS-learned routes.
+    Isis,
+}
+
+/// Per-neighbor BGP session configuration. The peer is identified by
+/// hostname; the session is eBGP when `remote_as` differs from the local
+/// AS and iBGP otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Neighbor {
+    /// Peer hostname.
+    pub peer: String,
+    /// The peer's AS number.
+    pub remote_as: AsNum,
+    /// Inbound route-map name.
+    pub route_map_in: Option<String>,
+    /// Outbound route-map name.
+    pub route_map_out: Option<String>,
+    /// Default weight assigned to routes from this neighbor.
+    pub weight: Option<u32>,
+    /// Set self as next hop on routes sent to this (iBGP) peer.
+    pub next_hop_self: bool,
+    /// Remove private AS numbers when sending to this peer (semantics are
+    /// the `remove private AS` VSB).
+    pub remove_private_as: bool,
+    /// Accept routes whose AS path already contains our AS.
+    pub allowas_in: bool,
+    /// Present this AS number to the peer instead of the router's real AS
+    /// (AS-migration; which ASes end up in the path is the `local AS` VSB).
+    pub local_as: Option<AsNum>,
+    /// This peer is a route-reflector client of ours.
+    pub rr_client: bool,
+}
+
+impl Neighbor {
+    /// A plain neighbor with everything defaulted.
+    pub fn new(peer: impl Into<String>, remote_as: AsNum) -> Self {
+        Neighbor {
+            peer: peer.into(),
+            remote_as,
+            route_map_in: None,
+            route_map_out: None,
+            weight: None,
+            next_hop_self: false,
+            remove_private_as: false,
+            allowas_in: false,
+            local_as: None,
+            rr_client: false,
+        }
+    }
+}
+
+/// The `router bgp` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BgpConfig {
+    /// The local AS number.
+    pub asn: AsNum,
+    /// Locally originated prefixes (`network` statements).
+    pub networks: Vec<Ipv4Prefix>,
+    /// Aggregates.
+    pub aggregates: Vec<Aggregate>,
+    /// Neighbors in declaration order.
+    pub neighbors: Vec<Neighbor>,
+    /// Redistribution into BGP.
+    pub redistribute: Vec<RedistSource>,
+}
+
+impl BgpConfig {
+    /// An empty BGP block for the given AS.
+    pub fn new(asn: AsNum) -> Self {
+        BgpConfig {
+            asn,
+            networks: Vec::new(),
+            aggregates: Vec::new(),
+            neighbors: Vec::new(),
+            redistribute: Vec::new(),
+        }
+    }
+
+    /// Finds a neighbor block by peer hostname.
+    pub fn neighbor(&self, peer: &str) -> Option<&Neighbor> {
+        self.neighbors.iter().find(|n| n.peer == peer)
+    }
+
+    /// Finds or creates a neighbor block (parser/update helper).
+    pub fn neighbor_mut(&mut self, peer: &str, remote_as: AsNum) -> &mut Neighbor {
+        if let Some(i) = self.neighbors.iter().position(|n| n.peer == peer) {
+            return &mut self.neighbors[i];
+        }
+        self.neighbors.push(Neighbor::new(peer, remote_as));
+        self.neighbors.last_mut().unwrap()
+    }
+}
+
+/// IS-IS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IsisLevel {
+    /// Level-1 (intra-area).
+    L1,
+    /// Level-2 (backbone).
+    L2,
+    /// Both levels (L1/L2 border router).
+    #[default]
+    L1L2,
+}
+
+/// Which link-state IGP the block configures. The paper treats OSPF with
+/// the same machinery as IS-IS ("OSPF follows the same process", §5.4), so
+/// both parse into one IGP block; adjacency requires matching protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IgpKind {
+    /// IS-IS.
+    #[default]
+    Isis,
+    /// OSPF (areas map to IS-IS areas; levels are ignored).
+    Ospf,
+}
+
+/// The `router isis` / `router ospf` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IsisConfig {
+    /// Area identifier (L1 routers only exchange within an area).
+    pub area: u32,
+    /// The router's level.
+    pub level: IsisLevel,
+    /// IS-IS or OSPF.
+    pub protocol: IgpKind,
+}
+
+/// One static route. The next hop is a peer hostname (must be a direct
+/// neighbor for the route to be usable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Next-hop device.
+    pub next_hop: String,
+    /// Administrative preference: *lower is more preferred*. Statics
+    /// default to 1; the §7.1 outage was a static-preference change
+    /// interacting with eBGP preferences of 30.
+    pub preference: u32,
+}
+
+/// Protocol administrative preferences (administrative distance). Lower
+/// wins when FIBs are merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolPreferences {
+    /// eBGP-learned routes.
+    pub ebgp: u32,
+    /// iBGP-learned routes.
+    pub ibgp: u32,
+    /// IS-IS-learned routes.
+    pub isis: u32,
+}
+
+impl Default for ProtocolPreferences {
+    fn default() -> Self {
+        // Industry-common defaults: eBGP 20, IS-IS 115, iBGP 200.
+        ProtocolPreferences {
+            ebgp: 20,
+            ibgp: 200,
+            isis: 115,
+        }
+    }
+}
+
+/// A complete parsed device configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Device hostname (unique within a network).
+    pub hostname: String,
+    /// Vendor (selects the VSB profile).
+    pub vendor: Vendor,
+    /// Router id used as the final BGP tie-breaker (lower wins).
+    pub router_id: u32,
+    /// Interfaces; also define the topology via `peer`.
+    pub interfaces: Vec<InterfaceConfig>,
+    /// Named prefix-lists.
+    pub prefix_lists: BTreeMap<String, PrefixList>,
+    /// Named community-lists.
+    pub community_lists: BTreeMap<String, CommunityList>,
+    /// Named route-maps.
+    pub route_maps: BTreeMap<String, RouteMap>,
+    /// Named data-plane ACLs.
+    pub acls: BTreeMap<String, Vec<AclEntry>>,
+    /// The BGP block, if any.
+    pub bgp: Option<BgpConfig>,
+    /// The IS-IS block, if any.
+    pub isis: Option<IsisConfig>,
+    /// Static routes.
+    pub static_routes: Vec<StaticRoute>,
+    /// Protocol preferences (overridable with `ip protocol-preference`).
+    pub preferences: ProtocolPreferences,
+}
+
+impl DeviceConfig {
+    /// An empty configuration for `hostname`.
+    pub fn new(hostname: impl Into<String>) -> Self {
+        DeviceConfig {
+            hostname: hostname.into(),
+            vendor: Vendor::A,
+            router_id: 0,
+            interfaces: Vec::new(),
+            prefix_lists: BTreeMap::new(),
+            community_lists: BTreeMap::new(),
+            route_maps: BTreeMap::new(),
+            acls: BTreeMap::new(),
+            bgp: None,
+            isis: None,
+            static_routes: Vec::new(),
+            preferences: ProtocolPreferences::default(),
+        }
+    }
+
+    /// The interface facing `peer`, if any.
+    pub fn interface_to(&self, peer: &str) -> Option<&InterfaceConfig> {
+        self.interfaces.iter().find(|i| i.peer == peer)
+    }
+
+    /// Total number of configuration lines when emitted — the paper sizes
+    /// configurations in lines (O(1000) per router).
+    pub fn line_count(&self) -> usize {
+        crate::emit::emit_config(self).lines().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_nettypes::pfx;
+
+    #[test]
+    fn prefix_list_entry_exact_match_without_bounds() {
+        let e = PrefixListEntry {
+            action: Action::Permit,
+            prefix: pfx("10.0.0.0/8"),
+            ge: None,
+            le: None,
+        };
+        assert!(e.matches(pfx("10.0.0.0/8")));
+        assert!(!e.matches(pfx("10.1.0.0/16")));
+        assert!(!e.matches(pfx("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn prefix_list_entry_le_ge() {
+        let e = PrefixListEntry {
+            action: Action::Permit,
+            prefix: pfx("10.0.0.0/8"),
+            ge: Some(16),
+            le: Some(24),
+        };
+        assert!(!e.matches(pfx("10.0.0.0/8")));
+        assert!(e.matches(pfx("10.1.0.0/16")));
+        assert!(e.matches(pfx("10.1.2.0/24")));
+        assert!(!e.matches(pfx("10.1.2.128/25")));
+        // le without ge: length range is [prefix.len(), le].
+        let e2 = PrefixListEntry {
+            action: Action::Permit,
+            prefix: pfx("10.0.0.0/8"),
+            ge: None,
+            le: Some(16),
+        };
+        assert!(e2.matches(pfx("10.0.0.0/8")));
+        assert!(e2.matches(pfx("10.3.0.0/16")));
+        assert!(!e2.matches(pfx("10.1.2.0/24")));
+    }
+
+    #[test]
+    fn prefix_list_first_match_wins_and_implicit_deny() {
+        let pl = PrefixList {
+            entries: vec![
+                PrefixListEntry {
+                    action: Action::Deny,
+                    prefix: pfx("10.9.0.0/16"),
+                    ge: None,
+                    le: None,
+                },
+                PrefixListEntry {
+                    action: Action::Permit,
+                    prefix: pfx("10.0.0.0/8"),
+                    ge: Some(8),
+                    le: Some(32),
+                },
+            ],
+        };
+        assert!(!pl.permits(pfx("10.9.0.0/16")));
+        assert!(pl.permits(pfx("10.8.0.0/16")));
+        assert!(!pl.permits(pfx("172.16.0.0/12"))); // implicit deny
+    }
+
+    #[test]
+    fn neighbor_lookup_and_creation() {
+        let mut bgp = BgpConfig::new(65000);
+        assert!(bgp.neighbor("X").is_none());
+        bgp.neighbor_mut("X", 65001).weight = Some(50);
+        assert_eq!(bgp.neighbor("X").unwrap().weight, Some(50));
+        bgp.neighbor_mut("X", 65001).allowas_in = true;
+        assert_eq!(bgp.neighbors.len(), 1);
+        assert!(bgp.neighbor("X").unwrap().allowas_in);
+    }
+
+    #[test]
+    fn default_preferences() {
+        let p = ProtocolPreferences::default();
+        assert!(p.ebgp < p.isis && p.isis < p.ibgp);
+    }
+}

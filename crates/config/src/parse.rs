@@ -1,0 +1,732 @@
+//! The line-oriented configuration parser.
+//!
+//! Router configurations are sequences of commands with block context
+//! (`interface`, `route-map`, `router bgp`, `router isis`) exactly like the
+//! vendor CLIs they imitate. Indentation is ignored; any line starting with
+//! a top-level keyword closes the current block. `!` and `#` start comments.
+
+use hoyan_nettypes::{AsNum, Community, Ipv4Prefix};
+
+use crate::ir::*;
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+enum Context {
+    Top,
+    Interface(usize),
+    RouteMap { name: String, seq: u32 },
+    Bgp,
+    Isis,
+}
+
+struct Parser {
+    cfg: DeviceConfig,
+    ctx: Context,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: msg.into(),
+    }
+}
+
+fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, ParseError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("expected {what}, got `{tok}`")))
+}
+
+fn parse_prefix(tok: &str, line: usize) -> Result<Ipv4Prefix, ParseError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("expected prefix, got `{tok}`")))
+}
+
+fn parse_community(tok: &str, line: usize) -> Result<Community, ParseError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("expected community, got `{tok}`")))
+}
+
+fn parse_action(tok: &str, line: usize) -> Result<Action, ParseError> {
+    match tok {
+        "permit" => Ok(Action::Permit),
+        "deny" => Ok(Action::Deny),
+        _ => Err(err(line, format!("expected permit/deny, got `{tok}`"))),
+    }
+}
+
+/// Parses a full configuration text into a [`DeviceConfig`].
+pub fn parse_config(text: &str) -> Result<DeviceConfig, ParseError> {
+    let mut p = Parser {
+        cfg: DeviceConfig::new(""),
+        ctx: Context::Top,
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        p.dispatch(&tokens, line_no)?;
+    }
+    if p.cfg.hostname.is_empty() {
+        return Err(err(0, "configuration missing `hostname`"));
+    }
+    Ok(p.cfg)
+}
+
+impl Parser {
+    fn dispatch(&mut self, t: &[&str], line: usize) -> Result<(), ParseError> {
+        // Top-level keywords always reset context.
+        match t[0] {
+            "hostname" | "vendor" | "router-id" | "interface" | "ip" | "access-list"
+            | "route-map" | "router" => self.top_level(t, line),
+            _ => self.in_context(t, line),
+        }
+    }
+
+    fn top_level(&mut self, t: &[&str], line: usize) -> Result<(), ParseError> {
+        self.ctx = Context::Top;
+        match t[0] {
+            "hostname" => {
+                let name = *t.get(1).ok_or_else(|| err(line, "hostname needs a name"))?;
+                self.cfg.hostname = name.to_string();
+            }
+            "vendor" => {
+                let v = t.get(1).and_then(|s| Vendor::parse(s));
+                self.cfg.vendor = v.ok_or_else(|| err(line, "vendor must be A, B or C"))?;
+            }
+            "router-id" => {
+                let id = *t.get(1).ok_or_else(|| err(line, "router-id needs a value"))?;
+                self.cfg.router_id = parse_u32(id, line, "router id")?;
+            }
+            "interface" => {
+                let name = *t.get(1).ok_or_else(|| err(line, "interface needs a name"))?;
+                // Re-entering an existing interface edits it (CLI semantics
+                // — incremental update scripts rely on this).
+                let idx = match self.cfg.interfaces.iter().position(|i| i.name == name) {
+                    Some(i) => i,
+                    None => {
+                        self.cfg.interfaces.push(InterfaceConfig {
+                            name: name.to_string(),
+                            peer: String::new(),
+                            link_metric: 10,
+                            acl_in: None,
+                            acl_out: None,
+                        });
+                        self.cfg.interfaces.len() - 1
+                    }
+                };
+                self.ctx = Context::Interface(idx);
+            }
+            "ip" => self.ip_command(t, line)?,
+            "access-list" => {
+                // access-list NAME permit|deny ip|tcp|udp (any|PFX) (any|PFX)
+                if t.len() < 6 {
+                    return Err(err(line, "access-list NAME ACTION PROTO SRC DST"));
+                }
+                let name = t[1].to_string();
+                let action = parse_action(t[2], line)?;
+                let proto = match t[3] {
+                    "ip" => AclProto::Ip,
+                    "tcp" => AclProto::Tcp,
+                    "udp" => AclProto::Udp,
+                    other => return Err(err(line, format!("unknown protocol `{other}`"))),
+                };
+                let src = if t[4] == "any" {
+                    None
+                } else {
+                    Some(parse_prefix(t[4], line)?)
+                };
+                let dst = if t[5] == "any" {
+                    None
+                } else {
+                    Some(parse_prefix(t[5], line)?)
+                };
+                self.cfg.acls.entry(name).or_default().push(AclEntry {
+                    action,
+                    proto,
+                    src,
+                    dst,
+                });
+            }
+            "route-map" => {
+                // route-map NAME permit|deny SEQ
+                if t.len() < 4 {
+                    return Err(err(line, "route-map NAME ACTION SEQ"));
+                }
+                let name = t[1].to_string();
+                let action = parse_action(t[2], line)?;
+                let seq = parse_u32(t[3], line, "sequence number")?;
+                let rm = self.cfg.route_maps.entry(name.clone()).or_default();
+                if rm.entries.iter().any(|e| e.seq == seq) {
+                    return Err(err(
+                        line,
+                        format!("route-map {name} already has sequence {seq}"),
+                    ));
+                }
+                rm.entries.push(RouteMapEntry {
+                    seq,
+                    action,
+                    matches: Vec::new(),
+                    sets: Vec::new(),
+                });
+                rm.entries.sort_by_key(|e| e.seq);
+                self.ctx = Context::RouteMap { name, seq };
+            }
+            "router" => match t.get(1) {
+                Some(&"bgp") => {
+                    let asn = *t.get(2).ok_or_else(|| err(line, "router bgp needs an AS"))?;
+                    let asn: AsNum = parse_u32(asn, line, "AS number")?;
+                    match &self.cfg.bgp {
+                        Some(existing) if existing.asn != asn => {
+                            return Err(err(line, "conflicting router bgp AS"));
+                        }
+                        Some(_) => {}
+                        None => self.cfg.bgp = Some(BgpConfig::new(asn)),
+                    }
+                    self.ctx = Context::Bgp;
+                }
+                Some(&"isis") | Some(&"ospf") => {
+                    let protocol = if t[1] == "ospf" {
+                        IgpKind::Ospf
+                    } else {
+                        IgpKind::Isis
+                    };
+                    match &mut self.cfg.isis {
+                        Some(existing) => existing.protocol = protocol,
+                        None => {
+                            self.cfg.isis = Some(IsisConfig {
+                                area: 0,
+                                level: IsisLevel::default(),
+                                protocol,
+                            });
+                        }
+                    }
+                    self.ctx = Context::Isis;
+                }
+                other => {
+                    return Err(err(
+                        line,
+                        format!("unknown router protocol {:?}", other.unwrap_or(&"")),
+                    ))
+                }
+            },
+            _ => unreachable!("dispatch guarantees a top-level keyword"),
+        }
+        Ok(())
+    }
+
+    fn ip_command(&mut self, t: &[&str], line: usize) -> Result<(), ParseError> {
+        match t.get(1) {
+            Some(&"prefix-list") => {
+                // ip prefix-list NAME permit|deny PFX [ge N] [le N]
+                if t.len() < 5 {
+                    return Err(err(line, "ip prefix-list NAME ACTION PREFIX [ge N] [le N]"));
+                }
+                let name = t[2].to_string();
+                let action = parse_action(t[3], line)?;
+                let prefix = parse_prefix(t[4], line)?;
+                let mut ge = None;
+                let mut le = None;
+                let mut rest = &t[5..];
+                while !rest.is_empty() {
+                    match rest[0] {
+                        "ge" => {
+                            let v = rest.get(1).ok_or_else(|| err(line, "ge needs a value"))?;
+                            ge = Some(parse_u32(v, line, "ge bound")? as u8);
+                            rest = &rest[2..];
+                        }
+                        "le" => {
+                            let v = rest.get(1).ok_or_else(|| err(line, "le needs a value"))?;
+                            le = Some(parse_u32(v, line, "le bound")? as u8);
+                            rest = &rest[2..];
+                        }
+                        other => return Err(err(line, format!("unexpected token `{other}`"))),
+                    }
+                }
+                self.cfg
+                    .prefix_lists
+                    .entry(name)
+                    .or_default()
+                    .entries
+                    .push(PrefixListEntry {
+                        action,
+                        prefix,
+                        ge,
+                        le,
+                    });
+            }
+            Some(&"community-list") => {
+                if t.len() < 5 {
+                    return Err(err(line, "ip community-list NAME ACTION COMMUNITY"));
+                }
+                let name = t[2].to_string();
+                let action = parse_action(t[3], line)?;
+                let community = parse_community(t[4], line)?;
+                self.cfg
+                    .community_lists
+                    .entry(name)
+                    .or_default()
+                    .entries
+                    .push((action, community));
+            }
+            Some(&"route") => {
+                // ip route PREFIX NEXTHOP [preference N]
+                if t.len() < 4 {
+                    return Err(err(line, "ip route PREFIX NEXTHOP [preference N]"));
+                }
+                let prefix = parse_prefix(t[2], line)?;
+                let next_hop = t[3].to_string();
+                let preference = if t.len() >= 6 && t[4] == "preference" {
+                    parse_u32(t[5], line, "preference")?
+                } else {
+                    1
+                };
+                self.cfg.static_routes.push(StaticRoute {
+                    prefix,
+                    next_hop,
+                    preference,
+                });
+            }
+            Some(&"protocol-preference") => {
+                // ip protocol-preference ebgp|ibgp|isis N
+                if t.len() < 4 {
+                    return Err(err(line, "ip protocol-preference PROTO N"));
+                }
+                let v = parse_u32(t[3], line, "preference")?;
+                match t[2] {
+                    "ebgp" => self.cfg.preferences.ebgp = v,
+                    "ibgp" => self.cfg.preferences.ibgp = v,
+                    "isis" => self.cfg.preferences.isis = v,
+                    other => return Err(err(line, format!("unknown protocol `{other}`"))),
+                }
+            }
+            other => {
+                return Err(err(
+                    line,
+                    format!("unknown ip subcommand {:?}", other.unwrap_or(&"")),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn in_context(&mut self, t: &[&str], line: usize) -> Result<(), ParseError> {
+        match &self.ctx {
+            Context::Top => Err(err(line, format!("unknown command `{}`", t[0]))),
+            Context::Interface(idx) => {
+                let idx = *idx;
+                let iface = &mut self.cfg.interfaces[idx];
+                match t[0] {
+                    "peer" => {
+                        let peer = *t.get(1).ok_or_else(|| err(line, "peer needs a hostname"))?;
+                        iface.peer = peer.to_string();
+                    }
+                    "link-metric" => {
+                        let v = *t.get(1).ok_or_else(|| err(line, "link-metric needs a value"))?;
+                        iface.link_metric = parse_u32(v, line, "metric")?;
+                    }
+                    "access-group" => {
+                        // access-group NAME in|out
+                        let name = *t.get(1).ok_or_else(|| err(line, "access-group needs a name"))?;
+                        match t.get(2) {
+                            Some(&"in") => iface.acl_in = Some(name.to_string()),
+                            Some(&"out") => iface.acl_out = Some(name.to_string()),
+                            _ => return Err(err(line, "access-group NAME in|out")),
+                        }
+                    }
+                    other => return Err(err(line, format!("unknown interface command `{other}`"))),
+                }
+                Ok(())
+            }
+            Context::RouteMap { name, seq } => {
+                let (name, seq) = (name.clone(), *seq);
+                let entry = self
+                    .cfg
+                    .route_maps
+                    .get_mut(&name)
+                    .and_then(|rm| rm.entries.iter_mut().find(|e| e.seq == seq))
+                    .expect("context entry exists");
+                match (t[0], t.get(1)) {
+                    ("match", Some(&"prefix-list")) => {
+                        let n = *t.get(2).ok_or_else(|| err(line, "match prefix-list NAME"))?;
+                        entry.matches.push(MatchClause::PrefixList(n.to_string()));
+                    }
+                    ("match", Some(&"community-list")) => {
+                        let n = *t.get(2).ok_or_else(|| err(line, "match community-list NAME"))?;
+                        entry
+                            .matches
+                            .push(MatchClause::CommunityList(n.to_string()));
+                    }
+                    ("match", Some(&"community")) => {
+                        let c = *t.get(2).ok_or_else(|| err(line, "match community VALUE"))?;
+                        entry
+                            .matches
+                            .push(MatchClause::Community(parse_community(c, line)?));
+                    }
+                    ("match", Some(&"prefix")) => {
+                        let p = *t.get(2).ok_or_else(|| err(line, "match prefix PREFIX"))?;
+                        entry.matches.push(MatchClause::Prefix(parse_prefix(p, line)?));
+                    }
+                    ("match", Some(&"as-path-contains")) => {
+                        let a = *t.get(2).ok_or_else(|| err(line, "match as-path-contains AS"))?;
+                        entry
+                            .matches
+                            .push(MatchClause::AsPathContains(parse_u32(a, line, "AS number")?));
+                    }
+                    ("set", Some(&"local-preference")) => {
+                        let v = *t.get(2).ok_or_else(|| err(line, "set local-preference N"))?;
+                        entry.sets.push(SetClause::LocalPref(parse_u32(v, line, "value")?));
+                    }
+                    ("set", Some(&"weight")) => {
+                        let v = *t.get(2).ok_or_else(|| err(line, "set weight N"))?;
+                        entry.sets.push(SetClause::Weight(parse_u32(v, line, "value")?));
+                    }
+                    ("set", Some(&"med")) => {
+                        let v = *t.get(2).ok_or_else(|| err(line, "set med N"))?;
+                        entry.sets.push(SetClause::Med(parse_u32(v, line, "value")?));
+                    }
+                    ("set", Some(&"community")) => {
+                        let c = *t.get(2).ok_or_else(|| err(line, "set community VALUE"))?;
+                        if c == "none" {
+                            entry.sets.push(SetClause::StripCommunities);
+                        } else {
+                            let community = parse_community(c, line)?;
+                            let additive = t.get(3) == Some(&"additive");
+                            entry.sets.push(SetClause::Community {
+                                community,
+                                additive,
+                            });
+                        }
+                    }
+                    ("set", Some(&"as-path")) => {
+                        // set as-path prepend AS [AS...]
+                        if t.get(2) != Some(&"prepend") || t.len() < 4 {
+                            return Err(err(line, "set as-path prepend AS..."));
+                        }
+                        let mut asns = Vec::new();
+                        for tok in &t[3..] {
+                            asns.push(parse_u32(tok, line, "AS number")?);
+                        }
+                        entry.sets.push(SetClause::Prepend(asns));
+                    }
+                    _ => {
+                        return Err(err(
+                            line,
+                            format!("unknown route-map command `{}`", t.join(" ")),
+                        ))
+                    }
+                }
+                Ok(())
+            }
+            Context::Bgp => {
+                let bgp = self.cfg.bgp.as_mut().expect("bgp context");
+                match t[0] {
+                    "network" => {
+                        let p = *t.get(1).ok_or_else(|| err(line, "network PREFIX"))?;
+                        bgp.networks.push(parse_prefix(p, line)?);
+                    }
+                    "aggregate-address" => {
+                        let p = *t.get(1).ok_or_else(|| err(line, "aggregate-address PREFIX"))?;
+                        bgp.aggregates.push(Aggregate {
+                            prefix: parse_prefix(p, line)?,
+                            summary_only: t.get(2) == Some(&"summary-only"),
+                        });
+                    }
+                    "redistribute" => match t.get(1) {
+                        Some(&"static") => bgp.redistribute.push(RedistSource::Static),
+                        Some(&"isis") => bgp.redistribute.push(RedistSource::Isis),
+                        other => {
+                            return Err(err(
+                                line,
+                                format!("cannot redistribute {:?}", other.unwrap_or(&"")),
+                            ))
+                        }
+                    },
+                    "neighbor" => {
+                        // neighbor HOST <subcommand> ...
+                        let peer = *t.get(1).ok_or_else(|| err(line, "neighbor HOST ..."))?;
+                        match t.get(2) {
+                            Some(&"remote-as") => {
+                                let a = *t.get(3).ok_or_else(|| err(line, "remote-as AS"))?;
+                                let asn = parse_u32(a, line, "AS number")?;
+                                bgp.neighbor_mut(peer, asn).remote_as = asn;
+                            }
+                            Some(&"route-map") => {
+                                let name =
+                                    *t.get(3).ok_or_else(|| err(line, "route-map NAME in|out"))?;
+                                let n = bgp
+                                    .neighbors
+                                    .iter_mut()
+                                    .find(|n| n.peer == peer)
+                                    .ok_or_else(|| {
+                                        err(line, format!("neighbor {peer} has no remote-as yet"))
+                                    })?;
+                                match t.get(4) {
+                                    Some(&"in") => n.route_map_in = Some(name.to_string()),
+                                    Some(&"out") => n.route_map_out = Some(name.to_string()),
+                                    _ => return Err(err(line, "route-map NAME in|out")),
+                                }
+                            }
+                            Some(&"weight") => {
+                                let v = *t.get(3).ok_or_else(|| err(line, "weight N"))?;
+                                let v = parse_u32(v, line, "weight")?;
+                                let n = require_neighbor(bgp, peer, line)?;
+                                n.weight = Some(v);
+                            }
+                            Some(&"next-hop-self") => {
+                                require_neighbor(bgp, peer, line)?.next_hop_self = true;
+                            }
+                            Some(&"remove-private-as") => {
+                                require_neighbor(bgp, peer, line)?.remove_private_as = true;
+                            }
+                            Some(&"allowas-in") => {
+                                require_neighbor(bgp, peer, line)?.allowas_in = true;
+                            }
+                            Some(&"local-as") => {
+                                let a = *t.get(3).ok_or_else(|| err(line, "local-as AS"))?;
+                                let v = parse_u32(a, line, "AS number")?;
+                                require_neighbor(bgp, peer, line)?.local_as = Some(v);
+                            }
+                            Some(&"route-reflector-client") => {
+                                require_neighbor(bgp, peer, line)?.rr_client = true;
+                            }
+                            other => {
+                                return Err(err(
+                                    line,
+                                    format!(
+                                        "unknown neighbor subcommand {:?}",
+                                        other.unwrap_or(&"")
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                    other => return Err(err(line, format!("unknown bgp command `{other}`"))),
+                }
+                Ok(())
+            }
+            Context::Isis => {
+                let isis = self.cfg.isis.as_mut().expect("isis context");
+                match t[0] {
+                    "area" => {
+                        let a = *t.get(1).ok_or_else(|| err(line, "area N"))?;
+                        isis.area = parse_u32(a, line, "area")?;
+                    }
+                    "is-level" => {
+                        isis.level = match t.get(1) {
+                            Some(&"level-1") => IsisLevel::L1,
+                            Some(&"level-2") => IsisLevel::L2,
+                            Some(&"level-1-2") => IsisLevel::L1L2,
+                            _ => return Err(err(line, "is-level level-1|level-2|level-1-2")),
+                        };
+                    }
+                    other => return Err(err(line, format!("unknown isis command `{other}`"))),
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn require_neighbor<'a>(
+    bgp: &'a mut BgpConfig,
+    peer: &str,
+    line: usize,
+) -> Result<&'a mut Neighbor, ParseError> {
+    if bgp.neighbors.iter().any(|n| n.peer == peer) {
+        Ok(bgp.neighbors.iter_mut().find(|n| n.peer == peer).unwrap())
+    } else {
+        Err(err(
+            line,
+            format!("neighbor {peer} must be declared with remote-as first"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_nettypes::pfx;
+
+    const SAMPLE: &str = r#"
+hostname PE1
+vendor B
+router-id 11
+
+interface eth0
+  peer P1
+  link-metric 20
+  access-group EDGE in
+
+interface eth1
+  peer PE2
+
+ip prefix-list CUST permit 10.0.0.0/8 ge 16 le 24
+ip prefix-list CUST deny 0.0.0.0/0 le 32
+
+ip community-list GOLD permit 100:920
+
+access-list EDGE deny udp any 10.0.0.0/8
+access-list EDGE permit ip any any
+
+route-map RM_IN permit 10
+  match prefix-list CUST
+  set local-preference 300
+  set community 100:920 additive
+route-map RM_IN deny 20
+
+router bgp 65001
+  network 10.0.1.0/24
+  aggregate-address 10.0.0.0/30 summary-only
+  redistribute static
+  neighbor P1 remote-as 65002
+  neighbor P1 route-map RM_IN in
+  neighbor P1 weight 100
+  neighbor P1 remove-private-as
+  neighbor PE2 remote-as 65001
+  neighbor PE2 next-hop-self
+
+router isis
+  area 1
+  is-level level-1-2
+
+ip route 10.9.0.0/16 P1 preference 150
+"#;
+
+    #[test]
+    fn parses_full_sample() {
+        let cfg = parse_config(SAMPLE).unwrap();
+        assert_eq!(cfg.hostname, "PE1");
+        assert_eq!(cfg.vendor, Vendor::B);
+        assert_eq!(cfg.router_id, 11);
+        assert_eq!(cfg.interfaces.len(), 2);
+        assert_eq!(cfg.interfaces[0].peer, "P1");
+        assert_eq!(cfg.interfaces[0].link_metric, 20);
+        assert_eq!(cfg.interfaces[0].acl_in.as_deref(), Some("EDGE"));
+        assert_eq!(cfg.interfaces[1].link_metric, 10);
+
+        let pl = &cfg.prefix_lists["CUST"];
+        assert_eq!(pl.entries.len(), 2);
+        assert!(pl.permits(pfx("10.1.0.0/16")));
+        assert!(!pl.permits(pfx("10.0.0.0/8"))); // ge bound excludes /8
+        assert!(!pl.permits(pfx("172.16.0.0/16")));
+
+        assert_eq!(cfg.community_lists["GOLD"].entries.len(), 1);
+        assert_eq!(cfg.acls["EDGE"].len(), 2);
+
+        let rm = &cfg.route_maps["RM_IN"];
+        assert_eq!(rm.entries.len(), 2);
+        assert_eq!(rm.entries[0].seq, 10);
+        assert_eq!(rm.entries[0].matches.len(), 1);
+        assert_eq!(rm.entries[0].sets.len(), 2);
+        assert_eq!(rm.entries[1].action, Action::Deny);
+
+        let bgp = cfg.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, 65001);
+        assert_eq!(bgp.networks, vec![pfx("10.0.1.0/24")]);
+        assert!(bgp.aggregates[0].summary_only);
+        assert_eq!(bgp.redistribute, vec![RedistSource::Static]);
+        let p1 = bgp.neighbor("P1").unwrap();
+        assert_eq!(p1.remote_as, 65002);
+        assert_eq!(p1.route_map_in.as_deref(), Some("RM_IN"));
+        assert_eq!(p1.weight, Some(100));
+        assert!(p1.remove_private_as);
+        let pe2 = bgp.neighbor("PE2").unwrap();
+        assert!(pe2.next_hop_self);
+        assert_eq!(pe2.remote_as, 65001); // iBGP
+
+        let isis = cfg.isis.as_ref().unwrap();
+        assert_eq!(isis.area, 1);
+        assert_eq!(isis.level, IsisLevel::L1L2);
+
+        assert_eq!(cfg.static_routes.len(), 1);
+        assert_eq!(cfg.static_routes[0].preference, 150);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let bad = "hostname X\nroute-map RM permit ten\n";
+        let e = parse_config(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("sequence number"), "{}", e.message);
+    }
+
+    #[test]
+    fn missing_hostname_is_rejected() {
+        assert!(parse_config("router isis\n area 1\n").is_err());
+    }
+
+    #[test]
+    fn neighbor_settings_require_remote_as_first() {
+        let bad = "hostname X\nrouter bgp 1\n neighbor Y weight 5\n";
+        let e = parse_config(bad).unwrap_err();
+        assert!(e.message.contains("remote-as"), "{}", e.message);
+    }
+
+    #[test]
+    fn duplicate_route_map_sequence_rejected() {
+        let bad = "hostname X\nroute-map RM permit 10\nroute-map RM deny 10\n";
+        assert!(parse_config(bad).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let cfg = parse_config("! comment\n# another\n\nhostname X\n").unwrap();
+        assert_eq!(cfg.hostname, "X");
+    }
+
+    #[test]
+    fn static_route_default_preference_is_one() {
+        let cfg = parse_config("hostname X\nip route 10.0.0.0/8 Y\n").unwrap();
+        assert_eq!(cfg.static_routes[0].preference, 1);
+    }
+
+    #[test]
+    fn protocol_preference_override() {
+        let cfg =
+            parse_config("hostname X\nip protocol-preference ebgp 30\n").unwrap();
+        assert_eq!(cfg.preferences.ebgp, 30);
+        assert_eq!(cfg.preferences.ibgp, 200);
+    }
+
+    #[test]
+    fn set_community_none_strips() {
+        let cfg = parse_config(
+            "hostname X\nroute-map RM permit 10\n set community none\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.route_maps["RM"].entries[0].sets,
+            vec![SetClause::StripCommunities]
+        );
+    }
+
+    #[test]
+    fn prepend_multiple_asns() {
+        let cfg = parse_config(
+            "hostname X\nroute-map RM permit 10\n set as-path prepend 65001 65001 65001\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.route_maps["RM"].entries[0].sets,
+            vec![SetClause::Prepend(vec![65001, 65001, 65001])]
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Merging incremental operator commands onto a configuration snapshot.
+//!
+//! §9 of the paper: "what operators write are incremental command lines into
+//! devices", and verification needs the *complete* post-update
+//! configuration. [`apply_update`] reuses the snapshot parser to interpret
+//! an update script, with two extensions:
+//!
+//! - `no <command>` removes matching configuration (statics, networks,
+//!   neighbors, route-map entries, prefix-list entries);
+//! - re-declaring a named entity entry *appends* to it exactly like the
+//!   parser does for snapshots, and a neighbor subcommand updates the
+//!   existing neighbor in place.
+
+use crate::ir::*;
+use crate::parse::{parse_config, ParseError};
+
+/// Applies an incremental update script to `cfg`, returning the merged
+/// configuration. The snapshot itself is not modified.
+pub fn apply_update(cfg: &DeviceConfig, script: &str) -> Result<DeviceConfig, ParseError> {
+    let mut merged = cfg.clone();
+    let mut additions = String::new();
+    for (i, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') || line.starts_with('#') {
+            additions.push('\n');
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("no ") {
+            apply_removal(&mut merged, rest.trim(), i + 1)?;
+            additions.push('\n');
+        } else {
+            additions.push_str(raw);
+            additions.push('\n');
+        }
+    }
+
+    // Parse the additive part in the context of the merged config by
+    // emitting and re-parsing: additions are concatenated after the
+    // snapshot so block context and duplicate checks behave like a real
+    // merge of commands typed into the running device.
+    let snapshot_text = crate::emit::emit_config(&merged);
+    let full = format!("{snapshot_text}\n{additions}");
+    parse_config(&full).map_err(|e| {
+        let snapshot_lines = snapshot_text.lines().count() + 1;
+        ParseError {
+            line: e.line.saturating_sub(snapshot_lines),
+            message: e.message,
+        }
+    })
+}
+
+fn apply_removal(cfg: &mut DeviceConfig, cmd: &str, line: usize) -> Result<(), ParseError> {
+    let t: Vec<&str> = cmd.split_whitespace().collect();
+    let fail = |msg: String| ParseError { line, message: msg };
+    match t.first() {
+        Some(&"ip") => match t.get(1) {
+            Some(&"route") => {
+                let prefix = t
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| fail("no ip route PREFIX [NEXTHOP]".into()))?;
+                let hop = t.get(3).copied();
+                let before = cfg.static_routes.len();
+                cfg.static_routes
+                    .retain(|s| !(s.prefix == prefix && hop.is_none_or(|h| h == s.next_hop)));
+                if cfg.static_routes.len() == before {
+                    return Err(fail(format!("no matching static route for {prefix}")));
+                }
+            }
+            Some(&"prefix-list") => {
+                let name = t.get(2).ok_or_else(|| fail("no ip prefix-list NAME".into()))?;
+                if cfg.prefix_lists.remove(*name).is_none() {
+                    return Err(fail(format!("prefix-list {name} does not exist")));
+                }
+            }
+            Some(&"community-list") => {
+                let name = t
+                    .get(2)
+                    .ok_or_else(|| fail("no ip community-list NAME".into()))?;
+                if cfg.community_lists.remove(*name).is_none() {
+                    return Err(fail(format!("community-list {name} does not exist")));
+                }
+            }
+            _ => return Err(fail(format!("cannot remove `{cmd}`"))),
+        },
+        Some(&"route-map") => {
+            // no route-map NAME [SEQ]
+            let name = t.get(1).ok_or_else(|| fail("no route-map NAME [SEQ]".into()))?;
+            match t.get(2) {
+                None => {
+                    if cfg.route_maps.remove(*name).is_none() {
+                        return Err(fail(format!("route-map {name} does not exist")));
+                    }
+                }
+                Some(seq) => {
+                    let seq: u32 = seq
+                        .parse()
+                        .map_err(|_| fail(format!("bad sequence `{seq}`")))?;
+                    let rm = cfg
+                        .route_maps
+                        .get_mut(*name)
+                        .ok_or_else(|| fail(format!("route-map {name} does not exist")))?;
+                    let before = rm.entries.len();
+                    rm.entries.retain(|e| e.seq != seq);
+                    if rm.entries.len() == before {
+                        return Err(fail(format!("route-map {name} has no sequence {seq}")));
+                    }
+                }
+            }
+        }
+        Some(&"neighbor") => {
+            // no neighbor HOST — drop the whole neighbor block.
+            let peer = t.get(1).ok_or_else(|| fail("no neighbor HOST".into()))?;
+            let bgp = cfg
+                .bgp
+                .as_mut()
+                .ok_or_else(|| fail("device has no bgp block".into()))?;
+            let before = bgp.neighbors.len();
+            bgp.neighbors.retain(|n| n.peer != *peer);
+            if bgp.neighbors.len() == before {
+                return Err(fail(format!("neighbor {peer} does not exist")));
+            }
+        }
+        Some(&"network") => {
+            let prefix = t
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| fail("no network PREFIX".into()))?;
+            let bgp = cfg
+                .bgp
+                .as_mut()
+                .ok_or_else(|| fail("device has no bgp block".into()))?;
+            let before = bgp.networks.len();
+            bgp.networks.retain(|p| *p != prefix);
+            if bgp.networks.len() == before {
+                return Err(fail(format!("network {prefix} is not announced")));
+            }
+        }
+        Some(&"aggregate-address") => {
+            let prefix = t
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| fail("no aggregate-address PREFIX".into()))?;
+            let bgp = cfg
+                .bgp
+                .as_mut()
+                .ok_or_else(|| fail("device has no bgp block".into()))?;
+            let before = bgp.aggregates.len();
+            bgp.aggregates.retain(|a| a.prefix != prefix);
+            if bgp.aggregates.len() == before {
+                return Err(fail(format!("aggregate {prefix} is not configured")));
+            }
+        }
+        _ => return Err(fail(format!("cannot remove `{cmd}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_nettypes::pfx;
+
+    fn base() -> DeviceConfig {
+        parse_config(
+            r#"
+hostname R1
+router bgp 65001
+  network 10.0.1.0/24
+  neighbor R2 remote-as 65002
+  neighbor R2 weight 5
+ip route 10.9.0.0/16 R2 preference 1
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn additive_update_changes_static_preference() {
+        // The §7.1 scenario: change static preference from 1 to 150 by
+        // removing and re-adding.
+        let cfg = base();
+        let updated = apply_update(
+            &cfg,
+            "no ip route 10.9.0.0/16\nip route 10.9.0.0/16 R2 preference 150\n",
+        )
+        .unwrap();
+        assert_eq!(updated.static_routes.len(), 1);
+        assert_eq!(updated.static_routes[0].preference, 150);
+    }
+
+    #[test]
+    fn update_adds_route_map_and_binds_it() {
+        let cfg = base();
+        let updated = apply_update(
+            &cfg,
+            "route-map RM permit 10\n set weight 100\nrouter bgp 65001\n neighbor R2 route-map RM in\n",
+        )
+        .unwrap();
+        assert!(updated.route_maps.contains_key("RM"));
+        assert_eq!(
+            updated.bgp.unwrap().neighbor("R2").unwrap().route_map_in,
+            Some("RM".to_string())
+        );
+    }
+
+    #[test]
+    fn removal_of_missing_entity_fails() {
+        let cfg = base();
+        assert!(apply_update(&cfg, "no ip route 10.8.0.0/16\n").is_err());
+        assert!(apply_update(&cfg, "no neighbor R9\n").is_err());
+        assert!(apply_update(&cfg, "no route-map NOPE\n").is_err());
+    }
+
+    #[test]
+    fn remove_neighbor_and_network() {
+        let cfg = base();
+        let updated = apply_update(&cfg, "no neighbor R2\nno network 10.0.1.0/24\n").unwrap();
+        let bgp = updated.bgp.unwrap();
+        assert!(bgp.neighbors.is_empty());
+        assert!(bgp.networks.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_not_mutated() {
+        let cfg = base();
+        let _ = apply_update(&cfg, "no neighbor R2\n").unwrap();
+        assert_eq!(cfg.bgp.as_ref().unwrap().neighbors.len(), 1);
+    }
+
+    #[test]
+    fn update_survives_roundtrip() {
+        let cfg = base();
+        let updated = apply_update(&cfg, "ip route 10.10.0.0/16 R2 preference 20\n").unwrap();
+        assert!(updated
+            .static_routes
+            .iter()
+            .any(|s| s.prefix == pfx("10.10.0.0/16") && s.preference == 20));
+        // Emitting and re-parsing the merged config is stable.
+        let text = crate::emit::emit_config(&updated);
+        assert_eq!(parse_config(&text).unwrap(), updated);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property test: `parse(emit(cfg)) == cfg` for arbitrary configurations.
+
+use hoyan_config::*;
+use hoyan_nettypes::{Community, Ipv4Addr, Ipv4Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr(bits), len))
+}
+
+fn arb_community() -> impl Strategy<Value = Community> {
+    (any::<u16>(), any::<u16>(), any::<bool>()).prop_map(|(a, v, ext)| {
+        if ext {
+            Community::ext(a, v)
+        } else {
+            Community::std(a, v)
+        }
+    })
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![Just(Action::Permit), Just(Action::Deny)]
+}
+
+fn arb_match(names: Vec<String>) -> impl Strategy<Value = MatchClause> {
+    let pick = proptest::sample::select(names);
+    prop_oneof![
+        pick.clone().prop_map(MatchClause::PrefixList),
+        pick.prop_map(MatchClause::CommunityList),
+        arb_community().prop_map(MatchClause::Community),
+        arb_prefix().prop_map(MatchClause::Prefix),
+        (1u32..70000).prop_map(MatchClause::AsPathContains),
+    ]
+}
+
+fn arb_set() -> impl Strategy<Value = SetClause> {
+    prop_oneof![
+        (0u32..1000).prop_map(SetClause::LocalPref),
+        (0u32..1000).prop_map(SetClause::Weight),
+        (0u32..1000).prop_map(SetClause::Med),
+        (arb_community(), any::<bool>()).prop_map(|(community, additive)| SetClause::Community {
+            community,
+            additive
+        }),
+        Just(SetClause::StripCommunities),
+        proptest::collection::vec(1u32..70000, 1..3).prop_map(SetClause::Prepend),
+    ]
+}
+
+prop_compose! {
+    fn arb_config()(
+        hostname in "[A-Z][A-Za-z0-9]{0,6}",
+        vendor in prop_oneof![Just(Vendor::A), Just(Vendor::B), Just(Vendor::C)],
+        router_id in 1u32..1000,
+        peers in proptest::collection::vec("[A-Z][A-Za-z0-9]{0,6}", 0..4),
+        metrics in proptest::collection::vec(1u32..100, 4),
+        pl_names in proptest::collection::btree_set(arb_name(), 1..3),
+        pl_entries in proptest::collection::vec((arb_action(), arb_prefix(), proptest::option::of(0u8..=32u8)), 1..4),
+        communities in proptest::collection::vec((arb_action(), arb_community()), 0..3),
+        sets in proptest::collection::vec(arb_set(), 0..4),
+        asn in 1u32..70000,
+        networks in proptest::collection::vec(arb_prefix(), 0..3),
+        statics in proptest::collection::vec((arb_prefix(), 1u32..255), 0..3),
+        has_isis in any::<bool>(),
+        isis_area in 0u32..16,
+        level in prop_oneof![Just(IsisLevel::L1), Just(IsisLevel::L2), Just(IsisLevel::L1L2)],
+    ) -> DeviceConfig {
+        let mut cfg = DeviceConfig::new(hostname.clone());
+        cfg.vendor = vendor;
+        cfg.router_id = router_id;
+        // Interfaces: unique peers only (interface_to assumes one per peer).
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in peers.iter().enumerate() {
+            if p == &hostname || !seen.insert(p.clone()) {
+                continue;
+            }
+            cfg.interfaces.push(InterfaceConfig {
+                name: format!("eth{i}"),
+                peer: p.clone(),
+                link_metric: metrics[i % metrics.len()],
+                acl_in: None,
+                acl_out: None,
+            });
+        }
+        let pl_names: Vec<String> = pl_names.into_iter().collect();
+        for name in &pl_names {
+            let entries = pl_entries
+                .iter()
+                .map(|(a, p, le)| PrefixListEntry {
+                    action: *a,
+                    prefix: *p,
+                    ge: None,
+                    le: le.map(|l| l.max(p.len())),
+                })
+                .collect();
+            cfg.prefix_lists.insert(name.clone(), PrefixList { entries });
+        }
+        if !communities.is_empty() {
+            cfg.community_lists.insert(
+                "CL".to_string(),
+                CommunityList { entries: communities.clone() },
+            );
+        }
+        let mut rm = RouteMap::default();
+        rm.entries.push(RouteMapEntry {
+            seq: 10,
+            action: Action::Permit,
+            matches: vec![MatchClause::PrefixList(pl_names[0].clone())],
+            sets: sets.clone(),
+        });
+        rm.entries.push(RouteMapEntry { seq: 20, action: Action::Deny, matches: vec![], sets: vec![] });
+        cfg.route_maps.insert("RM".to_string(), rm);
+
+        let mut bgp = BgpConfig::new(asn);
+        bgp.networks = networks;
+        for (i, iface) in cfg.interfaces.iter().enumerate() {
+            let mut n = Neighbor::new(iface.peer.clone(), asn + i as u32);
+            if i == 0 {
+                n.route_map_in = Some("RM".to_string());
+                n.weight = Some(42);
+                n.remove_private_as = true;
+            }
+            bgp.neighbors.push(n);
+        }
+        cfg.bgp = Some(bgp);
+        if has_isis {
+            cfg.isis = Some(IsisConfig { area: isis_area, level, protocol: IgpKind::Isis });
+        }
+        for (p, pref) in statics {
+            if let Some(first) = cfg.interfaces.first() {
+                cfg.static_routes.push(StaticRoute {
+                    prefix: p,
+                    next_hop: first.peer.clone(),
+                    preference: pref,
+                });
+            }
+        }
+        cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emit_parse_roundtrip(cfg in arb_config()) {
+        let text = emit::emit_config(&cfg);
+        let parsed = parse_config(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn emit_is_stable(cfg in arb_config()) {
+        let text = emit::emit_config(&cfg);
+        let parsed = parse_config(&text).unwrap();
+        prop_assert_eq!(emit::emit_config(&parsed), text);
+    }
+}

@@ -1,0 +1,216 @@
+//! Conditioned FIB construction (§5.5): per-device merge of BGP RIBs,
+//! static routes and IS-IS routes by administrative preference, every rule
+//! keeping its topology condition.
+
+use hoyan_device::LearnedFrom;
+use hoyan_logic::Bdd;
+use hoyan_nettypes::{Ipv4Addr, Ipv4Prefix, NodeId};
+
+use crate::propagate::{Mode, Proto, Simulation};
+
+/// Where a FIB rule forwards to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FibAction {
+    /// Deliver locally — this device is (a) gateway of the prefix.
+    Local,
+    /// Forward toward a BGP next hop (may be remote; resolved via IS-IS).
+    Forward(NodeId),
+}
+
+/// One conditioned FIB rule.
+#[derive(Clone, Debug)]
+pub struct FibRule {
+    /// The destination prefix of the rule.
+    pub prefix: Ipv4Prefix,
+    /// Forwarding action.
+    pub action: FibAction,
+    /// Topology condition for the rule to exist.
+    pub cond: Bdd,
+    /// Administrative preference used for ordering (lower = better).
+    pub pref: u32,
+}
+
+/// Builds the ranked FIB rules of `node` that match destination `dst`,
+/// most-specific prefix first, then by administrative preference, then by
+/// RIB rank. The caller applies the §5.5 exclusivity chain during lookup.
+pub fn fib_rules_for(
+    sim: &mut Simulation<'_>,
+    net: &crate::network::NetworkModel,
+    node: NodeId,
+    dst: Ipv4Addr,
+) -> Vec<FibRule> {
+    let dev = net.device(node);
+    let prefs = dev.config.preferences;
+    // Group rules per matching prefix so LPM ordering comes first.
+    let mut matching: Vec<Ipv4Prefix> = sim
+        .prefixes()
+        .iter()
+        .copied()
+        .filter(|p| p.contains_addr(dst))
+        .collect();
+    matching.sort_by(|a, b| b.len().cmp(&a.len())); // longest first
+
+    let mut out = Vec::new();
+    for prefix in matching {
+        let mut rules: Vec<FibRule> = Vec::new();
+        // Static routes for this exact prefix.
+        for s in &dev.config.static_routes {
+            if s.prefix != prefix {
+                continue;
+            }
+            let Some(nh) = net.topology.node(&s.next_hop) else {
+                continue;
+            };
+            // Statics enter RIBs without initial topology conditions (§5.4).
+            rules.push(FibRule {
+                prefix,
+                action: FibAction::Forward(nh),
+                cond: Bdd::TRUE,
+                pref: s.preference,
+            });
+        }
+        // Simulated protocol entries (ranked; keep rank order within the
+        // same preference class via stable sort below).
+        let views = sim.rib(node, prefix);
+        for v in views {
+            let (action, pref) = match v.proto {
+                Proto::Aggregate => (FibAction::Local, 0),
+                Proto::Isis => (
+                    match v.from_node {
+                        None => FibAction::Local,
+                        Some(f) => FibAction::Forward(f),
+                    },
+                    prefs.isis,
+                ),
+                Proto::Bgp => match v.next_hop {
+                    // Locally originated: a `network` statement means the
+                    // subnet is attached here (local delivery); an entry
+                    // redistributed from a static must not shadow the
+                    // static that actually forwards, so it adds no rule.
+                    None if v.attrs.origin == hoyan_nettypes::Origin::Incomplete
+                        && v.from_node.is_none() =>
+                    {
+                        continue;
+                    }
+                    None => (FibAction::Local, 0),
+                    Some(nh) if nh == node => (FibAction::Local, 0),
+                    Some(nh) => {
+                        let pref = match v.learned_from {
+                            LearnedFrom::Ebgp => prefs.ebgp,
+                            LearnedFrom::IbgpClient | LearnedFrom::IbgpNonClient => prefs.ibgp,
+                            LearnedFrom::Local => 0,
+                        };
+                        (FibAction::Forward(nh), pref)
+                    }
+                },
+            };
+            rules.push(FibRule {
+                prefix,
+                action,
+                cond: v.cond,
+                pref,
+            });
+        }
+        rules.sort_by_key(|r| r.pref);
+        out.extend(rules);
+    }
+    out
+}
+
+/// Whether `node` is a gateway for `prefix` in this simulation: it
+/// originates the prefix locally (network statement, redistribution or
+/// aggregate).
+pub fn is_gateway(
+    _sim: &mut Simulation<'_>,
+    net: &crate::network::NetworkModel,
+    node: NodeId,
+    prefix: Ipv4Prefix,
+) -> bool {
+    // Only a `network` statement marks the subnet as attached to this
+    // device. Redistributed statics point *through* the device and
+    // aggregates are synthetic — neither makes it the subnet's gateway.
+    net.device(node)
+        .config
+        .bgp
+        .as_ref()
+        .is_some_and(|bgp| bgp.networks.contains(&prefix))
+}
+
+/// Marker: FIBs only make sense for BGP-mode simulations.
+pub fn assert_bgp_mode(_sim: &Simulation<'_>) {
+    // Mode is private state; the constructor functions guarantee it.
+    let _ = Mode::Bgp;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    use crate::network::NetworkModel;
+
+    fn line_net() -> NetworkModel {
+        let configs = vec![
+            parse_config(
+                "hostname GW\ninterface e0\n peer R\nrouter bgp 100\n network 10.0.1.0/24\n neighbor R remote-as 200\n",
+            )
+            .unwrap(),
+            parse_config(
+                "hostname R\ninterface e0\n peer GW\nrouter bgp 200\n neighbor GW remote-as 100\nip route 10.9.0.0/16 GW preference 5\n",
+            )
+            .unwrap(),
+        ];
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    #[test]
+    fn gateway_detection_and_forwarding_rule() {
+        let net = line_net();
+        let mut sim = Simulation::new_bgp(&net, vec![pfx("10.0.1.0/24")], Some(3), None);
+        sim.run().unwrap();
+        let gw = net.topology.node("GW").unwrap();
+        let r = net.topology.node("R").unwrap();
+        assert!(is_gateway(&mut sim, &net, gw, pfx("10.0.1.0/24")));
+        assert!(!is_gateway(&mut sim, &net, r, pfx("10.0.1.0/24")));
+
+        let rules = fib_rules_for(&mut sim, &net, r, "10.0.1.7".parse().unwrap());
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].action, FibAction::Forward(gw));
+    }
+
+    #[test]
+    fn static_route_outranks_bgp() {
+        let net = line_net();
+        let mut sim = Simulation::new_bgp(&net, vec![pfx("10.9.0.0/16")], Some(3), None);
+        sim.run().unwrap();
+        let r = net.topology.node("R").unwrap();
+        let rules = fib_rules_for(&mut sim, &net, r, "10.9.1.1".parse().unwrap());
+        assert!(!rules.is_empty());
+        assert_eq!(rules[0].pref, 5);
+        assert!(rules[0].cond.is_true());
+    }
+
+    #[test]
+    fn lpm_orders_more_specific_first() {
+        let net = line_net();
+        let mut sim = Simulation::new_bgp(
+            &net,
+            vec![pfx("10.0.0.0/8"), pfx("10.0.1.0/24")],
+            Some(3),
+            None,
+        );
+        // GW announces only 10.0.1.0/24; add a static for /8 at R to get two
+        // matching prefixes.
+        sim.run().unwrap();
+        let r = net.topology.node("R").unwrap();
+        let rules = fib_rules_for(&mut sim, &net, r, "10.0.1.7".parse().unwrap());
+        // All /24 rules come before any /8 rule.
+        let first_8 = rules.iter().position(|r| r.prefix.len() == 8);
+        let last_24 = rules.iter().rposition(|r| r.prefix.len() == 24);
+        if let (Some(f8), Some(l24)) = (first_8, last_24) {
+            assert!(l24 < f8);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! IS-IS support (Appendix C): the IGP is verified by *translating it into a
+//! path-vector protocol* and running the same conditioned propagation engine
+//! used for BGP, with the accumulated link weight as the ranking attribute.
+//!
+//! The result is an [`IsisDb`]: for every (router, destination-router) pair,
+//! the ranked next hops with topology conditions, the unconditioned
+//! shortest-path distance matrix (for the BGP IGP-metric tie-break), and the
+//! reachability condition that iBGP sessions ride on.
+
+use std::collections::HashMap;
+
+use hoyan_logic::{Bdd, BddManager};
+use hoyan_nettypes::NodeId;
+
+use crate::network::NetworkModel;
+use crate::propagate::{SimError, Simulation};
+
+/// One conditioned IS-IS forwarding alternative.
+#[derive(Clone, Debug)]
+pub struct IsisHop {
+    /// Condition under which this alternative exists.
+    pub cond: Bdd,
+    /// The neighbor the packet is forwarded to.
+    pub next_hop: NodeId,
+    /// Accumulated metric of the path this alternative represents.
+    pub metric: u64,
+}
+
+/// Conditioned IS-IS routing state for the whole network.
+pub struct IsisDb {
+    /// Manager owning all conditions in this database.
+    pub mgr: BddManager,
+    reach: HashMap<(u32, u32), Bdd>,
+    hops: HashMap<(u32, u32), Vec<IsisHop>>,
+    /// All-alive distance matrix (`dist[u][v]`), `None` = unreachable.
+    pub dist: Vec<Vec<Option<u64>>>,
+    /// Pruning statistics of the underlying IGP simulation.
+    pub stats: crate::propagate::PruneStats,
+}
+
+impl IsisDb {
+    /// Runs one IGP simulation per destination router (fanned out across
+    /// threads — per-destination propagations are independent, mirroring
+    /// the paper's per-prefix parallelism) and merges the conditioned
+    /// results into one database. `k = None` disables more-than-k pruning.
+    pub fn build(net: &NetworkModel, k: Option<u32>) -> Result<IsisDb, SimError> {
+        let dests: Vec<NodeId> = net.topology.nodes().filter(|n| net.runs_isis(*n)).collect();
+        type DestResult = (NodeId, BddManager, Vec<(NodeId, Bdd, Vec<(Bdd, NodeId, u64)>)>);
+        let results: parking_lot::Mutex<Vec<DestResult>> = parking_lot::Mutex::new(Vec::new());
+        let error: parking_lot::Mutex<Option<SimError>> = parking_lot::Mutex::new(None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(dests.len().max(1));
+        let mut stats = crate::propagate::PruneStats::default();
+        let stats_mutex = parking_lot::Mutex::new(&mut stats);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= dests.len() || error.lock().is_some() {
+                        break;
+                    }
+                    let dest = dests[i];
+                    let mut sim = Simulation::new_igp_for(net, k, &[dest]);
+                    if let Err(e) = sim.run() {
+                        *error.lock() = Some(e);
+                        break;
+                    }
+                    let lp = net.topology.loopback(dest);
+                    let mut rows = Vec::new();
+                    for u in net.topology.nodes() {
+                        if u == dest {
+                            continue;
+                        }
+                        let entries: Vec<(Bdd, NodeId, u64)> = sim
+                            .entries(u, lp)
+                            .iter()
+                            .map(|e| (e.cond, e.from_node.unwrap_or(dest), e.attrs.isis_weight))
+                            .collect();
+                        if entries.is_empty() {
+                            continue;
+                        }
+                        let conds: Vec<Bdd> = entries.iter().map(|(c, _, _)| *c).collect();
+                        let any = sim.mgr.or_all_within(conds, k);
+                        rows.push((u, any, entries));
+                    }
+                    {
+                        let mut st = stats_mutex.lock();
+                        st.delivered += sim.stats.delivered;
+                        st.dropped_policy += sim.stats.dropped_policy;
+                        st.dropped_over_k += sim.stats.dropped_over_k;
+                        st.dropped_impossible += sim.stats.dropped_impossible;
+                    }
+                    results.lock().push((dest, sim.into_mgr(), rows));
+                });
+            }
+        })
+        .expect("isis worker panicked");
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        drop(stats_mutex);
+
+        let mut mgr = BddManager::new();
+        let mut reach = HashMap::new();
+        let mut hops = HashMap::new();
+        let mut results = results.into_inner();
+        results.sort_by_key(|(d, _, _)| d.0);
+        for (dest, src_mgr, rows) in results {
+            for (u, any, entries) in rows {
+                let any = mgr.import(&src_mgr, any);
+                reach.insert((u.0, dest.0), any);
+                let hop_rows: Vec<IsisHop> = entries
+                    .into_iter()
+                    .map(|(c, next_hop, metric)| IsisHop {
+                        cond: mgr.import(&src_mgr, c),
+                        next_hop,
+                        metric,
+                    })
+                    .collect();
+                hops.insert((u.0, dest.0), hop_rows);
+            }
+        }
+        let dist = (0..net.topology.node_count())
+            .map(|i| net.igp_distances(NodeId(i as u32)))
+            .collect();
+        Ok(IsisDb {
+            mgr,
+            reach,
+            hops,
+            dist,
+            stats,
+        })
+    }
+
+    /// Condition under which `u` has an IS-IS route to `v` (TRUE when
+    /// `u == v`, FALSE when no path exists at all).
+    pub fn reach_cond(&self, u: NodeId, v: NodeId) -> Bdd {
+        if u == v {
+            return Bdd::TRUE;
+        }
+        self.reach.get(&(u.0, v.0)).copied().unwrap_or(Bdd::FALSE)
+    }
+
+    /// Ranked conditioned next hops from `u` toward `v` (best first).
+    pub fn hops(&self, u: NodeId, v: NodeId) -> &[IsisHop] {
+        self.hops.get(&(u.0, v.0)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_logic::bdd::INF_FAILURES;
+
+    fn net(texts: &[&str]) -> NetworkModel {
+        let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    /// A(=)B(=)C chain plus a direct A-C backup link with a high metric.
+    fn chain_with_backup() -> NetworkModel {
+        net(&[
+            "hostname A\ninterface e0\n peer B\n link-metric 10\ninterface e1\n peer C\n link-metric 100\nrouter isis\n area 1\n",
+            "hostname B\ninterface e0\n peer A\n link-metric 10\ninterface e1\n peer C\n link-metric 10\nrouter isis\n area 1\n",
+            "hostname C\ninterface e0\n peer A\n link-metric 100\ninterface e1\n peer B\n link-metric 10\nrouter isis\n area 1\n",
+        ])
+    }
+
+    #[test]
+    fn reachability_survives_one_failure_with_backup() {
+        let n = chain_with_backup();
+        let mut db = IsisDb::build(&n, Some(3)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        let c = n.topology.node("C").unwrap();
+        let cond = db.reach_cond(a, c);
+        // Two disjoint paths: need 2 failures to disconnect.
+        assert_eq!(db.mgr.min_failures_to_falsify(cond), 2);
+    }
+
+    #[test]
+    fn best_hop_follows_metric() {
+        let n = chain_with_backup();
+        let db = IsisDb::build(&n, Some(3)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        let b = n.topology.node("B").unwrap();
+        let c = n.topology.node("C").unwrap();
+        let hops = db.hops(a, c);
+        assert!(!hops.is_empty());
+        // Best alternative goes via B with metric 20.
+        assert_eq!(hops[0].next_hop, b);
+        assert_eq!(hops[0].metric, 20);
+        // The direct expensive link is a (worse) alternative.
+        assert!(hops.iter().any(|h| h.next_hop == c && h.metric == 100));
+    }
+
+    #[test]
+    fn distances_match_dijkstra() {
+        let n = chain_with_backup();
+        let db = IsisDb::build(&n, Some(3)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        let c = n.topology.node("C").unwrap();
+        assert_eq!(db.dist[a.0 as usize][c.0 as usize], Some(20));
+    }
+
+    #[test]
+    fn self_reachability_is_true() {
+        let n = chain_with_backup();
+        let db = IsisDb::build(&n, Some(1)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        assert!(db.reach_cond(a, a).is_true());
+    }
+
+    #[test]
+    fn non_isis_node_is_unreachable() {
+        let n = net(&[
+            "hostname A\ninterface e0\n peer B\nrouter isis\n area 1\n",
+            "hostname B\ninterface e0\n peer A\n", // no IS-IS
+        ]);
+        let mut db = IsisDb::build(&n, Some(3)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        let b = n.topology.node("B").unwrap();
+        assert!(db.reach_cond(a, b).is_false());
+        assert_eq!(db.mgr.min_failures_to_falsify(Bdd::TRUE), INF_FAILURES);
+    }
+
+    #[test]
+    fn k_zero_keeps_only_ball_relevant_alternatives() {
+        let n = chain_with_backup();
+        // k=0: the backup alternative only matters under a failure, so the
+        // ball-minimal RIB holds just the primary.
+        let db0 = IsisDb::build(&n, Some(0)).unwrap();
+        let a = n.topology.node("A").unwrap();
+        let c = n.topology.node("C").unwrap();
+        let hops0 = db0.hops(a, c);
+        assert_eq!(hops0.len(), 1);
+        assert_eq!(hops0[0].metric, 20);
+        assert!(db0.stats.dropped_over_k > 0);
+        // k=1: the backup is inside the ball and must be retained.
+        let db1 = IsisDb::build(&n, Some(1)).unwrap();
+        let hops1 = db1.hops(a, c);
+        assert_eq!(hops1.len(), 2);
+    }
+}

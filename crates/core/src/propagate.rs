@@ -1,0 +1,1213 @@
+//! The conditioned route-propagation engine — "global simulation & local
+//! formal modeling" (§5).
+//!
+//! One [`Simulation`] simulates a *family* of related prefixes (prefixes
+//! coupled by aggregation, or all router loopbacks when running IS-IS in
+//! path-vector mode, Appendix C). Every route update and RIB rule carries a
+//! topology condition: a BDD over link-aliveness variables.
+//!
+//! ## Relation to Algorithm 1
+//!
+//! The paper processes a queue of route messages and handles "late higher
+//! priority routes" with an explicit `withdraw()` cascade over the
+//! propagation tree. This implementation computes the same fixpoint with a
+//! *dirty-node worklist*: whenever a node's RIB changes, the node is
+//! reprocessed — its desired outgoing message set (one message per RIB rule
+//! and session, with the rule's is-best condition
+//! `¬R(r₁) ∧ … ∧ ¬R(rᵢ₋₁) ∧ R(rᵢ)`, §5.4 rule (i)) is recomputed and
+//! *diffed* against what was previously sent. Retracting a message removes
+//! the RIB entry it created at the receiver, which dirties the receiver and
+//! cascades exactly like `withdraw()`; re-sent messages carry the amended
+//! conditions. The fixpoint is reached when no node is dirty.
+//!
+//! ## Pruning (§5.6)
+//!
+//! Three optimizations are applied to every attempted message emission, with
+//! counters that regenerate Figure 12:
+//! - **policy**: ingress/egress policy denies, loop checks, advertisement
+//!   rules;
+//! - **impossible**: the condition is the constant `false` BDD;
+//! - **more-than-k**: every satisfying assignment of the condition needs
+//!   more than `k` link failures ([`BddManager::min_failures_to_satisfy`]).
+
+use std::collections::{HashMap, VecDeque};
+
+use hoyan_config::RedistSource;
+use hoyan_device::{Candidate, LearnedFrom, SessionKind};
+use hoyan_logic::{Bdd, BddManager};
+use hoyan_nettypes::{Ipv4Prefix, LinkId, NodeId, Origin, RouteAttrs};
+
+use crate::isis::IsisDb;
+use crate::network::NetworkModel;
+
+/// Conventional weight of locally originated routes.
+pub const LOCAL_WEIGHT: u32 = 32768;
+
+/// Which protocol created a RIB entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Proto {
+    /// BGP (eBGP or iBGP).
+    Bgp,
+    /// IS-IS (path-vector translation).
+    Isis,
+    /// A BGP aggregate generated on this device.
+    Aggregate,
+}
+
+/// Per-category message-drop counters (Figure 12).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Messages delivered into a RIB ("Remain").
+    pub delivered: u64,
+    /// Dropped by ingress/egress policies, loop checks or advertisement
+    /// rules ("Policy").
+    pub dropped_policy: u64,
+    /// Dropped because the condition needs more than `k` failures.
+    pub dropped_over_k: u64,
+    /// Dropped because the condition is unsatisfiable ("Impossible").
+    pub dropped_impossible: u64,
+}
+
+impl PruneStats {
+    /// Total attempted emissions.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.dropped_policy + self.dropped_over_k + self.dropped_impossible
+    }
+}
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The propagation did not converge (policy-induced oscillation).
+    NonConvergence,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NonConvergence => write!(f, "route propagation did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A RIB entry with its topology condition.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Stable identity (message diffing key).
+    pub id: u64,
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Attributes as stored in the RIB (after ingress processing).
+    pub attrs: RouteAttrs,
+    /// The ingress topology condition `R(r)`.
+    pub cond: Bdd,
+    /// How the route was learned.
+    pub learned_from: LearnedFrom,
+    /// The advertising peer (None for local entries).
+    pub from_node: Option<NodeId>,
+    /// The BGP next hop (None = this device is the gateway).
+    pub next_hop: Option<NodeId>,
+    /// IGP metric to the next hop (all links alive), for selection step 8.
+    pub igp_metric: u64,
+    /// Advertising peer's router id, for the final tie-break.
+    pub peer_router_id: u32,
+    /// iBGP reflection hops taken (cluster-list-length proxy).
+    pub ibgp_hops: u32,
+    /// The protocol that produced the entry.
+    pub proto: Proto,
+    /// Devices the route has traversed (loop prevention).
+    pub path: Vec<NodeId>,
+}
+
+impl Entry {
+    fn candidate(&self) -> Candidate {
+        Candidate {
+            attrs: self.attrs.clone(),
+            from_ebgp: matches!(self.learned_from, LearnedFrom::Ebgp | LearnedFrom::Local),
+            igp_metric: self.igp_metric,
+            ibgp_hops: self.ibgp_hops,
+            peer_router_id: self.peer_router_id,
+        }
+    }
+}
+
+/// A read-only view of a RIB rule with its *effective* condition
+/// (aggregation suppression applied).
+#[derive(Clone, Debug)]
+pub struct RibView {
+    /// Destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Attributes.
+    pub attrs: RouteAttrs,
+    /// Effective topology condition.
+    pub cond: Bdd,
+    /// Advertising peer.
+    pub from_node: Option<NodeId>,
+    /// BGP next hop.
+    pub next_hop: Option<NodeId>,
+    /// Producing protocol.
+    pub proto: Proto,
+    /// How the route was learned.
+    pub learned_from: LearnedFrom,
+    /// Rank in the RIB (0 = best).
+    pub rank: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ChannelKind {
+    Ebgp(usize),
+    Ibgp(usize),
+    Igp,
+}
+
+#[derive(Clone, Debug)]
+struct Channel {
+    peer: NodeId,
+    link: Option<LinkId>,
+    kind: ChannelKind,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+struct MsgKey {
+    from: u32,
+    channel: u32,
+    entry: u64,
+}
+
+type DesiredMsg = (Bdd, RouteAttrs, Option<NodeId>, Ipv4Prefix, Vec<NodeId>, u32);
+
+#[derive(Clone, Debug)]
+struct SentMsg {
+    cond: Bdd,
+    attrs: RouteAttrs,
+    next_hop: Option<NodeId>,
+    receiver: NodeId,
+    prefix: Ipv4Prefix,
+    path: Vec<NodeId>,
+    ibgp_hops: u32,
+    receiver_entry: Option<u64>,
+}
+
+/// Mode of a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// BGP over the session graph (with iBGP conditions from IS-IS).
+    Bgp,
+    /// IS-IS as a path-vector protocol over IGP adjacencies (Appendix C).
+    Igp,
+}
+
+/// A conditioned simulation of one prefix family.
+pub struct Simulation<'n> {
+    net: &'n NetworkModel,
+    /// The BDD manager owning all conditions of this simulation.
+    pub mgr: BddManager,
+    mode: Mode,
+    k: Option<u32>,
+    prefixes: Vec<Ipv4Prefix>,
+    channels: Vec<Vec<Channel>>,
+    ribs: HashMap<(u32, Ipv4Prefix), Vec<Entry>>,
+    sent: HashMap<(u32, Ipv4Prefix), HashMap<MsgKey, SentMsg>>,
+    dirty: VecDeque<(u32, Ipv4Prefix)>,
+    in_dirty: std::collections::HashSet<(u32, Ipv4Prefix)>,
+    next_entry_id: u64,
+    agg_entry_ids: HashMap<(u32, Ipv4Prefix), u64>,
+    session_conds: HashMap<(u32, u32), Bdd>,
+    igp_dist: Vec<Vec<Option<u64>>>,
+    isis_db: Option<&'n IsisDb>,
+    /// Drop/delivery counters.
+    pub stats: PruneStats,
+    /// Largest condition (BDD node count) seen on any message or rule —
+    /// the Figure 11 metric.
+    pub max_cond_size: usize,
+}
+
+impl<'n> Simulation<'n> {
+    /// A BGP simulation of `prefixes` under failure budget `k`
+    /// (`None` = unbounded). `isis` supplies iBGP session conditions and
+    /// IGP metrics; without it, iBGP sessions are assumed always-up.
+    pub fn new_bgp(
+        net: &'n NetworkModel,
+        prefixes: Vec<Ipv4Prefix>,
+        k: Option<u32>,
+        isis: Option<&'n IsisDb>,
+    ) -> Self {
+        let channels = (0..net.topology.node_count() as u32)
+            .map(|i| {
+                net.sessions_of(NodeId(i))
+                    .iter()
+                    .map(|s| Channel {
+                        peer: s.peer,
+                        link: s.link,
+                        kind: match s.kind {
+                            SessionKind::Ebgp => ChannelKind::Ebgp(s.neighbor_idx),
+                            SessionKind::Ibgp => ChannelKind::Ibgp(s.neighbor_idx),
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::new_inner(net, prefixes, k, Mode::Bgp, channels, isis)
+    }
+
+    /// An IS-IS path-vector simulation over all router loopbacks.
+    pub fn new_igp(net: &'n NetworkModel, k: Option<u32>) -> Self {
+        let dests: Vec<NodeId> = net.topology.nodes().filter(|n| net.runs_isis(*n)).collect();
+        Self::new_igp_for(net, k, &dests)
+    }
+
+    /// An IS-IS path-vector simulation restricted to the loopbacks of
+    /// `dests` (per-destination simulations are independent, so
+    /// [`crate::isis::IsisDb`] fans them out across threads exactly like
+    /// per-prefix BGP simulations).
+    pub fn new_igp_for(net: &'n NetworkModel, k: Option<u32>, dests: &[NodeId]) -> Self {
+        let prefixes = dests
+            .iter()
+            .filter(|n| net.runs_isis(**n))
+            .map(|n| net.topology.loopback(*n))
+            .collect();
+        let channels = (0..net.topology.node_count() as u32)
+            .map(|i| {
+                let n = NodeId(i);
+                net.topology
+                    .neighbors(n)
+                    .iter()
+                    .filter(|(peer, _)| net.isis_adjacency(n, *peer))
+                    .map(|(peer, link)| Channel {
+                        peer: *peer,
+                        link: Some(*link),
+                        kind: ChannelKind::Igp,
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::new_inner(net, prefixes, k, Mode::Igp, channels, None)
+    }
+
+    fn new_inner(
+        net: &'n NetworkModel,
+        prefixes: Vec<Ipv4Prefix>,
+        k: Option<u32>,
+        mode: Mode,
+        channels: Vec<Vec<Channel>>,
+        isis_db: Option<&'n IsisDb>,
+    ) -> Self {
+        let n = net.topology.node_count();
+        let igp_dist = if mode == Mode::Bgp {
+            (0..n).map(|i| net.igp_distances(NodeId(i as u32))).collect()
+        } else {
+            Vec::new()
+        };
+        Simulation {
+            net,
+            mgr: BddManager::new(),
+            mode,
+            k,
+            prefixes,
+            channels,
+            ribs: HashMap::new(),
+            sent: HashMap::new(),
+            dirty: VecDeque::new(),
+            in_dirty: std::collections::HashSet::new(),
+            next_entry_id: 0,
+            agg_entry_ids: HashMap::new(),
+            session_conds: HashMap::new(),
+            igp_dist,
+            isis_db,
+            stats: PruneStats::default(),
+            max_cond_size: 0,
+        }
+    }
+
+    /// The simulated prefixes.
+    pub fn prefixes(&self) -> &[Ipv4Prefix] {
+        &self.prefixes
+    }
+
+    /// Consumes the simulation, keeping only the BDD manager (used when the
+    /// extracted conditions outlive the simulation, as in [`crate::isis`]).
+    pub fn into_mgr(self) -> BddManager {
+        self.mgr
+    }
+
+    /// All route updates currently in flight: `(from, to, prefix, attrs,
+    /// condition)`. The behavior-model tuner compares these against the
+    /// oracle's updates to localize VSBs *between* devices (§6's use of BGP
+    /// monitoring beyond ext-RIBs).
+    pub fn updates(&self) -> Vec<(NodeId, NodeId, Ipv4Prefix, RouteAttrs, Bdd)> {
+        self.sent
+            .iter()
+            .flat_map(|((from, _prefix), msgs)| {
+                msgs.values().map(|m| {
+                    (
+                        NodeId(*from),
+                        m.receiver,
+                        m.prefix,
+                        m.attrs.clone(),
+                        m.cond,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn fresh_entry_id(&mut self) -> u64 {
+        let id = self.next_entry_id;
+        self.next_entry_id += 1;
+        id
+    }
+
+    /// Marks `(node, prefix)` for reprocessing. Aggregation couples
+    /// prefixes: a change to a contributor also dirties the covering
+    /// aggregate and its siblings (their suppression conditions depend on
+    /// the trigger).
+    fn mark_dirty(&mut self, n: NodeId, prefix: Ipv4Prefix) {
+        if self.in_dirty.insert((n.0, prefix)) {
+            self.dirty.push_back((n.0, prefix));
+        }
+        if self.mode != Mode::Bgp {
+            return;
+        }
+        let Some(bgp) = self.net.device(n).config.bgp.as_ref() else {
+            return;
+        };
+        let coupled: Vec<Ipv4Prefix> = bgp
+            .aggregates
+            .iter()
+            .filter(|a| a.prefix != prefix && a.prefix.contains(prefix))
+            .flat_map(|a| {
+                let mut v = vec![a.prefix];
+                v.extend(
+                    self.prefixes
+                        .iter()
+                        .copied()
+                        .filter(|q| *q != prefix && *q != a.prefix && a.prefix.contains(*q)),
+                );
+                v
+            })
+            .collect();
+        for q in coupled {
+            if self.in_dirty.insert((n.0, q)) {
+                self.dirty.push_back((n.0, q));
+            }
+        }
+    }
+
+    fn note_cond(&mut self, cond: Bdd) {
+        let size = self.mgr.size(cond);
+        if size > self.max_cond_size {
+            self.max_cond_size = size;
+        }
+    }
+
+    /// Seeds origin routes and runs the propagation to fixpoint.
+    pub fn run(&mut self) -> Result<(), SimError> {
+        self.seed();
+        let cap = 500usize
+            * self.net.topology.node_count().max(1)
+            * self.prefixes.len().max(1);
+        let debug = std::env::var_os("HOYAN_SIM_DEBUG").is_some();
+        let mut steps = 0usize;
+        while let Some((u, prefix)) = self.dirty.pop_front() {
+            self.in_dirty.remove(&(u, prefix));
+            self.process_node_prefix(NodeId(u), prefix);
+            steps += 1;
+            if debug && steps % 200 == 0 {
+                let entries: usize = self.ribs.values().map(|v| v.len()).sum();
+                let max_rib = self.ribs.values().map(|v| v.len()).max().unwrap_or(0);
+                let max_path = self
+                    .ribs
+                    .values()
+                    .flat_map(|v| v.iter().map(|e| e.path.len()))
+                    .max()
+                    .unwrap_or(0);
+                eprintln!(
+                    "sim step {steps}: queue={} entries={} max_rib={} max_path={} mgr_nodes={} ops={} delivered={}",
+                    self.dirty.len(),
+                    entries,
+                    max_rib,
+                    max_path,
+                    self.mgr.node_count(),
+                    self.mgr.ops,
+                    self.stats.delivered
+                );
+            }
+            if steps > cap {
+                return Err(SimError::NonConvergence);
+            }
+        }
+        Ok(())
+    }
+
+    fn seed(&mut self) {
+        match self.mode {
+            Mode::Igp => {
+                for n in self.net.topology.nodes() {
+                    if !self.net.runs_isis(n) {
+                        continue;
+                    }
+                    let prefix = self.net.topology.loopback(n);
+                    if !self.prefixes.contains(&prefix) {
+                        continue;
+                    }
+                    let entry = Entry {
+                        id: self.fresh_entry_id(),
+                        prefix,
+                        attrs: RouteAttrs::default(),
+                        cond: Bdd::TRUE,
+                        learned_from: LearnedFrom::Local,
+                        from_node: None,
+                        next_hop: None,
+                        igp_metric: 0,
+                        peer_router_id: self.net.device(n).config.router_id,
+                        ibgp_hops: 0,
+                        proto: Proto::Isis,
+                        path: vec![n],
+                    };
+                    self.insert_entry(n, entry);
+                    self.mark_dirty(n, prefix);
+                }
+            }
+            Mode::Bgp => {
+                for n in self.net.topology.nodes() {
+                    let dev = self.net.device(n);
+                    let Some(bgp) = dev.config.bgp.as_ref() else {
+                        continue;
+                    };
+                    let prefixes = self.prefixes.clone();
+                    for p in prefixes {
+                        let mut seeds: Vec<RouteAttrs> = Vec::new();
+                        if bgp.networks.contains(&p) {
+                            let mut attrs = RouteAttrs::originated();
+                            attrs.weight = LOCAL_WEIGHT;
+                            seeds.push(attrs);
+                        }
+                        let redistributes_static = bgp
+                            .redistribute
+                            .iter()
+                            .any(|r| *r == RedistSource::Static);
+                        if redistributes_static
+                            && dev.config.static_routes.iter().any(|s| s.prefix == p)
+                            && dev.redistribution_admits(p)
+                        {
+                            let mut attrs = RouteAttrs::originated();
+                            attrs.weight = LOCAL_WEIGHT;
+                            attrs.origin = Origin::Incomplete;
+                            seeds.push(attrs);
+                        }
+                        for attrs in seeds {
+                            let entry = Entry {
+                                id: self.fresh_entry_id(),
+                                prefix: p,
+                                attrs,
+                                cond: Bdd::TRUE,
+                                learned_from: LearnedFrom::Local,
+                                from_node: None,
+                                next_hop: None,
+                                igp_metric: 0,
+                                peer_router_id: dev.config.router_id,
+                                ibgp_hops: 0,
+                                proto: Proto::Bgp,
+                                path: vec![n],
+                            };
+                            self.insert_entry(n, entry);
+                            self.mark_dirty(n, p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts an entry at its rank, keeping the RIB *ball-minimal*: an
+    /// entry whose condition is already covered — within the `≤ k`-failure
+    /// ball — by higher-ranked rules can never be best in any considered
+    /// scenario, so it is not stored (its message stays dormant and is
+    /// retried if coverage later shrinks). Returns `false` for such drops.
+    ///
+    /// This is the RIB-side face of the §5.6 pruning and what the paper's
+    /// Figure 12 calls branches "cut due to larger-than-k": only ~2% of
+    /// branches survive propagation on their WAN.
+    fn insert_entry(&mut self, node: NodeId, entry: Entry) -> bool {
+        let prefix = entry.prefix;
+        let rib = self.ribs.entry((node.0, prefix)).or_default();
+        let cand = entry.candidate();
+        // Decision-process order first; ties broken on route *content*
+        // (attributes, then provenance) so the converged RIB order is
+        // independent of message delivery order.
+        let pos = rib
+            .iter()
+            .position(|e| {
+                hoyan_device::cmp_candidates(&cand, &e.candidate())
+                    .then_with(|| entry.attrs.cmp(&e.attrs))
+                    .then_with(|| entry.from_node.cmp(&e.from_node))
+                    .then_with(|| entry.path.cmp(&e.path))
+                    == std::cmp::Ordering::Less
+            })
+            .unwrap_or(rib.len());
+        if let Some(k) = self.k {
+            let higher: Vec<Bdd> = rib[..pos].iter().map(|e| e.cond).collect();
+            let covered = self.mgr.or_all_within(higher, Some(k));
+            let novel = self.mgr.and_not(entry.cond, covered);
+            if novel.is_false() || self.mgr.min_failures_to_satisfy(novel) > k {
+                self.stats.dropped_over_k += 1;
+                return false;
+            }
+        }
+        self.ribs
+            .entry((node.0, prefix))
+            .or_default()
+            .insert(pos, entry);
+        self.sweep_covered(node, prefix);
+        true
+    }
+
+    /// Removes lower-ranked entries that became covered within the failure
+    /// ball (top-down greedy pass, deterministic in the ranked content).
+    /// Local seeds and aggregates are never swept (their lifecycles are
+    /// owned by seeding and aggregation).
+    fn sweep_covered(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        let Some(k) = self.k else {
+            return;
+        };
+        let Some(rib) = self.ribs.get(&(node.0, prefix)) else {
+            return;
+        };
+        let snapshot: Vec<(u64, Bdd, bool)> = rib
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    e.cond,
+                    e.from_node.is_none() || e.proto == Proto::Aggregate,
+                )
+            })
+            .collect();
+        let mut acc = Bdd::FALSE;
+        let mut removed = Vec::new();
+        for (id, cond, keep_always) in snapshot {
+            if !keep_always && !acc.is_false() {
+                let novel = self.mgr.and_not(cond, acc);
+                if novel.is_false() || self.mgr.min_failures_to_satisfy(novel) > k {
+                    removed.push(id);
+                    continue;
+                }
+            }
+            acc = self.mgr.or(acc, cond);
+            if !acc.is_true() && self.mgr.min_failures_to_falsify(acc) > k {
+                acc = Bdd::TRUE;
+            }
+        }
+        for id in removed {
+            self.stats.dropped_over_k += 1;
+            self.remove_entry(node, prefix, id);
+        }
+    }
+
+    fn remove_entry(&mut self, node: NodeId, prefix: Ipv4Prefix, entry_id: u64) {
+        let mut removed = false;
+        if let Some(rib) = self.ribs.get_mut(&(node.0, prefix)) {
+            let before = rib.len();
+            rib.retain(|e| e.id != entry_id);
+            removed = rib.len() != before;
+        }
+        if removed {
+            // The node must recompute its announcements, and its peers must
+            // retry messages that were dropped as ball-covered when the
+            // removed entry still provided the coverage.
+            self.mark_dirty(node, prefix);
+            let peers: Vec<NodeId> = self.channels[node.0 as usize]
+                .iter()
+                .map(|c| c.peer)
+                .collect();
+            for p in peers {
+                self.mark_dirty(p, prefix);
+            }
+        }
+    }
+
+    /// The iBGP session condition between `u` and `v`: both directions of
+    /// IS-IS reachability, imported into this simulation's manager.
+    fn session_cond(&mut self, u: NodeId, v: NodeId) -> Bdd {
+        let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        if let Some(&c) = self.session_conds.get(&key) {
+            return c;
+        }
+        let c = match self.isis_db {
+            None => Bdd::TRUE,
+            Some(db) => {
+                let fwd = db.reach_cond(u, v);
+                let back = db.reach_cond(v, u);
+                let fwd = self.mgr.import(&db.mgr, fwd);
+                let back = self.mgr.import(&db.mgr, back);
+                self.mgr.and(fwd, back)
+            }
+        };
+        self.session_conds.insert(key, c);
+        c
+    }
+
+    /// Aggregation state at `node` for `agg_prefix`: the trigger condition
+    /// (all contributing simulated prefixes present, §5.3) and the list of
+    /// contributing prefixes.
+    fn aggregate_trigger(&mut self, node: NodeId, agg_prefix: Ipv4Prefix) -> (Bdd, Vec<Ipv4Prefix>) {
+        let mut contributors = Vec::new();
+        let mut trigger = Bdd::TRUE;
+        let prefixes = self.prefixes.clone();
+        for p in prefixes {
+            if p == agg_prefix || !agg_prefix.contains(p) {
+                continue;
+            }
+            let present = self.prefix_present_cond(node, p);
+            if present.is_false() {
+                continue;
+            }
+            contributors.push(p);
+            trigger = self.mgr.and(trigger, present);
+        }
+        if contributors.is_empty() {
+            (Bdd::FALSE, contributors)
+        } else {
+            (trigger, contributors)
+        }
+    }
+
+    /// Condition that at least one non-aggregate entry for `p` exists at
+    /// `node`.
+    fn prefix_present_cond(&mut self, node: NodeId, p: Ipv4Prefix) -> Bdd {
+        let conds: Vec<Bdd> = self
+            .ribs
+            .get(&(node.0, p))
+            .map(|rib| {
+                rib.iter()
+                    .filter(|e| e.proto != Proto::Aggregate)
+                    .map(|e| e.cond)
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.mgr.or_all(conds)
+    }
+
+    /// Recomputes the aggregate entry at `node` for `prefix`, if `prefix`
+    /// is a configured aggregate there (stable entry ids).
+    fn refresh_aggregates_for(&mut self, node: NodeId, prefix: Ipv4Prefix) {
+        if self.mode != Mode::Bgp {
+            return;
+        }
+        let dev = self.net.device(node);
+        let Some(bgp) = dev.config.bgp.as_ref() else {
+            return;
+        };
+        let aggs: Vec<(Ipv4Prefix, bool)> = bgp
+            .aggregates
+            .iter()
+            .filter(|a| a.prefix == prefix)
+            .map(|a| (a.prefix, a.summary_only))
+            .collect();
+        let router_id = dev.config.router_id;
+        for (agg_prefix, _summary_only) in aggs {
+            if !self.prefixes.contains(&agg_prefix) {
+                continue;
+            }
+            let (trigger, contributors) = self.aggregate_trigger(node, agg_prefix);
+            let existing_id = self.agg_entry_ids.get(&(node.0, agg_prefix)).copied();
+            if trigger.is_false() || contributors.is_empty() {
+                if let Some(id) = existing_id {
+                    self.remove_entry(node, agg_prefix, id);
+                    self.agg_entry_ids.remove(&(node.0, agg_prefix));
+                }
+                continue;
+            }
+            match existing_id {
+                Some(id) => {
+                    if let Some(rib) = self.ribs.get_mut(&(node.0, agg_prefix)) {
+                        if let Some(e) = rib.iter_mut().find(|e| e.id == id) {
+                            e.cond = trigger;
+                        }
+                    }
+                }
+                None => {
+                    let mut attrs = RouteAttrs::originated();
+                    attrs.weight = LOCAL_WEIGHT;
+                    attrs.origin = Origin::Incomplete;
+                    let id = self.fresh_entry_id();
+                    let entry = Entry {
+                        id,
+                        prefix: agg_prefix,
+                        attrs,
+                        cond: trigger,
+                        learned_from: LearnedFrom::Local,
+                        from_node: None,
+                        next_hop: None,
+                        igp_metric: 0,
+                        peer_router_id: router_id,
+                        ibgp_hops: 0,
+                        proto: Proto::Aggregate,
+                        path: vec![node],
+                    };
+                    self.agg_entry_ids.insert((node.0, agg_prefix), id);
+                    self.insert_entry(node, entry);
+                }
+            }
+        }
+    }
+
+    /// The suppression condition for sub-prefix `p` at `node`: the
+    /// disjunction of triggers of summary-only aggregates covering `p`
+    /// (§5.3 makes the aggregate and its contributors mutually exclusive).
+    fn suppression_cond(&mut self, node: NodeId, p: Ipv4Prefix) -> Bdd {
+        if self.mode != Mode::Bgp {
+            return Bdd::FALSE;
+        }
+        let Some(bgp) = self.net.device(node).config.bgp.as_ref() else {
+            return Bdd::FALSE;
+        };
+        let aggs: Vec<Ipv4Prefix> = bgp
+            .aggregates
+            .iter()
+            .filter(|a| a.summary_only && a.prefix != p && a.prefix.contains(p))
+            .map(|a| a.prefix)
+            .collect();
+        let mut cond = Bdd::FALSE;
+        for a in aggs {
+            if !self.prefixes.contains(&a) {
+                continue;
+            }
+            let (trigger, _) = self.aggregate_trigger(node, a);
+            cond = self.mgr.or(cond, trigger);
+        }
+        cond
+    }
+
+    /// Effective condition of an entry: raw condition minus aggregation
+    /// suppression.
+    fn effective_cond(&mut self, node: NodeId, e: &Entry) -> Bdd {
+        if e.proto == Proto::Aggregate {
+            return e.cond;
+        }
+        let sup = self.suppression_cond(node, e.prefix);
+        self.mgr.and_not(e.cond, sup)
+    }
+
+    /// The ranked RIB of `node` for `prefix`, with effective conditions.
+    pub fn rib(&mut self, node: NodeId, prefix: Ipv4Prefix) -> Vec<RibView> {
+        let entries: Vec<Entry> = self
+            .ribs
+            .get(&(node.0, prefix))
+            .cloned()
+            .unwrap_or_default();
+        entries
+            .iter()
+            .enumerate()
+            .map(|(rank, e)| RibView {
+                prefix: e.prefix,
+                attrs: e.attrs.clone(),
+                cond: self.effective_cond(node, e),
+                from_node: e.from_node,
+                next_hop: e.next_hop,
+                proto: e.proto,
+                learned_from: e.learned_from,
+                rank,
+            })
+            .collect()
+    }
+
+    /// Condition under which at least one route for `prefix` exists at
+    /// `node` — the `V` of §5.4's availability check.
+    /// Saturates at the simulation's failure budget: when the disjunction
+    /// cannot be falsified by `≤ k` failures it is reported as `TRUE`
+    /// (reachability is then resilient; exact break distances beyond the
+    /// budget are outside the simulation's contract anyway, §5.6).
+    pub fn reach_cond(&mut self, node: NodeId, prefix: Ipv4Prefix) -> Bdd {
+        let conds: Vec<Bdd> = self
+            .rib(node, prefix)
+            .into_iter()
+            .map(|v| v.cond)
+            .collect();
+        let k = self.k;
+        self.mgr.or_all_within(conds, k)
+    }
+
+    /// The exact (unsaturated) reachability disjunction — used when the
+    /// formula itself is the object of study (the Figure 13 length metric),
+    /// not just its within-budget verdict.
+    pub fn reach_cond_exact(&mut self, node: NodeId, prefix: Ipv4Prefix) -> Bdd {
+        let conds: Vec<Bdd> = self
+            .rib(node, prefix)
+            .into_iter()
+            .map(|v| v.cond)
+            .collect();
+        self.mgr.or_all(conds)
+    }
+
+    /// Raw entries (internal views used by FIB construction).
+    pub fn entries(&self, node: NodeId, prefix: Ipv4Prefix) -> &[Entry] {
+        self.ribs
+            .get(&(node.0, prefix))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn process_node_prefix(&mut self, u: NodeId, prefix: Ipv4Prefix) {
+        self.refresh_aggregates_for(u, prefix);
+        let channels = self.channels[u.0 as usize].clone();
+
+        // Desired message set for this prefix.
+        let mut desired: HashMap<MsgKey, DesiredMsg> = HashMap::new();
+        let entries: Vec<Entry> = self
+            .ribs
+            .get(&(u.0, prefix))
+            .cloned()
+            .unwrap_or_default();
+        if !entries.is_empty() {
+            // Cumulative is-best chain over effective conditions, with the
+            // §5.6 pruning applied *inside* the chain: the moment the
+            // accumulated negation `¬R(r₁)∧…∧¬R(rᵢ)` already requires more
+            // than `k` failures, every lower-ranked rule's announcement is
+            // out of consideration — cut the whole branch without building
+            // its (potentially large) condition.
+            let mut best_conds: Vec<Bdd> = Vec::with_capacity(entries.len());
+            // acc = disjunction of higher-ranked effective conditions,
+            // saturated to TRUE once it cannot be falsified within the
+            // failure budget (every lower-ranked rule is then never-best in
+            // any considered scenario).
+            let mut acc = Bdd::FALSE;
+            for e in &entries {
+                if acc.is_true() {
+                    self.stats.dropped_over_k += channels.len() as u64;
+                    best_conds.push(Bdd::FALSE);
+                    continue;
+                }
+                let eff = self.effective_cond(u, e);
+                let is_best = self.mgr.and_not(eff, acc);
+                best_conds.push(is_best);
+                acc = self.mgr.or(acc, eff);
+                if let Some(k) = self.k {
+                    if !acc.is_true() && self.mgr.min_failures_to_falsify(acc) > k {
+                        acc = Bdd::TRUE;
+                    }
+                }
+            }
+            for (ci, ch) in channels.iter().enumerate() {
+                for (e, is_best) in entries.iter().zip(&best_conds) {
+                    if is_best.is_false() {
+                        continue; // never best (or pruned): nothing to send
+                    }
+                    // Split horizon: never send a route back to its source.
+                    if e.from_node == Some(ch.peer) {
+                        continue;
+                    }
+                    // Loop prevention: the peer already relayed this route.
+                    if e.path.contains(&ch.peer) {
+                        continue;
+                    }
+                    let emitted = self.emit(u, ch, ci, e, *is_best);
+                    if let Some((key, val)) = emitted {
+                        desired.insert(key, val);
+                    }
+                }
+            }
+        }
+
+        // Diff against previously sent messages from (u, prefix).
+        let mut old_keys: Vec<MsgKey> = self
+            .sent
+            .get(&(u.0, prefix))
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        old_keys.sort();
+        for key in old_keys {
+            match desired.remove(&key) {
+                None => {
+                    // Retract.
+                    let old = self
+                        .sent
+                        .get_mut(&(u.0, prefix))
+                        .and_then(|m| m.remove(&key))
+                        .expect("key exists");
+                    if let Some(entry_id) = old.receiver_entry {
+                        self.remove_entry(old.receiver, old.prefix, entry_id);
+                        self.mark_dirty(old.receiver, old.prefix);
+                    }
+                }
+                Some((cond, attrs, next_hop, msg_prefix, path, hops)) => {
+                    let old = self
+                        .sent
+                        .get(&(u.0, prefix))
+                        .and_then(|m| m.get(&key))
+                        .expect("key exists");
+                    if old.cond == cond
+                        && old.attrs == attrs
+                        && old.next_hop == next_hop
+                        && old.receiver_entry.is_some()
+                    {
+                        continue; // unchanged and delivered
+                    }
+                    if old.cond == cond && old.attrs == attrs && old.next_hop == next_hop {
+                        // Unchanged but dormant (dropped as ball-covered):
+                        // retry now that the receiver's coverage may have
+                        // shrunk.
+                        let receiver = old.receiver;
+                        let channel_kind = self.channel_kind_of(u, key.channel);
+                        let (path_o, hops_o) = (old.path.clone(), old.ibgp_hops);
+                        let receiver_entry = self.deliver(
+                            u, receiver, channel_kind, prefix, &attrs, cond, next_hop,
+                            &path_o, hops_o,
+                        );
+                        if let Some(m) = self
+                            .sent
+                            .get_mut(&(u.0, prefix))
+                            .and_then(|m| m.get_mut(&key))
+                        {
+                            m.receiver_entry = receiver_entry;
+                        }
+                        if receiver_entry.is_some() {
+                            self.mark_dirty(receiver, prefix);
+                        }
+                        continue;
+                    }
+                    // Changed: retract then redeliver.
+                    let old = self
+                        .sent
+                        .get_mut(&(u.0, prefix))
+                        .and_then(|m| m.remove(&key))
+                        .expect("key exists");
+                    if let Some(entry_id) = old.receiver_entry {
+                        self.remove_entry(old.receiver, old.prefix, entry_id);
+                    }
+                    let receiver = old.receiver;
+                    let channel_kind = self.channel_kind_of(u, key.channel);
+                    let receiver_entry = self.deliver(
+                        u,
+                        receiver,
+                        channel_kind,
+                        msg_prefix,
+                        &attrs,
+                        cond,
+                        next_hop,
+                        &path,
+                        hops,
+                    );
+                    self.sent.entry((u.0, prefix)).or_default().insert(
+                        key,
+                        SentMsg {
+                            cond,
+                            attrs,
+                            next_hop,
+                            receiver,
+                            prefix: msg_prefix,
+                            path,
+                            ibgp_hops: hops,
+                            receiver_entry,
+                        },
+                    );
+                    self.mark_dirty(receiver, msg_prefix);
+                }
+            }
+        }
+        // Brand-new messages, in deterministic key order.
+        let mut new_msgs: Vec<(MsgKey, DesiredMsg)> = desired.into_iter().collect();
+        new_msgs.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, (cond, attrs, next_hop, msg_prefix, path, hops)) in new_msgs {
+            let ch = self.channels[u.0 as usize][key.channel as usize].clone();
+            let receiver = ch.peer;
+            let receiver_entry = self.deliver(
+                u, receiver, ch.kind, msg_prefix, &attrs, cond, next_hop, &path, hops,
+            );
+            self.sent.entry((u.0, prefix)).or_default().insert(
+                key,
+                SentMsg {
+                    cond,
+                    attrs,
+                    next_hop,
+                    receiver,
+                    prefix: msg_prefix,
+                    path,
+                    ibgp_hops: hops,
+                    receiver_entry,
+                },
+            );
+            self.mark_dirty(receiver, msg_prefix);
+        }
+    }
+
+    fn channel_kind_of(&self, u: NodeId, channel: u32) -> ChannelKind {
+        self.channels[u.0 as usize][channel as usize].kind
+    }
+
+    /// Computes the outgoing message for entry `e` over channel `ch`, with
+    /// pruning. Returns `None` when the message is dropped (stats updated).
+    #[allow(clippy::type_complexity)]
+    fn emit(
+        &mut self,
+        u: NodeId,
+        ch: &Channel,
+        channel_idx: usize,
+        e: &Entry,
+        is_best: Bdd,
+    ) -> Option<(MsgKey, DesiredMsg)> {
+        let dev = self.net.device(u);
+        let (attrs_out, next_hop, attach_cond) = match ch.kind {
+            ChannelKind::Igp => {
+                let link = ch.link.expect("IGP channels are links");
+                let mut attrs = e.attrs.clone();
+                attrs.isis_weight = attrs
+                    .isis_weight
+                    .saturating_add(self.net.topology.metric_from(u, link) as u64);
+                let link_var = self.mgr.var(link.0);
+                (attrs, Some(u), link_var)
+            }
+            ChannelKind::Ebgp(ni) | ChannelKind::Ibgp(ni) => {
+                let kind = match ch.kind {
+                    ChannelKind::Ebgp(_) => SessionKind::Ebgp,
+                    _ => SessionKind::Ibgp,
+                };
+                let neighbor = &dev.config.bgp.as_ref().expect("bgp channel").neighbors[ni];
+                // Advertisement rules (iBGP reflection etc.).
+                if !dev.may_advertise(e.learned_from, kind, neighbor) {
+                    return None; // not an error, simply not advertised
+                }
+                let Some(egress) = dev.control_egress(neighbor, kind, e.prefix, &e.attrs) else {
+                    self.stats.dropped_policy += 1;
+                    return None;
+                };
+                let next_hop = if egress.next_hop_self {
+                    Some(u)
+                } else {
+                    e.next_hop.or(Some(u))
+                };
+                let attach = match kind {
+                    SessionKind::Ebgp => {
+                        let link = ch.link.expect("ebgp needs a link");
+                        self.mgr.var(link.0)
+                    }
+                    SessionKind::Ibgp => self.session_cond(u, ch.peer),
+                };
+                (egress.attrs, next_hop, attach)
+            }
+        };
+
+        let cond = self.mgr.and(is_best, attach_cond);
+        if cond.is_false() {
+            self.stats.dropped_impossible += 1;
+            return None;
+        }
+        if let Some(k) = self.k {
+            if self.mgr.min_failures_to_satisfy(cond) > k {
+                self.stats.dropped_over_k += 1;
+                return None;
+            }
+        }
+        self.note_cond(cond);
+        let mut path = e.path.clone();
+        path.push(ch.peer);
+        let key = MsgKey {
+            from: u.0,
+            channel: channel_idx as u32,
+            entry: e.id,
+        };
+        // Cluster-list proxy: grows by one per iBGP hop.
+        let hops = match ch.kind {
+            ChannelKind::Ibgp(_) => e.ibgp_hops + 1,
+            _ => 0,
+        };
+        Some((key, (cond, attrs_out, next_hop, e.prefix, path, hops)))
+    }
+
+    /// Receiver-side processing: ingress policy, then RIB insertion.
+    /// Returns the created entry id, or `None` if dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: ChannelKind,
+        prefix: Ipv4Prefix,
+        attrs: &RouteAttrs,
+        cond: Bdd,
+        next_hop: Option<NodeId>,
+        path: &[NodeId],
+        ibgp_hops: u32,
+    ) -> Option<u64> {
+        // A node relaying a route it already relayed = loop.
+        if path[..path.len() - 1].contains(&to) {
+            self.stats.dropped_policy += 1;
+            return None;
+        }
+        let dev = self.net.device(to);
+        let (attrs_in, learned_from) = match kind {
+            ChannelKind::Igp => (attrs.clone(), LearnedFrom::Local),
+            ChannelKind::Ebgp(_) | ChannelKind::Ibgp(_) => {
+                let session_kind = match kind {
+                    ChannelKind::Ebgp(_) => SessionKind::Ebgp,
+                    _ => SessionKind::Ibgp,
+                };
+                // Find the receiver's neighbor block for the sender.
+                let from_name = self.net.topology.name(from);
+                let Some(neighbor) = dev
+                    .config
+                    .bgp
+                    .as_ref()
+                    .and_then(|b| b.neighbor(from_name))
+                else {
+                    self.stats.dropped_policy += 1;
+                    return None;
+                };
+                let Some(a) = dev.control_ingress(neighbor, session_kind, prefix, attrs) else {
+                    self.stats.dropped_policy += 1;
+                    return None;
+                };
+                let lf = match session_kind {
+                    SessionKind::Ebgp => LearnedFrom::Ebgp,
+                    SessionKind::Ibgp => {
+                        if neighbor.rr_client {
+                            LearnedFrom::IbgpClient
+                        } else {
+                            LearnedFrom::IbgpNonClient
+                        }
+                    }
+                };
+                (a, lf)
+            }
+        };
+        let igp_metric = match (self.mode, next_hop) {
+            (Mode::Bgp, Some(nh)) if nh != to => self.igp_dist[to.0 as usize]
+                [nh.0 as usize]
+                .unwrap_or(0),
+            _ => 0,
+        };
+        let learned_from = if matches!(kind, ChannelKind::Igp) {
+            // IGP entries are "local" to BGP semantics but we keep the
+            // sender for forwarding.
+            learned_from
+        } else {
+            learned_from
+        };
+        let entry = Entry {
+            id: self.fresh_entry_id(),
+            prefix,
+            attrs: attrs_in,
+            cond,
+            learned_from,
+            from_node: Some(from),
+            next_hop,
+            igp_metric,
+            peer_router_id: self.net.device(from).config.router_id,
+            ibgp_hops,
+            proto: match self.mode {
+                Mode::Bgp => Proto::Bgp,
+                Mode::Igp => Proto::Isis,
+            },
+            path: path.to_vec(),
+        };
+        let id = entry.id;
+        self.note_cond(cond);
+        if !self.insert_entry(to, entry) {
+            return None;
+        }
+        self.stats.delivered += 1;
+        Some(id)
+    }
+}

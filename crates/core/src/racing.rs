@@ -1,0 +1,315 @@
+//! Route-update racing detection (Appendix B).
+//!
+//! For a prefix, all possible routes are propagated *without dropping on
+//! route selection* (ingress/egress policies and loop checks still apply).
+//! Every route each node could receive becomes a Boolean "is selected"
+//! indicator, constrained by the selection logic:
+//!
+//! `sel(cᵢ) ⟺ avail(cᵢ) ∧ ⋀_{j<i} ¬sel(cⱼ)`
+//!
+//! where candidates are ranked by the node's decision process and a received
+//! candidate is available iff its predecessor was selected at the sender.
+//! The conjunction of all node formulas goes to the SAT solver; **more than
+//! one model means the convergence is ambiguous** — different route-update
+//! arrival orders produce different steady states (the Figure 1 bug class).
+
+use std::collections::VecDeque;
+
+use hoyan_device::{cmp_candidates, Candidate, LearnedFrom, SessionKind};
+use hoyan_logic::{Cnf, Formula, Solver};
+use hoyan_nettypes::{Ipv4Prefix, NodeId, RouteAttrs};
+
+use crate::network::NetworkModel;
+use crate::propagate::LOCAL_WEIGHT;
+
+/// One possible route at one node, discovered by the selection-free flood.
+#[derive(Clone, Debug)]
+struct FloodRoute {
+    node: NodeId,
+    attrs: RouteAttrs,
+    learned_from: LearnedFrom,
+    from_node: Option<NodeId>,
+    next_hop: Option<NodeId>,
+    ibgp_hops: u32,
+    parent: Option<usize>, // index into the flood list
+    path: Vec<NodeId>,
+}
+
+/// Result of a racing analysis for one prefix.
+#[derive(Clone, Debug)]
+pub struct RacingReport {
+    /// Whether convergence is ambiguous (more than one solution).
+    pub ambiguous: bool,
+    /// Number of distinct solutions found (capped at `limit`).
+    pub solutions: usize,
+    /// Total candidate routes discovered by the flood.
+    pub candidates: usize,
+}
+
+/// Analyzes route-update racing for `prefix` on `net`. `limit` caps model
+/// enumeration (2 suffices to decide ambiguity; higher values let callers
+/// inspect how many convergences exist).
+pub fn racing_check(net: &NetworkModel, prefix: Ipv4Prefix, limit: usize) -> RacingReport {
+    // Phase 1: flood without selection.
+    let mut routes: Vec<FloodRoute> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for n in net.topology.nodes() {
+        let dev = net.device(n);
+        let Some(bgp) = dev.config.bgp.as_ref() else {
+            continue;
+        };
+        let mut seeds: Vec<RouteAttrs> = Vec::new();
+        if bgp.networks.contains(&prefix) {
+            let mut attrs = RouteAttrs::originated();
+            attrs.weight = LOCAL_WEIGHT;
+            seeds.push(attrs);
+        }
+        if bgp
+            .redistribute
+            .contains(&hoyan_config::RedistSource::Static)
+            && dev.config.static_routes.iter().any(|s| s.prefix == prefix)
+            && dev.redistribution_admits(prefix)
+        {
+            let mut attrs = RouteAttrs::originated();
+            attrs.weight = LOCAL_WEIGHT;
+            attrs.origin = hoyan_nettypes::Origin::Incomplete;
+            seeds.push(attrs);
+        }
+        for attrs in seeds {
+            routes.push(FloodRoute {
+                node: n,
+                attrs,
+                learned_from: LearnedFrom::Local,
+                from_node: None,
+                next_hop: None,
+                ibgp_hops: 0,
+                parent: None,
+                path: vec![n],
+            });
+            queue.push_back(routes.len() - 1);
+        }
+    }
+
+    // Guard against pathological blowup: a WAN prefix has a moderate number
+    // of propagation paths in practice (§5.4); we cap at a generous bound
+    // and report what we have.
+    const MAX_ROUTES: usize = 100_000;
+
+    while let Some(idx) = queue.pop_front() {
+        if routes.len() > MAX_ROUTES {
+            break;
+        }
+        let r = routes[idx].clone();
+        let u = r.node;
+        let dev = net.device(u);
+        for s in net.sessions_of(u) {
+            let peer = s.peer;
+            if r.path.contains(&peer) {
+                continue; // loop / split horizon
+            }
+            let neighbor = &dev.config.bgp.as_ref().expect("session").neighbors[s.neighbor_idx];
+            if !dev.may_advertise(r.learned_from, s.kind, neighbor) {
+                continue;
+            }
+            let Some(egress) = dev.control_egress(neighbor, s.kind, prefix, &r.attrs) else {
+                continue;
+            };
+            let peer_dev = net.device(peer);
+            let from_name = net.topology.name(u);
+            let Some(peer_neighbor) = peer_dev
+                .config
+                .bgp
+                .as_ref()
+                .and_then(|b| b.neighbor(from_name))
+            else {
+                continue;
+            };
+            let Some(attrs_in) =
+                peer_dev.control_ingress(peer_neighbor, s.kind, prefix, &egress.attrs)
+            else {
+                continue;
+            };
+            let learned_from = match s.kind {
+                SessionKind::Ebgp => LearnedFrom::Ebgp,
+                SessionKind::Ibgp => {
+                    if peer_neighbor.rr_client {
+                        LearnedFrom::IbgpClient
+                    } else {
+                        LearnedFrom::IbgpNonClient
+                    }
+                }
+            };
+            let mut path = r.path.clone();
+            path.push(peer);
+            let next_hop = if egress.next_hop_self {
+                Some(u)
+            } else {
+                r.next_hop.or(Some(u))
+            };
+            let ibgp_hops = match s.kind {
+                SessionKind::Ibgp => r.ibgp_hops + 1,
+                SessionKind::Ebgp => 0,
+            };
+            routes.push(FloodRoute {
+                node: peer,
+                attrs: attrs_in,
+                learned_from,
+                from_node: Some(u),
+                next_hop,
+                ibgp_hops,
+                parent: Some(idx),
+                path,
+            });
+            queue.push_back(routes.len() - 1);
+        }
+    }
+
+    // Phase 2: rank candidates per node and encode selection logic.
+    // Variable i = "route i is this node's best".
+    let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); net.topology.node_count()];
+    for (i, r) in routes.iter().enumerate() {
+        per_node[r.node.0 as usize].push(i);
+    }
+    // All-alive IGP distance matrix for the metric tie-break.
+    let dist: Vec<Vec<Option<u64>>> = (0..net.topology.node_count())
+        .map(|i| net.igp_distances(NodeId(i as u32)))
+        .collect();
+    let candidate_of = |r: &FloodRoute| Candidate {
+        attrs: r.attrs.clone(),
+        from_ebgp: matches!(r.learned_from, LearnedFrom::Ebgp | LearnedFrom::Local),
+        igp_metric: r
+            .next_hop
+            .and_then(|nh| dist[r.node.0 as usize][nh.0 as usize])
+            .unwrap_or(0),
+        ibgp_hops: r.ibgp_hops,
+        peer_router_id: r
+            .from_node
+            .map(|f| net.device(f).config.router_id)
+            .unwrap_or(0),
+    };
+
+    let mut clauses: Vec<Formula> = Vec::new();
+    for cand_ids in per_node.iter_mut() {
+        cand_ids.sort_by(|&a, &b| cmp_candidates(&candidate_of(&routes[a]), &candidate_of(&routes[b])));
+        for (rank, &i) in cand_ids.iter().enumerate() {
+            let avail = match routes[i].parent {
+                None => Formula::Const(true),
+                Some(p) => Formula::var(p as u32),
+            };
+            let higher_not_selected: Vec<Formula> = cand_ids[..rank]
+                .iter()
+                .map(|&j| Formula::not(Formula::var(j as u32)))
+                .collect();
+            let mut rhs = higher_not_selected;
+            rhs.push(avail);
+            clauses.push(Formula::iff(Formula::var(i as u32), Formula::And(rhs)));
+        }
+    }
+
+    if routes.is_empty() {
+        return RacingReport {
+            ambiguous: false,
+            solutions: 0,
+            candidates: 0,
+        };
+    }
+
+    let mut cnf = Cnf::new();
+    cnf.ensure_var(routes.len() as u32 - 1);
+    cnf.assert_formula(&Formula::And(clauses));
+    let vars: Vec<u32> = (0..routes.len() as u32).collect();
+    let models = Solver::from_cnf(&cnf).count_models(&vars, limit.max(2));
+    RacingReport {
+        ambiguous: models.len() > 1,
+        solutions: models.len(),
+        candidates: routes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn net(texts: &[String]) -> NetworkModel {
+        let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    /// The Figure 1 network: AS 200 devices C and D both announce the
+    /// prefix toward AS 100 (A and B, iBGP-connected); A's egress policy to
+    /// B enlarges the weight, making B prefer A's relay over D's direct
+    /// route while A prefers D's relayed route by local preference.
+    fn figure1() -> NetworkModel {
+        let a = concat!(
+            "hostname A\nrouter-id 1\n",
+            "interface e0\n peer C\ninterface e1\n peer B\n",
+            "route-map LP300 permit 10\n set local-preference 300\n",
+            "route-map LP500 permit 10\n set local-preference 500\n",
+            "route-map W100 permit 10\n set weight 100\n",
+            "router bgp 100\n",
+            " neighbor C remote-as 200\n neighbor C route-map LP300 in\n",
+            " neighbor B remote-as 100\n neighbor B route-map W100 out\n",
+        )
+        .to_string();
+        let b = concat!(
+            "hostname B\nrouter-id 2\n",
+            "interface e0\n peer D\ninterface e1\n peer A\n",
+            "route-map LP500 permit 10\n set local-preference 500\n",
+            "router bgp 100\n",
+            " neighbor D remote-as 200\n neighbor D route-map LP500 in\n",
+            " neighbor A remote-as 100\n",
+        )
+        .to_string();
+        let c = concat!(
+            "hostname C\nrouter-id 3\n",
+            "interface e0\n peer A\n",
+            "router bgp 200\n network 10.0.1.0/24\n neighbor A remote-as 100\n",
+        )
+        .to_string();
+        let d = concat!(
+            "hostname D\nrouter-id 4\n",
+            "interface e0\n peer B\n",
+            "router bgp 200\n network 10.0.1.0/24\n neighbor B remote-as 100\n",
+        )
+        .to_string();
+        net(&[a, b, c, d])
+    }
+
+    #[test]
+    fn figure1_racing_is_ambiguous() {
+        let n = figure1();
+        let report = racing_check(&n, pfx("10.0.1.0/24"), 4);
+        assert!(report.ambiguous, "Figure 1 has two convergences: {report:?}");
+        assert_eq!(report.solutions, 2);
+    }
+
+    #[test]
+    fn single_origin_is_unambiguous() {
+        let n = net(&[
+            concat!(
+                "hostname X\ninterface e0\n peer Y\n",
+                "router bgp 100\n network 10.0.1.0/24\n neighbor Y remote-as 200\n",
+            )
+            .to_string(),
+            concat!(
+                "hostname Y\ninterface e0\n peer X\n",
+                "router bgp 200\n neighbor X remote-as 100\n",
+            )
+            .to_string(),
+        ]);
+        let report = racing_check(&n, pfx("10.0.1.0/24"), 4);
+        assert!(!report.ambiguous);
+        assert_eq!(report.solutions, 1);
+    }
+
+    #[test]
+    fn unannounced_prefix_has_no_solutions() {
+        let n = figure1();
+        let report = racing_check(&n, pfx("99.0.0.0/8"), 4);
+        assert!(!report.ambiguous);
+        assert_eq!(report.candidates, 0);
+    }
+}

@@ -1,0 +1,460 @@
+//! The user-facing verification API.
+//!
+//! A [`Verifier`] owns the network model built from a configuration
+//! snapshot plus the conditioned IS-IS database, and answers the queries the
+//! paper's operators ask: route reachability under `k` failures, packet
+//! reachability, device/role equivalence, route-update racing, and
+//! propagation-scope audits. Per-prefix work is independent, so
+//! [`Verifier::verify_all_routes`] fans out across threads (CPU-bound work
+//! on scoped threads, per the networking guides — no async runtime).
+
+use std::time::{Duration, Instant};
+
+use hoyan_config::{DeviceConfig, Vendor};
+use hoyan_device::{Packet, VsbProfile};
+use hoyan_nettypes::{Ipv4Prefix, NodeId};
+
+use crate::isis::IsisDb;
+use crate::network::NetworkModel;
+use crate::packet::packet_reach;
+use crate::propagate::{PruneStats, SimError, Simulation};
+use crate::racing::{racing_check, RacingReport};
+use crate::topology::TopologyError;
+
+/// Construction failure.
+#[derive(Debug)]
+pub enum VerifierError {
+    /// The configurations do not form a consistent topology.
+    Topology(TopologyError),
+    /// The IS-IS (or a route) simulation failed to converge.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifierError::Topology(e) => write!(f, "topology error: {e}"),
+            VerifierError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+impl From<TopologyError> for VerifierError {
+    fn from(e: TopologyError) -> Self {
+        VerifierError::Topology(e)
+    }
+}
+
+impl From<SimError> for VerifierError {
+    fn from(e: SimError) -> Self {
+        VerifierError::Sim(e)
+    }
+}
+
+/// Answer to a reachability query.
+#[derive(Clone, Debug)]
+pub struct ReachReport {
+    /// Reachable with every link alive.
+    pub reachable_now: bool,
+    /// Minimum number of link failures that break reachability
+    /// ([`hoyan_logic::bdd::INF_FAILURES`] if no failure set can).
+    pub min_failures_to_break: u32,
+    /// Whether reachability survives every scenario of at most `k` failures.
+    pub resilient: bool,
+    /// A minimal breaking failure set (link names), if one exists.
+    pub witness: Option<Vec<String>>,
+    /// Size of the final reachability formula (Figure 13 metric).
+    pub formula_len: usize,
+}
+
+/// Result of comparing two devices for role equivalence.
+#[derive(Clone, Debug)]
+pub struct EquivalenceReport {
+    /// Whether the two devices are equivalent.
+    pub equivalent: bool,
+    /// First prefix on which they diverge.
+    pub first_difference: Option<Ipv4Prefix>,
+}
+
+/// Per-prefix outcome of a full-network verification sweep.
+#[derive(Clone, Debug)]
+pub struct PrefixReport {
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// Time to simulate the prefix family (Figure 8).
+    pub sim_time: Duration,
+    /// Time to answer the reachability queries (Figure 9).
+    pub query_time: Duration,
+    /// Pruning statistics (Figure 12).
+    pub stats: PruneStats,
+    /// Largest topology-condition formula during propagation (Figure 11).
+    pub max_cond_len: usize,
+    /// Largest final reachability formula (Figure 13).
+    pub max_reach_formula_len: usize,
+    /// Nodes that can receive a route for the prefix (all-alive).
+    pub scope: Vec<NodeId>,
+    /// Nodes whose reachability is *not* resilient to the queried `k`.
+    pub fragile: Vec<NodeId>,
+    /// Whether this report is the first of its co-simulated family (the
+    /// family's stats are shared; aggregate over heads only).
+    pub family_head: bool,
+}
+
+/// The configuration verifier.
+pub struct Verifier {
+    /// The network model under verification.
+    pub net: NetworkModel,
+    /// Conditioned IS-IS database (iBGP session conditions, IGP metrics).
+    pub isis: IsisDb,
+    known_prefixes: Vec<Ipv4Prefix>,
+}
+
+impl Verifier {
+    /// Builds a verifier from configurations. `profile` supplies the VSB
+    /// profile per vendor (the *behavior model registry* — possibly flawed;
+    /// the tuner's job is to fix it). `isis_k` bounds the failure budget of
+    /// the IS-IS precomputation; queries must use `k <= isis_k`.
+    pub fn new(
+        configs: Vec<DeviceConfig>,
+        profile: impl Fn(Vendor) -> VsbProfile,
+        isis_k: Option<u32>,
+    ) -> Result<Verifier, VerifierError> {
+        let net = NetworkModel::from_configs(configs, profile)?;
+        let isis = IsisDb::build(&net, isis_k)?;
+        let mut known = std::collections::BTreeSet::new();
+        for dev in &net.devices {
+            if let Some(bgp) = dev.config.bgp.as_ref() {
+                known.extend(bgp.networks.iter().copied());
+                known.extend(bgp.aggregates.iter().map(|a| a.prefix));
+            }
+            known.extend(dev.config.static_routes.iter().map(|s| s.prefix));
+        }
+        Ok(Verifier {
+            net,
+            isis,
+            known_prefixes: known.into_iter().collect(),
+        })
+    }
+
+    /// All prefixes known to the snapshot (networks, aggregates, statics).
+    pub fn known_prefixes(&self) -> &[Ipv4Prefix] {
+        &self.known_prefixes
+    }
+
+    /// The family of prefixes that must be co-simulated with `prefix`:
+    /// the overlap closure (aggregation and longest-prefix matching couple
+    /// overlapping prefixes).
+    pub fn family_of(&self, prefix: Ipv4Prefix) -> Vec<Ipv4Prefix> {
+        let mut family = vec![prefix];
+        loop {
+            let mut grew = false;
+            for q in &self.known_prefixes {
+                if family.contains(q) {
+                    continue;
+                }
+                if family.iter().any(|p| p.contains(*q) || q.contains(*p)) {
+                    family.push(*q);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        family.sort();
+        family
+    }
+
+    /// Groups all known prefixes into disjoint families.
+    pub fn families(&self) -> Vec<Vec<Ipv4Prefix>> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for p in &self.known_prefixes {
+            if seen.contains(p) {
+                continue;
+            }
+            let fam = self.family_of(*p);
+            seen.extend(fam.iter().copied());
+            out.push(fam);
+        }
+        out
+    }
+
+    /// Runs the conditioned simulation for `prefix`'s family at failure
+    /// budget `k`.
+    pub fn simulate(&self, prefix: Ipv4Prefix, k: Option<u32>) -> Result<Simulation<'_>, SimError> {
+        let family = self.family_of(prefix);
+        let mut sim = Simulation::new_bgp(&self.net, family, k, Some(&self.isis));
+        sim.run()?;
+        Ok(sim)
+    }
+
+    fn reach_report(&self, sim: &mut Simulation<'_>, node: NodeId, prefix: Ipv4Prefix, k: u32) -> ReachReport {
+        let v = sim.reach_cond(node, prefix);
+        let reachable_now = sim.mgr.eval(v, &[]);
+        let min_failures = sim.mgr.min_failures_to_falsify(v);
+        let witness = sim.mgr.min_falsifying_failures(v).map(|links| {
+            links
+                .iter()
+                .map(|l| {
+                    let (a, b) = self.net.topology.link_ends(hoyan_nettypes::LinkId(*l));
+                    format!(
+                        "{}-{}",
+                        self.net.topology.name(a),
+                        self.net.topology.name(b)
+                    )
+                })
+                .collect()
+        });
+        ReachReport {
+            reachable_now,
+            min_failures_to_break: min_failures,
+            resilient: min_failures > k,
+            witness,
+            formula_len: sim.mgr.size(v),
+        }
+    }
+
+    /// Can `device` receive a route for `prefix`, and does that survive any
+    /// `k` link failures? (§5.4.)
+    pub fn route_reachability(
+        &self,
+        prefix: Ipv4Prefix,
+        device: &str,
+        k: u32,
+    ) -> Result<ReachReport, SimError> {
+        let node = self
+            .net
+            .topology
+            .node(device)
+            .unwrap_or_else(|| panic!("unknown device {device}"));
+        let mut sim = self.simulate(prefix, Some(k))?;
+        Ok(self.reach_report(&mut sim, node, prefix, k))
+    }
+
+    /// Can a packet from `src_device` reach the gateway of `dst_prefix`,
+    /// under any `k` link failures? (§5.5.)
+    pub fn packet_reachability(
+        &self,
+        src_device: &str,
+        dst_prefix: Ipv4Prefix,
+        packet: Packet,
+        k: u32,
+    ) -> Result<ReachReport, SimError> {
+        let src = self
+            .net
+            .topology
+            .node(src_device)
+            .unwrap_or_else(|| panic!("unknown device {src_device}"));
+        let mut sim = self.simulate(dst_prefix, Some(k))?;
+        let walk = packet_reach(
+            &mut sim,
+            &self.net,
+            Some(&self.isis),
+            src,
+            dst_prefix,
+            packet,
+            Some(k),
+        );
+        let v = walk.reach_cond;
+        let reachable_now = sim.mgr.eval(v, &[]);
+        let min_failures = sim.mgr.min_failures_to_falsify(v);
+        let witness = sim.mgr.min_falsifying_failures(v).map(|links| {
+            links
+                .iter()
+                .map(|l| {
+                    let (a, b) = self.net.topology.link_ends(hoyan_nettypes::LinkId(*l));
+                    format!(
+                        "{}-{}",
+                        self.net.topology.name(a),
+                        self.net.topology.name(b)
+                    )
+                })
+                .collect()
+        });
+        Ok(ReachReport {
+            reachable_now,
+            min_failures_to_break: min_failures,
+            resilient: min_failures > k,
+            witness,
+            formula_len: sim.mgr.size(v),
+        })
+    }
+
+    /// Role equivalence (§7.2): do two devices receive the same routes and
+    /// build the same RIBs (attribute-wise) for every known prefix?
+    pub fn role_equivalence(&self, a: &str, b: &str) -> Result<EquivalenceReport, SimError> {
+        let na = self.net.topology.node(a).expect("unknown device");
+        let nb = self.net.topology.node(b).expect("unknown device");
+        for fam in self.families() {
+            let mut sim = Simulation::new_bgp(&self.net, fam.clone(), None, Some(&self.isis));
+            sim.run()?;
+            for p in fam {
+                // Equivalent roles receive the same updates with the same
+                // attributes over the same kinds of sessions.
+                let ra: Vec<_> = sim
+                    .rib(na, p)
+                    .into_iter()
+                    .map(|v| (v.attrs, v.learned_from))
+                    .collect();
+                let rb: Vec<_> = sim
+                    .rib(nb, p)
+                    .into_iter()
+                    .map(|v| (v.attrs, v.learned_from))
+                    .collect();
+                if ra != rb {
+                    return Ok(EquivalenceReport {
+                        equivalent: false,
+                        first_difference: Some(p),
+                    });
+                }
+            }
+        }
+        Ok(EquivalenceReport {
+            equivalent: true,
+            first_difference: None,
+        })
+    }
+
+    /// Router-failure tolerance (Table 1 lists "failures of router/link"):
+    /// a router failure is the simultaneous failure of all its incident
+    /// links. Returns the devices whose single failure makes `prefix`
+    /// unreachable at `device` — empty means the reachability survives any
+    /// one router going down.
+    ///
+    /// Requires the verifier's IS-IS budget to cover the largest incident
+    /// link count (use a generous `isis_k` when auditing router failures).
+    pub fn router_failure_tolerance(
+        &self,
+        prefix: Ipv4Prefix,
+        device: &str,
+    ) -> Result<Vec<String>, SimError> {
+        let node = self
+            .net
+            .topology
+            .node(device)
+            .unwrap_or_else(|| panic!("unknown device {device}"));
+        // Budget must admit conditions that only hold once a whole router's
+        // links are down: use the max degree.
+        let max_degree = self
+            .net
+            .topology
+            .nodes()
+            .map(|n| self.net.topology.neighbors(n).len() as u32)
+            .max()
+            .unwrap_or(0);
+        let mut sim = Simulation::new_bgp(
+            &self.net,
+            self.family_of(prefix),
+            Some(max_degree),
+            Some(&self.isis),
+        );
+        sim.run()?;
+        let v = sim.reach_cond(node, prefix);
+        let mut fatal = Vec::new();
+        for r in self.net.topology.nodes() {
+            if r == node {
+                continue; // the target going down is out of scope
+            }
+            // Gateways of the prefix going down trivially break it; still
+            // report them (common-mode risk the §7.2 audit cares about).
+            let mut assign = vec![true; self.net.topology.link_count()];
+            for (_, link) in self.net.topology.neighbors(r) {
+                assign[link.0 as usize] = false;
+            }
+            if !sim.mgr.eval(v, &assign) {
+                fatal.push(self.net.topology.name(r).to_string());
+            }
+        }
+        Ok(fatal)
+    }
+
+    /// Route-update racing analysis for one prefix (Appendix B).
+    pub fn racing(&self, prefix: Ipv4Prefix) -> RacingReport {
+        racing_check(&self.net, prefix, 2)
+    }
+
+    /// Which devices hold a route for `prefix` with all links alive — the
+    /// propagation-scope audit behind the §7.2 IP-conflict case.
+    pub fn propagation_scope(&self, prefix: Ipv4Prefix) -> Result<Vec<NodeId>, SimError> {
+        let mut sim = self.simulate(prefix, Some(0))?;
+        let nodes: Vec<NodeId> = self.net.topology.nodes().collect();
+        Ok(nodes
+            .into_iter()
+            .filter(|n| {
+                let v = sim.reach_cond(*n, prefix);
+                sim.mgr.eval(v, &[])
+            })
+            .collect())
+    }
+
+    /// Full-network route-reachability sweep: simulates every prefix family
+    /// at budget `k` and reports per-prefix timings, statistics and fragile
+    /// devices. Families are processed in parallel on `threads` threads.
+    pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
+        let families = self.families();
+        let results = parking_lot::Mutex::new(Vec::new());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let error = parking_lot::Mutex::new(None::<SimError>);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.max(1) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= families.len() || error.lock().is_some() {
+                        break;
+                    }
+                    let fam = &families[i];
+                    let t0 = Instant::now();
+                    let mut sim =
+                        Simulation::new_bgp(&self.net, fam.clone(), Some(k), Some(&self.isis));
+                    if let Err(e) = sim.run() {
+                        *error.lock() = Some(e);
+                        break;
+                    }
+                    let sim_time = t0.elapsed();
+                    for (pi, p) in fam.iter().enumerate() {
+                        let q0 = Instant::now();
+                        let mut scope_nodes = Vec::new();
+                        let mut fragile = Vec::new();
+                        let mut max_len = 0usize;
+                        for n in self.net.topology.nodes() {
+                            let v = sim.reach_cond(n, *p);
+                            if v.is_false() {
+                                continue;
+                            }
+                            if sim.mgr.eval(v, &[]) {
+                                scope_nodes.push(n);
+                                let exact = sim.reach_cond_exact(n, *p);
+                                max_len = max_len.max(sim.mgr.size(exact));
+                                if sim.mgr.min_failures_to_falsify(v) <= k {
+                                    fragile.push(n);
+                                }
+                            }
+                        }
+                        let report = PrefixReport {
+                            prefix: *p,
+                            sim_time,
+                            query_time: q0.elapsed(),
+                            stats: sim.stats,
+                            max_cond_len: sim.max_cond_size,
+                            max_reach_formula_len: max_len,
+                            scope: scope_nodes,
+                            fragile,
+                            family_head: pi == 0,
+                        };
+                        results.lock().push(report);
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let mut out = results.into_inner();
+        out.sort_by_key(|r| r.prefix);
+        Ok(out)
+    }
+}

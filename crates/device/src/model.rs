@@ -1,0 +1,463 @@
+//! The per-device behavior model (Figure 3): a control-plane pipeline
+//! (ingress policy → route selector → egress policy) and a data-plane
+//! pipeline (ingress ACL → FIB → egress ACL), generated from a
+//! [`DeviceConfig`] and a vendor [`VsbProfile`].
+//!
+//! The simulator (hoyan-core) drives these pipelines; this module owns every
+//! attribute transformation so that VSB knobs act in exactly one place.
+
+use hoyan_config::{DeviceConfig, Neighbor};
+use hoyan_nettypes::{AsNum, Ipv4Prefix, RouteAttrs, DEFAULT_LOCAL_PREF};
+
+use crate::policy::{eval_acl, eval_optional_route_map, Packet, PolicyVerdict};
+use crate::vsb::{CommunityHandling, LocalAsMode, RemovePrivateAs, VsbProfile};
+
+/// Whether a BGP session is external or internal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SessionKind {
+    /// eBGP: different AS numbers.
+    Ebgp,
+    /// iBGP: same AS; rides on IS-IS reachability.
+    Ibgp,
+}
+
+/// How a route entered this device (for iBGP re-advertisement rules).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LearnedFrom {
+    /// Locally originated (network statement, static, redistribution).
+    Local,
+    /// From an eBGP peer.
+    Ebgp,
+    /// From an iBGP peer that is one of our route-reflector clients.
+    IbgpClient,
+    /// From an ordinary iBGP peer.
+    IbgpNonClient,
+}
+
+/// Outcome of the control-plane egress pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgressUpdate {
+    /// The attributes as they appear in the transmitted update.
+    pub attrs: RouteAttrs,
+    /// Whether the sender rewrites itself as the next hop (explicit
+    /// `next-hop-self` or the self-next-hop VSB).
+    pub next_hop_self: bool,
+}
+
+/// A device behavior model: configuration plus vendor behavior profile.
+#[derive(Clone, Debug)]
+pub struct BehaviorModel {
+    /// The parsed configuration.
+    pub config: DeviceConfig,
+    /// The vendor-specific behavior switches in force.
+    pub vsb: VsbProfile,
+}
+
+impl BehaviorModel {
+    /// Builds a model from a config and an explicit profile.
+    pub fn new(config: DeviceConfig, vsb: VsbProfile) -> Self {
+        BehaviorModel { config, vsb }
+    }
+
+    /// The device's real AS number (0 when BGP is not configured).
+    pub fn asn(&self) -> AsNum {
+        self.config.bgp.as_ref().map_or(0, |b| b.asn)
+    }
+
+    /// Session kind for a neighbor entry.
+    pub fn session_kind(&self, n: &Neighbor) -> SessionKind {
+        if n.remote_as == self.asn() {
+            SessionKind::Ibgp
+        } else {
+            SessionKind::Ebgp
+        }
+    }
+
+    /// Control-plane **ingress**: a route update for `prefix` with `attrs`
+    /// arrives from the peer described by `neighbor`. Returns the attributes
+    /// as inserted into the RIB, or `None` if the update is dropped.
+    pub fn control_ingress(
+        &self,
+        neighbor: &Neighbor,
+        kind: SessionKind,
+        prefix: Ipv4Prefix,
+        attrs: &RouteAttrs,
+    ) -> Option<RouteAttrs> {
+        // Standard eBGP loop prevention: our AS already in the path.
+        if kind == SessionKind::Ebgp && attrs.as_path.contains(self.asn()) && !neighbor.allowas_in
+        {
+            return None;
+        }
+        // The "AS loop" VSB: some vendors reject any repeated AS number.
+        if attrs.as_path.has_repetition() && !self.vsb.allow_as_repetition {
+            return None;
+        }
+        let verdict = eval_optional_route_map(
+            &self.config,
+            &self.vsb,
+            neighbor.route_map_in.as_deref(),
+            prefix,
+            attrs,
+        );
+        let mut out = verdict.permitted()?;
+        // Neighbor weight overrides whatever the update carried, but an
+        // explicit `set weight` in the ingress policy wins over both.
+        if let Some(w) = neighbor.weight {
+            if out.weight == attrs.weight {
+                out.weight = w;
+            }
+        }
+        Some(out)
+    }
+
+    /// Control-plane **egress**: the best route for `prefix` is announced to
+    /// `neighbor`. Returns the update as transmitted, or `None` if egress
+    /// policy drops it.
+    pub fn control_egress(
+        &self,
+        neighbor: &Neighbor,
+        kind: SessionKind,
+        prefix: Ipv4Prefix,
+        attrs: &RouteAttrs,
+    ) -> Option<EgressUpdate> {
+        // Weight is a local attribute: it does not survive leaving the
+        // device unless the egress policy explicitly sets it (which is how
+        // the Figure 1 "change weight 0 -> 100" egress rule works).
+        let mut pre = attrs.clone();
+        pre.weight = 0;
+        let verdict = eval_optional_route_map(
+            &self.config,
+            &self.vsb,
+            neighbor.route_map_out.as_deref(),
+            prefix,
+            &pre,
+        );
+        let mut out = match verdict {
+            PolicyVerdict::Deny => return None,
+            PolicyVerdict::Permit(a) => a,
+        };
+
+        if kind == SessionKind::Ebgp {
+            // remove-private-AS, with vendor semantics.
+            if neighbor.remove_private_as {
+                out.as_path = match self.vsb.remove_private_as {
+                    RemovePrivateAs::All => out.as_path.remove_private_all(),
+                    RemovePrivateAs::LeadingOnly => out.as_path.remove_private_leading(),
+                };
+            }
+            // AS prepending, honouring local-as migration semantics.
+            match neighbor.local_as {
+                None => out.as_path = out.as_path.prepend(self.asn()),
+                Some(old_as) => {
+                    out.as_path = match self.vsb.local_as_mode {
+                        LocalAsMode::OldOnly => out.as_path.prepend(old_as),
+                        LocalAsMode::OldAndNew => out.as_path.prepend_all(&[old_as, self.asn()]),
+                    };
+                }
+            }
+            // Local preference is meaningful within an AS; reset across AS
+            // boundaries unless the egress policy already overrode it.
+            if out.local_pref == pre.local_pref {
+                out.local_pref = DEFAULT_LOCAL_PREF;
+            }
+        }
+
+        // The "(ext) community" VSB: what the vendor includes by default.
+        out.communities = match self.vsb.community_handling {
+            CommunityHandling::Keep => out.communities,
+            CommunityHandling::StripAll => out.communities.cleared(),
+            CommunityHandling::StripExtended => out.communities.without_extended(),
+        };
+
+        let next_hop_self = match kind {
+            SessionKind::Ebgp => true, // eBGP always rewrites next hop
+            SessionKind::Ibgp => neighbor.next_hop_self || self.vsb.self_next_hop_on_ibgp,
+        };
+        Some(EgressUpdate {
+            attrs: out,
+            next_hop_self,
+        })
+    }
+
+    /// The iBGP re-advertisement rule with route reflection: may a route
+    /// learned as `learned` be sent to `to_neighbor` over `to_kind`?
+    pub fn may_advertise(
+        &self,
+        learned: LearnedFrom,
+        to_kind: SessionKind,
+        to_neighbor: &Neighbor,
+    ) -> bool {
+        match (learned, to_kind) {
+            // Local and eBGP-learned routes go everywhere.
+            (LearnedFrom::Local, _) | (LearnedFrom::Ebgp, _) => true,
+            // iBGP-learned routes go to eBGP peers.
+            (_, SessionKind::Ebgp) => true,
+            // iBGP-to-iBGP needs route reflection:
+            // learned from a client -> reflected to everyone;
+            // learned from a non-client -> reflected to clients only.
+            (LearnedFrom::IbgpClient, SessionKind::Ibgp) => true,
+            (LearnedFrom::IbgpNonClient, SessionKind::Ibgp) => to_neighbor.rr_client,
+        }
+    }
+
+    /// Data-plane ingress: does the ACL on the interface facing
+    /// `from_peer` admit `packet`?
+    pub fn data_ingress(&self, from_peer: &str, packet: &Packet) -> bool {
+        let acl = self
+            .config
+            .interface_to(from_peer)
+            .and_then(|i| i.acl_in.as_deref());
+        eval_acl(&self.config, &self.vsb, acl, packet)
+    }
+
+    /// Data-plane egress: does the ACL on the interface facing `to_peer`
+    /// admit `packet`?
+    pub fn data_egress(&self, to_peer: &str, packet: &Packet) -> bool {
+        let acl = self
+            .config
+            .interface_to(to_peer)
+            .and_then(|i| i.acl_out.as_deref());
+        eval_acl(&self.config, &self.vsb, acl, packet)
+    }
+
+    /// Whether redistribution admits `prefix` given the vendor's
+    /// default-route VSB.
+    pub fn redistribution_admits(&self, prefix: Ipv4Prefix) -> bool {
+        !prefix.is_default() || self.vsb.redistribute_default_route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::{parse_config, Vendor};
+    use hoyan_nettypes::{pfx, AsPath};
+
+    fn model(vendor: Vendor, extra: &str) -> BehaviorModel {
+        let text = format!(
+            "hostname R\nvendor {}\nrouter bgp 65000\n neighbor E remote-as 65001\n neighbor I remote-as 65000\n{}",
+            vendor.letter(),
+            extra
+        );
+        let cfg = parse_config(&text).unwrap();
+        let vsb = VsbProfile::ground_truth(vendor);
+        BehaviorModel::new(cfg, vsb)
+    }
+
+    fn neighbor<'a>(m: &'a BehaviorModel, peer: &str) -> &'a Neighbor {
+        m.config.bgp.as_ref().unwrap().neighbor(peer).unwrap()
+    }
+
+    #[test]
+    fn session_kind_from_as_numbers() {
+        let m = model(Vendor::A, "");
+        assert_eq!(m.session_kind(neighbor(&m, "E")), SessionKind::Ebgp);
+        assert_eq!(m.session_kind(neighbor(&m, "I")), SessionKind::Ibgp);
+    }
+
+    #[test]
+    fn ebgp_loop_is_rejected_without_allowas_in() {
+        let m = model(Vendor::A, "");
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_slice(&[65001, 65000, 64999]);
+        let n = neighbor(&m, "E");
+        assert!(m
+            .control_ingress(n, SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .is_none());
+
+        let m2 = model(Vendor::A, " neighbor E allowas-in\n");
+        let n2 = neighbor(&m2, "E");
+        assert!(m2
+            .control_ingress(n2, SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .is_some());
+    }
+
+    #[test]
+    fn as_repetition_vsb() {
+        // Vendor A rejects repeated ASes, vendor B accepts (Table 2 row 5).
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_slice(&[65001, 64999, 65001]);
+        let ma = model(Vendor::A, "");
+        assert!(ma
+            .control_ingress(neighbor(&ma, "E"), SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .is_none());
+        let mb = model(Vendor::B, "");
+        assert!(mb
+            .control_ingress(neighbor(&mb, "E"), SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .is_some());
+    }
+
+    #[test]
+    fn neighbor_weight_applies_unless_policy_set_one() {
+        let m = model(Vendor::A, " neighbor E weight 77\n");
+        let attrs = RouteAttrs::default();
+        let out = m
+            .control_ingress(neighbor(&m, "E"), SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(out.weight, 77);
+    }
+
+    #[test]
+    fn egress_resets_weight_and_prepends_as() {
+        let m = model(Vendor::A, "");
+        let mut attrs = RouteAttrs::default();
+        attrs.weight = 500;
+        attrs.as_path = AsPath::from_slice(&[64999]);
+        let out = m
+            .control_egress(neighbor(&m, "E"), SessionKind::Ebgp, pfx("10.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(out.attrs.weight, 0);
+        assert_eq!(out.attrs.as_path.asns(), &[65000, 64999]);
+        assert!(out.next_hop_self);
+    }
+
+    #[test]
+    fn ibgp_egress_does_not_prepend() {
+        let m = model(Vendor::A, "");
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_slice(&[64999]);
+        attrs.local_pref = 300;
+        let out = m
+            .control_egress(neighbor(&m, "I"), SessionKind::Ibgp, pfx("10.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(out.attrs.as_path.asns(), &[64999]);
+        assert_eq!(out.attrs.local_pref, 300); // kept within the AS
+        assert!(!out.next_hop_self); // vendor A, no next-hop-self
+    }
+
+    #[test]
+    fn self_next_hop_vsb_forces_rewrite_on_ibgp() {
+        let mb = model(Vendor::B, "");
+        let attrs = RouteAttrs::default();
+        let out = mb
+            .control_egress(neighbor(&mb, "I"), SessionKind::Ibgp, pfx("10.0.0.0/8"), &attrs)
+            .unwrap();
+        assert!(out.next_hop_self, "vendor B auto next-hop-self VSB");
+    }
+
+    #[test]
+    fn community_stripping_vsb() {
+        let mut attrs = RouteAttrs::default();
+        attrs.communities.add("100:920".parse().unwrap());
+        attrs.communities.add("ext:100:1".parse().unwrap());
+        let pfx9 = pfx("9.0.0.0/8");
+
+        let ma = model(Vendor::A, "");
+        let a = ma
+            .control_egress(neighbor(&ma, "E"), SessionKind::Ebgp, pfx9, &attrs)
+            .unwrap();
+        assert_eq!(a.attrs.communities.len(), 2, "vendor A keeps");
+
+        let mb = model(Vendor::B, "");
+        let b = mb
+            .control_egress(neighbor(&mb, "E"), SessionKind::Ebgp, pfx9, &attrs)
+            .unwrap();
+        assert!(b.attrs.communities.is_empty(), "vendor B strips all");
+
+        let mc = model(Vendor::C, "");
+        let c = mc
+            .control_egress(neighbor(&mc, "E"), SessionKind::Ebgp, pfx9, &attrs)
+            .unwrap();
+        assert_eq!(c.attrs.communities.len(), 1, "vendor C strips extended");
+        assert!(c.attrs.communities.iter().all(|c| !c.extended));
+    }
+
+    #[test]
+    fn remove_private_as_vsb_semantics() {
+        let extra = " neighbor E remove-private-as\n";
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_slice(&[64512, 100, 64513, 200]);
+
+        let ma = model(Vendor::A, extra);
+        let a = ma
+            .control_egress(neighbor(&ma, "E"), SessionKind::Ebgp, pfx("9.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(a.attrs.as_path.asns(), &[65000, 100, 200], "vendor A removes all");
+
+        let mb = model(Vendor::B, extra);
+        let b = mb
+            .control_egress(neighbor(&mb, "E"), SessionKind::Ebgp, pfx("9.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(
+            b.attrs.as_path.asns(),
+            &[65000, 100, 64513, 200],
+            "vendor B removes only the leading run"
+        );
+    }
+
+    #[test]
+    fn local_as_vsb_semantics() {
+        let extra = " neighbor E local-as 64900\n";
+        let attrs = RouteAttrs::default();
+
+        let ma = model(Vendor::A, extra);
+        let a = ma
+            .control_egress(neighbor(&ma, "E"), SessionKind::Ebgp, pfx("9.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(a.attrs.as_path.asns(), &[64900], "old AS only");
+
+        let mb = model(Vendor::B, extra);
+        let b = mb
+            .control_egress(neighbor(&mb, "E"), SessionKind::Ebgp, pfx("9.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(b.attrs.as_path.asns(), &[64900, 65000], "old and new");
+    }
+
+    #[test]
+    fn ebgp_egress_resets_local_pref() {
+        let m = model(Vendor::A, "");
+        let mut attrs = RouteAttrs::default();
+        attrs.local_pref = 900;
+        let out = m
+            .control_egress(neighbor(&m, "E"), SessionKind::Ebgp, pfx("9.0.0.0/8"), &attrs)
+            .unwrap();
+        assert_eq!(out.attrs.local_pref, DEFAULT_LOCAL_PREF);
+    }
+
+    #[test]
+    fn rr_advertisement_matrix() {
+        let m = model(Vendor::A, " neighbor I route-reflector-client\n");
+        let client = neighbor(&m, "I");
+        let m2 = model(Vendor::A, "");
+        let nonclient = neighbor(&m2, "I");
+        let e = neighbor(&m, "E");
+
+        // Local/eBGP-learned go everywhere.
+        for lf in [LearnedFrom::Local, LearnedFrom::Ebgp] {
+            assert!(m.may_advertise(lf, SessionKind::Ibgp, nonclient));
+            assert!(m.may_advertise(lf, SessionKind::Ebgp, e));
+        }
+        // iBGP-learned to eBGP: yes.
+        assert!(m.may_advertise(LearnedFrom::IbgpNonClient, SessionKind::Ebgp, e));
+        // From non-client to non-client: no (classic iBGP full-mesh rule).
+        assert!(!m.may_advertise(LearnedFrom::IbgpNonClient, SessionKind::Ibgp, nonclient));
+        // From non-client to client: reflected.
+        assert!(m.may_advertise(LearnedFrom::IbgpNonClient, SessionKind::Ibgp, client));
+        // From client to anyone: reflected.
+        assert!(m.may_advertise(LearnedFrom::IbgpClient, SessionKind::Ibgp, nonclient));
+    }
+
+    #[test]
+    fn redistribution_default_route_vsb() {
+        let ma = model(Vendor::A, "");
+        assert!(!ma.redistribution_admits(pfx("0.0.0.0/0")));
+        assert!(ma.redistribution_admits(pfx("10.0.0.0/8")));
+        let mb = model(Vendor::B, "");
+        assert!(mb.redistribution_admits(pfx("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn figure1_egress_weight_rule() {
+        // A's egress policy to B enlarges the weight 0 -> 100; the update as
+        // received by B carries weight 100.
+        let m = model(
+            Vendor::A,
+            " neighbor I route-map W out\nroute-map W permit 10\n set weight 100\n",
+        );
+        let attrs = RouteAttrs::default();
+        let out = m
+            .control_egress(neighbor(&m, "I"), SessionKind::Ibgp, pfx("10.0.1.0/24"), &attrs)
+            .unwrap();
+        assert_eq!(out.attrs.weight, 100);
+    }
+}

@@ -1,0 +1,331 @@
+//! Route-map and ACL evaluation — the "match-action tables" of the device
+//! behavior model's ingress and egress policies (Figure 3).
+
+use hoyan_config::{
+    AclEntry, AclProto, Action, DeviceConfig, MatchClause, RouteMap, SetClause,
+};
+use hoyan_nettypes::{Ipv4Addr, Ipv4Prefix, RouteAttrs};
+
+use crate::vsb::VsbProfile;
+
+/// A data-plane packet, as much of it as ACLs can see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub proto: AclProto,
+}
+
+/// The result of running a route through a policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyVerdict {
+    /// Route permitted, with (possibly rewritten) attributes.
+    Permit(RouteAttrs),
+    /// Route denied.
+    Deny,
+}
+
+impl PolicyVerdict {
+    /// The attributes if permitted.
+    pub fn permitted(self) -> Option<RouteAttrs> {
+        match self {
+            PolicyVerdict::Permit(a) => Some(a),
+            PolicyVerdict::Deny => None,
+        }
+    }
+}
+
+fn clause_matches(
+    cfg: &DeviceConfig,
+    clause: &MatchClause,
+    prefix: Ipv4Prefix,
+    attrs: &RouteAttrs,
+) -> bool {
+    match clause {
+        MatchClause::PrefixList(name) => cfg
+            .prefix_lists
+            .get(name)
+            .is_some_and(|pl| pl.permits(prefix)),
+        MatchClause::CommunityList(name) => cfg.community_lists.get(name).is_some_and(|cl| {
+            attrs.communities.iter().any(|c| {
+                for (action, entry) in &cl.entries {
+                    if *entry == c {
+                        return *action == Action::Permit;
+                    }
+                }
+                false
+            })
+        }),
+        MatchClause::Community(c) => attrs.communities.contains(*c),
+        MatchClause::Prefix(p) => *p == prefix,
+        MatchClause::AsPathContains(asn) => attrs.as_path.contains(*asn),
+    }
+}
+
+fn apply_set(set: &SetClause, attrs: &mut RouteAttrs) {
+    match set {
+        SetClause::LocalPref(v) => attrs.local_pref = *v,
+        SetClause::Weight(v) => attrs.weight = *v,
+        SetClause::Med(v) => attrs.med = *v,
+        SetClause::Community {
+            community,
+            additive,
+        } => {
+            if !*additive {
+                attrs.communities = attrs.communities.cleared();
+            }
+            attrs.communities.add(*community);
+        }
+        SetClause::StripCommunities => attrs.communities = attrs.communities.cleared(),
+        SetClause::Prepend(asns) => attrs.as_path = attrs.as_path.prepend_all(asns),
+    }
+}
+
+/// Runs `route_map` over `(prefix, attrs)`. Entries are evaluated in
+/// sequence order; the first whose match clauses all hold decides. A route
+/// matching *no* entry is decided by the vendor's default-policy VSB.
+pub fn eval_route_map(
+    cfg: &DeviceConfig,
+    vsb: &VsbProfile,
+    route_map: &RouteMap,
+    prefix: Ipv4Prefix,
+    attrs: &RouteAttrs,
+) -> PolicyVerdict {
+    for entry in &route_map.entries {
+        let all_match = entry
+            .matches
+            .iter()
+            .all(|m| clause_matches(cfg, m, prefix, attrs));
+        if all_match {
+            return match entry.action {
+                Action::Deny => PolicyVerdict::Deny,
+                Action::Permit => {
+                    let mut out = attrs.clone();
+                    for s in &entry.sets {
+                        apply_set(s, &mut out);
+                    }
+                    PolicyVerdict::Permit(out)
+                }
+            };
+        }
+    }
+    // No entry matched: the "default route policy" VSB decides.
+    if vsb.default_policy_permit {
+        PolicyVerdict::Permit(attrs.clone())
+    } else {
+        PolicyVerdict::Deny
+    }
+}
+
+/// Runs the named route-map if configured; `None` (no policy bound to the
+/// session) always permits unchanged — the VSB applies only when a policy
+/// exists but nothing matches.
+pub fn eval_optional_route_map(
+    cfg: &DeviceConfig,
+    vsb: &VsbProfile,
+    name: Option<&str>,
+    prefix: Ipv4Prefix,
+    attrs: &RouteAttrs,
+) -> PolicyVerdict {
+    match name {
+        None => PolicyVerdict::Permit(attrs.clone()),
+        Some(n) => match cfg.route_maps.get(n) {
+            // Binding a nonexistent route-map behaves like an empty one:
+            // the default-policy VSB decides everything.
+            None => {
+                if vsb.default_policy_permit {
+                    PolicyVerdict::Permit(attrs.clone())
+                } else {
+                    PolicyVerdict::Deny
+                }
+            }
+            Some(rm) => eval_route_map(cfg, vsb, rm, prefix, attrs),
+        },
+    }
+}
+
+fn acl_entry_matches(e: &AclEntry, p: &Packet) -> bool {
+    let proto_ok = matches!(e.proto, AclProto::Ip) || e.proto == p.proto;
+    let src_ok = e.src.is_none_or(|s| s.contains_addr(p.src));
+    let dst_ok = e.dst.is_none_or(|d| d.contains_addr(p.dst));
+    proto_ok && src_ok && dst_ok
+}
+
+/// Evaluates a data-plane ACL over a packet. A packet matching no entry is
+/// decided by the vendor's default-ACL VSB; an absent binding permits.
+pub fn eval_acl(
+    cfg: &DeviceConfig,
+    vsb: &VsbProfile,
+    acl_name: Option<&str>,
+    packet: &Packet,
+) -> bool {
+    let Some(name) = acl_name else {
+        return true;
+    };
+    let Some(entries) = cfg.acls.get(name) else {
+        return vsb.default_acl_permit;
+    };
+    for e in entries {
+        if acl_entry_matches(e, packet) {
+            return e.action == Action::Permit;
+        }
+    }
+    vsb.default_acl_permit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_config::Vendor;
+    use hoyan_nettypes::pfx;
+
+    fn cfg() -> DeviceConfig {
+        parse_config(
+            r#"
+hostname R
+ip prefix-list CUST permit 10.0.0.0/8 ge 9 le 24
+ip community-list GOLD permit 100:920
+route-map RM permit 10
+  match prefix-list CUST
+  set local-preference 300
+route-map RM permit 20
+  match community-list GOLD
+  set weight 50
+route-map RM deny 30
+  match prefix 192.168.0.0/16
+access-list EDGE deny udp any 10.0.0.0/8
+access-list EDGE permit ip any any
+"#,
+        )
+        .unwrap()
+    }
+
+    fn vsb(permit: bool) -> VsbProfile {
+        let mut v = VsbProfile::ground_truth(Vendor::A);
+        v.default_policy_permit = permit;
+        v.default_acl_permit = permit;
+        v
+    }
+
+    #[test]
+    fn first_matching_entry_decides() {
+        let cfg = cfg();
+        let rm = &cfg.route_maps["RM"];
+        let mut attrs = RouteAttrs::default();
+        attrs.communities.add("100:920".parse().unwrap());
+        // Matches entry 10 (prefix list) before entry 20 (community list).
+        let v = eval_route_map(&cfg, &vsb(true), rm, pfx("10.1.0.0/16"), &attrs);
+        let out = v.permitted().unwrap();
+        assert_eq!(out.local_pref, 300);
+        assert_eq!(out.weight, 0); // entry 20's set not applied
+    }
+
+    #[test]
+    fn later_entry_matches_when_earlier_does_not() {
+        let cfg = cfg();
+        let rm = &cfg.route_maps["RM"];
+        let mut attrs = RouteAttrs::default();
+        attrs.communities.add("100:920".parse().unwrap());
+        let v = eval_route_map(&cfg, &vsb(false), rm, pfx("172.16.0.0/12"), &attrs);
+        let out = v.permitted().unwrap();
+        assert_eq!(out.weight, 50);
+        assert_eq!(out.local_pref, 100);
+    }
+
+    #[test]
+    fn deny_entry_rejects() {
+        let cfg = cfg();
+        let rm = &cfg.route_maps["RM"];
+        let attrs = RouteAttrs::default();
+        let v = eval_route_map(&cfg, &vsb(true), rm, pfx("192.168.0.0/16"), &attrs);
+        assert_eq!(v, PolicyVerdict::Deny);
+    }
+
+    #[test]
+    fn default_policy_vsb_decides_unmatched() {
+        let cfg = cfg();
+        let rm = &cfg.route_maps["RM"];
+        let attrs = RouteAttrs::default();
+        // 172.16/12 without the community matches nothing.
+        let permissive = eval_route_map(&cfg, &vsb(true), rm, pfx("172.16.0.0/12"), &attrs);
+        assert!(permissive.permitted().is_some());
+        let strict = eval_route_map(&cfg, &vsb(false), rm, pfx("172.16.0.0/12"), &attrs);
+        assert_eq!(strict, PolicyVerdict::Deny);
+    }
+
+    #[test]
+    fn unbound_route_map_always_permits() {
+        let cfg = cfg();
+        let attrs = RouteAttrs::default();
+        let v = eval_optional_route_map(&cfg, &vsb(false), None, pfx("172.16.0.0/12"), &attrs);
+        assert!(v.permitted().is_some());
+    }
+
+    #[test]
+    fn missing_route_map_defers_to_vsb() {
+        let cfg = cfg();
+        let attrs = RouteAttrs::default();
+        let v = eval_optional_route_map(&cfg, &vsb(false), Some("NOPE"), pfx("10.1.0.0/16"), &attrs);
+        assert_eq!(v, PolicyVerdict::Deny);
+        let v = eval_optional_route_map(&cfg, &vsb(true), Some("NOPE"), pfx("10.1.0.0/16"), &attrs);
+        assert!(v.permitted().is_some());
+    }
+
+    #[test]
+    fn acl_protocol_and_prefix_matching() {
+        let cfg = cfg();
+        let udp_in = Packet {
+            src: "1.2.3.4".parse().unwrap(),
+            dst: "10.5.0.1".parse().unwrap(),
+            proto: AclProto::Udp,
+        };
+        let tcp_in = Packet {
+            proto: AclProto::Tcp,
+            ..udp_in
+        };
+        assert!(!eval_acl(&cfg, &vsb(true), Some("EDGE"), &udp_in));
+        assert!(eval_acl(&cfg, &vsb(true), Some("EDGE"), &tcp_in));
+        // Unbound ACL permits regardless of VSB.
+        assert!(eval_acl(&cfg, &vsb(false), None, &udp_in));
+    }
+
+    #[test]
+    fn default_acl_vsb_decides_unmatched_packet() {
+        let mut cfg = cfg();
+        // An ACL with only a narrow deny: packets outside it hit the VSB.
+        cfg.acls.insert(
+            "NARROW".into(),
+            vec![AclEntry {
+                action: Action::Deny,
+                proto: AclProto::Ip,
+                src: None,
+                dst: Some(pfx("192.168.0.0/16")),
+            }],
+        );
+        let p = Packet {
+            src: "1.2.3.4".parse().unwrap(),
+            dst: "8.8.8.8".parse().unwrap(),
+            proto: AclProto::Tcp,
+        };
+        assert!(eval_acl(&cfg, &vsb(true), Some("NARROW"), &p));
+        assert!(!eval_acl(&cfg, &vsb(false), Some("NARROW"), &p));
+    }
+
+    #[test]
+    fn set_community_replace_vs_additive() {
+        let cfg = parse_config(
+            "hostname R\nroute-map A permit 10\n set community 1:1\nroute-map B permit 10\n set community 1:1 additive\n",
+        )
+        .unwrap();
+        let mut attrs = RouteAttrs::default();
+        attrs.communities.add("2:2".parse().unwrap());
+        let va = eval_route_map(&cfg, &vsb(true), &cfg.route_maps["A"], pfx("10.0.0.0/8"), &attrs);
+        assert_eq!(va.permitted().unwrap().communities.len(), 1);
+        let vb = eval_route_map(&cfg, &vsb(true), &cfg.route_maps["B"], pfx("10.0.0.0/8"), &attrs);
+        assert_eq!(vb.permitted().unwrap().communities.len(), 2);
+    }
+}

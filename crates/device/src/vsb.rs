@@ -1,0 +1,277 @@
+//! Vendor-specific behavior (VSB) profiles.
+//!
+//! A [`VsbProfile`] captures the eight behavior switches of the paper's
+//! Table 2. Each switch is a semantic default that vendors implement
+//! differently and that no configuration line spells out — exactly the class
+//! of discrepancy the behavior model tuner exists to discover. The
+//! *verifier's assumption* about a vendor and the vendor's *actual* behavior
+//! are both `VsbProfile`s; a flaw in the model is a field where they differ,
+//! and a "patch" (§6) is a field assignment.
+
+use hoyan_config::Vendor;
+
+/// How a vendor treats communities on outbound BGP updates by default.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommunityHandling {
+    /// Communities are kept (sent to the peer).
+    Keep,
+    /// All communities are stripped unless explicitly sent.
+    StripAll,
+    /// Only extended communities are stripped.
+    StripExtended,
+}
+
+/// `remove-private-AS` semantics (the example VSB from the paper's intro).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RemovePrivateAs {
+    /// Remove *every* private AS number from the path.
+    All,
+    /// Remove private AS numbers only until the first public one.
+    LeadingOnly,
+}
+
+/// Which AS numbers a router under `local-as` migration puts in the path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalAsMode {
+    /// Only the configured (old) local AS.
+    OldOnly,
+    /// Both the old and the real (new) AS — lengthens the path.
+    OldAndNew,
+}
+
+/// The eight vendor-specific behaviors of Table 2, as model parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VsbProfile {
+    /// "default ACL": permit (true) or deny packets matching no explicit
+    /// ACL entry. Affected 87.5% of devices in the paper.
+    pub default_acl_permit: bool,
+    /// "default route policy": accept (true) or reject updates matching no
+    /// explicit route-map entry. Affected 82.83%.
+    pub default_policy_permit: bool,
+    /// "(ext) community": outbound community handling. Affected 63.91%.
+    pub community_handling: CommunityHandling,
+    /// "route redistribution": whether 0.0.0.0/0 is redistributed into BGP
+    /// when redistribution is configured. Affected 13.26%.
+    pub redistribute_default_route: bool,
+    /// "AS loop": whether updates whose AS path repeats an AS number are
+    /// accepted. Affected 8.63%.
+    pub allow_as_repetition: bool,
+    /// "remove private AS" semantics. Affected 7.38%.
+    pub remove_private_as: RemovePrivateAs,
+    /// "self-next-hop": whether the router silently rewrites itself as the
+    /// next hop when announcing iBGP updates (to VPN peers). Affected 6.52%.
+    pub self_next_hop_on_ibgp: bool,
+    /// "local AS": path contents during AS migration. Affected 1.32%.
+    pub local_as_mode: LocalAsMode,
+}
+
+impl VsbProfile {
+    /// The *actual* behavior of each synthetic vendor. This is what the
+    /// ground-truth oracle simulator runs; a freshly deployed verifier does
+    /// not know these (see [`VsbProfile::naive_assumption`]).
+    pub fn ground_truth(vendor: Vendor) -> VsbProfile {
+        match vendor {
+            Vendor::A => VsbProfile {
+                default_acl_permit: false,
+                default_policy_permit: true,
+                community_handling: CommunityHandling::Keep,
+                redistribute_default_route: false,
+                allow_as_repetition: false,
+                remove_private_as: RemovePrivateAs::All,
+                self_next_hop_on_ibgp: false,
+                local_as_mode: LocalAsMode::OldOnly,
+            },
+            Vendor::B => VsbProfile {
+                default_acl_permit: true,
+                default_policy_permit: false,
+                community_handling: CommunityHandling::StripAll,
+                redistribute_default_route: true,
+                allow_as_repetition: true,
+                remove_private_as: RemovePrivateAs::LeadingOnly,
+                self_next_hop_on_ibgp: true,
+                local_as_mode: LocalAsMode::OldAndNew,
+            },
+            Vendor::C => VsbProfile {
+                default_acl_permit: true,
+                default_policy_permit: true,
+                community_handling: CommunityHandling::StripExtended,
+                redistribute_default_route: false,
+                allow_as_repetition: false,
+                remove_private_as: RemovePrivateAs::LeadingOnly,
+                self_next_hop_on_ibgp: false,
+                local_as_mode: LocalAsMode::OldAndNew,
+            },
+        }
+    }
+
+    /// The assumption a verifier naturally starts from: every vendor behaves
+    /// like the majority vendor (A). The gap between this and
+    /// [`VsbProfile::ground_truth`] is what drives the Figure 14 accuracy
+    /// curve from <50% to ~100% as the tuner discovers VSBs.
+    pub fn naive_assumption(_vendor: Vendor) -> VsbProfile {
+        VsbProfile::ground_truth(Vendor::A)
+    }
+
+    /// Names of the fields on which `self` and `other` differ — the units
+    /// the tuner localizes and patches, matching Table 2 row names.
+    pub fn diff(&self, other: &VsbProfile) -> Vec<VsbKind> {
+        let mut out = Vec::new();
+        if self.default_acl_permit != other.default_acl_permit {
+            out.push(VsbKind::DefaultAcl);
+        }
+        if self.default_policy_permit != other.default_policy_permit {
+            out.push(VsbKind::DefaultRoutePolicy);
+        }
+        if self.community_handling != other.community_handling {
+            out.push(VsbKind::Community);
+        }
+        if self.redistribute_default_route != other.redistribute_default_route {
+            out.push(VsbKind::RouteRedistribution);
+        }
+        if self.allow_as_repetition != other.allow_as_repetition {
+            out.push(VsbKind::AsLoop);
+        }
+        if self.remove_private_as != other.remove_private_as {
+            out.push(VsbKind::RemovePrivateAs);
+        }
+        if self.self_next_hop_on_ibgp != other.self_next_hop_on_ibgp {
+            out.push(VsbKind::SelfNextHop);
+        }
+        if self.local_as_mode != other.local_as_mode {
+            out.push(VsbKind::LocalAs);
+        }
+        out
+    }
+
+    /// Copies the field identified by `kind` from `truth` into `self` — the
+    /// "patch" an operator writes once the tuner localizes a VSB.
+    pub fn apply_patch(&mut self, kind: VsbKind, truth: &VsbProfile) {
+        match kind {
+            VsbKind::DefaultAcl => self.default_acl_permit = truth.default_acl_permit,
+            VsbKind::DefaultRoutePolicy => {
+                self.default_policy_permit = truth.default_policy_permit
+            }
+            VsbKind::Community => self.community_handling = truth.community_handling,
+            VsbKind::RouteRedistribution => {
+                self.redistribute_default_route = truth.redistribute_default_route
+            }
+            VsbKind::AsLoop => self.allow_as_repetition = truth.allow_as_repetition,
+            VsbKind::RemovePrivateAs => self.remove_private_as = truth.remove_private_as,
+            VsbKind::SelfNextHop => self.self_next_hop_on_ibgp = truth.self_next_hop_on_ibgp,
+            VsbKind::LocalAs => self.local_as_mode = truth.local_as_mode,
+        }
+    }
+}
+
+/// The eight VSB classes of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum VsbKind {
+    /// Default ACL action.
+    DefaultAcl,
+    /// Default route-policy action.
+    DefaultRoutePolicy,
+    /// (Ext) community stripping.
+    Community,
+    /// Default-route redistribution.
+    RouteRedistribution,
+    /// AS-path repetition tolerance.
+    AsLoop,
+    /// remove-private-AS semantics.
+    RemovePrivateAs,
+    /// Self-next-hop on iBGP.
+    SelfNextHop,
+    /// local-AS path contents.
+    LocalAs,
+}
+
+impl VsbKind {
+    /// All eight kinds, in Table 2 order.
+    pub const ALL: [VsbKind; 8] = [
+        VsbKind::DefaultAcl,
+        VsbKind::DefaultRoutePolicy,
+        VsbKind::Community,
+        VsbKind::RouteRedistribution,
+        VsbKind::AsLoop,
+        VsbKind::RemovePrivateAs,
+        VsbKind::SelfNextHop,
+        VsbKind::LocalAs,
+    ];
+
+    /// Table 2 row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VsbKind::DefaultAcl => "default ACL",
+            VsbKind::DefaultRoutePolicy => "default route policy",
+            VsbKind::Community => "(ext) community",
+            VsbKind::RouteRedistribution => "route redistribution",
+            VsbKind::AsLoop => "AS loop",
+            VsbKind::RemovePrivateAs => "remove private AS",
+            VsbKind::SelfNextHop => "self-next-hop",
+            VsbKind::LocalAs => "local AS",
+        }
+    }
+
+    /// Lines of model patch code the paper reports for this VSB ("#
+    /// patch-lines" column of Table 2); used to report the same table.
+    pub fn paper_patch_lines(self) -> usize {
+        match self {
+            VsbKind::DefaultAcl => 40,
+            VsbKind::DefaultRoutePolicy => 39,
+            VsbKind::Community => 46,
+            VsbKind::RouteRedistribution => 30,
+            VsbKind::AsLoop => 26,
+            VsbKind::RemovePrivateAs => 66,
+            VsbKind::SelfNextHop => 13,
+            VsbKind::LocalAs => 17,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_a_is_the_naive_assumption() {
+        for v in [Vendor::A, Vendor::B, Vendor::C] {
+            assert_eq!(
+                VsbProfile::naive_assumption(v),
+                VsbProfile::ground_truth(Vendor::A)
+            );
+        }
+    }
+
+    #[test]
+    fn vendor_a_model_is_already_correct() {
+        let truth = VsbProfile::ground_truth(Vendor::A);
+        let assumed = VsbProfile::naive_assumption(Vendor::A);
+        assert!(assumed.diff(&truth).is_empty());
+    }
+
+    #[test]
+    fn vendor_b_differs_on_all_eight() {
+        let truth = VsbProfile::ground_truth(Vendor::B);
+        let assumed = VsbProfile::naive_assumption(Vendor::B);
+        assert_eq!(assumed.diff(&truth).len(), 8);
+    }
+
+    #[test]
+    fn patches_converge_to_truth() {
+        let truth = VsbProfile::ground_truth(Vendor::C);
+        let mut model = VsbProfile::naive_assumption(Vendor::C);
+        let diffs = model.diff(&truth);
+        for kind in diffs {
+            model.apply_patch(kind, &truth);
+        }
+        assert_eq!(model, truth);
+        assert!(model.diff(&truth).is_empty());
+    }
+
+    #[test]
+    fn table2_metadata_is_complete() {
+        for k in VsbKind::ALL {
+            assert!(!k.name().is_empty());
+            assert!(k.paper_patch_lines() > 0);
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! A hash-consed reduced ordered binary decision diagram (ROBDD) manager.
+//!
+//! Topology conditions in Hoyan are formulas over link-aliveness Booleans.
+//! Storing them as ROBDD nodes in a shared manager gives us:
+//!
+//! - canonical forms, so *impossible* conditions are exactly the `FALSE`
+//!   node (the paper's "dropping impossible conditions" optimization) and
+//!   formula simplification is automatic;
+//! - cheap conjunction/disjunction/negation with memoization;
+//! - the two failure-counting queries the paper issues to its solver:
+//!   [`BddManager::min_failures_to_satisfy`] (used to prune branches that
+//!   can only exist under more than `k` failures) and
+//!   [`BddManager::min_failures_to_falsify`] (the "least link failures which
+//!   causes unreachability" query of §5.4).
+//!
+//! Variable index `i` means "link *i* is alive".
+
+use std::collections::HashMap;
+
+/// A BDD node reference. `Bdd(0)` is FALSE, `Bdd(1)` is TRUE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Bdd(pub u32);
+
+impl Bdd {
+    /// The constant false BDD.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant true BDD.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this is the constant false node.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Whether this is the constant true node.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Whether this is either constant.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// Cost used for "infinitely many failures" (unsatisfiable / unfalsifiable).
+pub const INF_FAILURES: u32 = u32::MAX;
+
+/// The arena and operation caches for a family of BDDs.
+///
+/// All [`Bdd`] handles are only meaningful relative to the manager that
+/// created them. The manager is not thread-safe by design (per-prefix
+/// simulations each own a manager; parallelism is across prefixes).
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    and_cache: HashMap<(Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+    sat_cost: HashMap<Bdd, u32>,
+    falsify_cost: HashMap<Bdd, u32>,
+    /// Lifetime count of and/not operations (diagnostics).
+    pub ops: u64,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        let terminal = Node {
+            var: u32::MAX,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        };
+        BddManager {
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            and_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            sat_cost: HashMap::new(),
+            falsify_cost: HashMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Number of live nodes in the arena (including terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The BDD for "variable `v` is true" (link `v` is alive).
+    pub fn var(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The BDD for "variable `v` is false" (link `v` is down).
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        self.ops += 1;
+        if a.is_false() {
+            return Bdd::TRUE;
+        }
+        if a.is_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return r;
+        }
+        let n = self.nodes[a.0 as usize];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(a, r);
+        self.not_cache.insert(r, a);
+        r
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.ops += 1;
+        if a.is_false() || b.is_false() {
+            return Bdd::FALSE;
+        }
+        if a.is_true() {
+            return b;
+        }
+        if b.is_true() {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let na = self.nodes[a.0 as usize];
+        let nb = self.nodes[b.0 as usize];
+        let (var, alo, ahi, blo, bhi) = if na.var == nb.var {
+            (na.var, na.lo, na.hi, nb.lo, nb.hi)
+        } else if na.var < nb.var {
+            (na.var, na.lo, na.hi, b, b)
+        } else {
+            (nb.var, a, a, nb.lo, nb.hi)
+        };
+        let lo = self.and(alo, blo);
+        let hi = self.and(ahi, bhi);
+        let r = self.mk(var, lo, hi);
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Logical disjunction (via De Morgan to reuse the AND cache).
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    /// `a && !b`.
+    pub fn and_not(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// Logical implication `a -> b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Logical biconditional `a <-> b`.
+    pub fn iff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let i1 = self.implies(a, b);
+        let i2 = self.implies(b, a);
+        self.and(i1, i2)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let e = self.iff(a, b);
+        self.not(e)
+    }
+
+    /// Conjunction over an iterator; `TRUE` for the empty sequence.
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for b in items {
+            acc = self.and(acc, b);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator; `FALSE` for the empty sequence.
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for b in items {
+            acc = self.or(acc, b);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction with *failure-budget saturation*: the accumulation stops
+    /// and returns `TRUE` as soon as the partial disjunction can no longer
+    /// be falsified by at most `k` link failures — within the `≤ k`-failure
+    /// ball the two are equivalent, and the saturated form stays small
+    /// (ECMP-rich topologies otherwise produce exponentially large
+    /// monotone-DNF BDDs). Pass `k = None` for the exact disjunction.
+    pub fn or_all_within<I: IntoIterator<Item = Bdd>>(&mut self, items: I, k: Option<u32>) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for b in items {
+            acc = self.or(acc, b);
+            if acc.is_true() {
+                break;
+            }
+            if let Some(k) = k {
+                if self.min_failures_to_falsify(acc) > k {
+                    return Bdd::TRUE;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Evaluates a BDD under a total assignment (`assignment[v]` = variable
+    /// `v` is true). Variables beyond the slice default to `true`, matching
+    /// the "all links alive" baseline of topology conditions.
+    pub fn eval(&self, mut b: Bdd, assignment: &[bool]) -> bool {
+        while !b.is_const() {
+            let n = self.nodes[b.0 as usize];
+            let value = assignment.get(n.var as usize).copied().unwrap_or(true);
+            b = if value { n.hi } else { n.lo };
+        }
+        b.is_true()
+    }
+
+    /// Number of distinct nodes reachable from `b` — the "formula length"
+    /// metric reported in Figures 11 and 13.
+    pub fn size(&self, b: Bdd) -> usize {
+        if b.is_const() {
+            return 1;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len() + 1
+    }
+
+    /// The distinct variables `b` depends on, ascending.
+    pub fn support(&self, b: Bdd) -> Vec<u32> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Minimum number of variables that must be **false** (links down) in
+    /// some satisfying assignment of `b`. Returns [`INF_FAILURES`] when `b`
+    /// is unsatisfiable.
+    ///
+    /// A condition with `min_failures_to_satisfy > k` can only hold when
+    /// more than `k` links have failed, so the branch carrying it is pruned
+    /// during a `k`-failure simulation (§5.6, "dropping more-than-k-failure
+    /// conditions"). Implemented as a memoized shortest-path walk where
+    /// taking a node's false-branch costs 1.
+    pub fn min_failures_to_satisfy(&mut self, b: Bdd) -> u32 {
+        if b.is_true() {
+            return 0;
+        }
+        if b.is_false() {
+            return INF_FAILURES;
+        }
+        if let Some(&c) = self.sat_cost.get(&b) {
+            return c;
+        }
+        let n = self.nodes[b.0 as usize];
+        let hi = self.min_failures_to_satisfy(n.hi);
+        let lo = self.min_failures_to_satisfy(n.lo);
+        let cost = hi.min(lo.saturating_add(1));
+        self.sat_cost.insert(b, cost);
+        cost
+    }
+
+    /// Minimum number of variables that must be **false** to falsify `b`.
+    /// Returns [`INF_FAILURES`] when `b` is a tautology *restricted to
+    /// all-other-variables-true* — i.e. no set of link failures can falsify
+    /// it.
+    ///
+    /// This answers the paper's availability query: a destination is
+    /// reachable under every `≤ k`-failure scenario iff the disjunction `V`
+    /// of its RIB-rule conditions has `min_failures_to_falsify(V) > k`.
+    pub fn min_failures_to_falsify(&mut self, b: Bdd) -> u32 {
+        if b.is_false() {
+            return 0;
+        }
+        if b.is_true() {
+            return INF_FAILURES;
+        }
+        if let Some(&c) = self.falsify_cost.get(&b) {
+            return c;
+        }
+        let n = self.nodes[b.0 as usize];
+        let hi = self.min_failures_to_falsify(n.hi);
+        let lo = self.min_failures_to_falsify(n.lo);
+        let cost = hi.min(lo.saturating_add(1));
+        self.falsify_cost.insert(b, cost);
+        cost
+    }
+
+    /// A concrete minimal failure set (links to bring down) that falsifies
+    /// `b`, or `None` if no failure set can. Unmentioned variables stay up.
+    pub fn min_falsifying_failures(&mut self, b: Bdd) -> Option<Vec<u32>> {
+        if self.min_failures_to_falsify(b) == INF_FAILURES {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = b;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            let hi = self.min_failures_to_falsify(n.hi);
+            let lo = self.min_failures_to_falsify(n.lo);
+            if hi <= lo.saturating_add(1) {
+                cur = n.hi;
+            } else {
+                out.push(n.var);
+                cur = n.lo;
+            }
+        }
+        debug_assert!(cur.is_false());
+        Some(out)
+    }
+
+    /// A concrete minimal failure set under which `b` holds, or `None` if
+    /// unsatisfiable.
+    pub fn min_satisfying_failures(&mut self, b: Bdd) -> Option<Vec<u32>> {
+        if self.min_failures_to_satisfy(b) == INF_FAILURES {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = b;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            let hi = self.min_failures_to_satisfy(n.hi);
+            let lo = self.min_failures_to_satisfy(n.lo);
+            if hi <= lo.saturating_add(1) {
+                cur = n.hi;
+            } else {
+                out.push(n.var);
+                cur = n.lo;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(out)
+    }
+
+    /// The `(var, lo, hi)` triple of an internal node, or `None` for the
+    /// terminals. Exposed for cross-manager transfer.
+    pub fn node_triple(&self, b: Bdd) -> Option<(u32, Bdd, Bdd)> {
+        if b.is_const() {
+            return None;
+        }
+        let n = self.nodes[b.0 as usize];
+        Some((n.var, n.lo, n.hi))
+    }
+
+    /// Imports a BDD built in another manager into this one. Variable
+    /// indices are preserved (they denote the same links network-wide).
+    pub fn import(&mut self, src: &BddManager, b: Bdd) -> Bdd {
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        self.import_rec(src, b, &mut memo)
+    }
+
+    fn import_rec(&mut self, src: &BddManager, b: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if b.is_const() {
+            return b;
+        }
+        if let Some(&r) = memo.get(&b) {
+            return r;
+        }
+        let (var, lo, hi) = src.node_triple(b).expect("non-const node");
+        let lo = self.import_rec(src, lo, memo);
+        let hi = self.import_rec(src, hi, memo);
+        let r = self.mk(var, lo, hi);
+        memo.insert(b, r);
+        r
+    }
+
+    /// Restricts `b` by fixing variable `v` to `value`.
+    pub fn restrict(&mut self, b: Bdd, v: u32, value: bool) -> Bdd {
+        if b.is_const() {
+            return b;
+        }
+        let n = self.nodes[b.0 as usize];
+        if n.var > v {
+            return b;
+        }
+        if n.var == v {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, value);
+        let hi = self.restrict(n.hi, v, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Counts satisfying assignments over `nvars` variables.
+    pub fn count_models(&self, b: Bdd, nvars: u32) -> u128 {
+        fn go(
+            mgr: &BddManager,
+            b: Bdd,
+            nvars: u32,
+            cache: &mut HashMap<Bdd, u128>,
+        ) -> u128 {
+            // Returns count weighted as if b's top var were var 0.
+            if b.is_false() {
+                return 0;
+            }
+            if b.is_true() {
+                return 1;
+            }
+            if let Some(&c) = cache.get(&b) {
+                return c;
+            }
+            let n = mgr.nodes[b.0 as usize];
+            let lo = go(mgr, n.lo, nvars, cache);
+            let hi = go(mgr, n.hi, nvars, cache);
+            let lo_gap = mgr.gap(n.lo, n.var, nvars);
+            let hi_gap = mgr.gap(n.hi, n.var, nvars);
+            let c = (lo << lo_gap) + (hi << hi_gap);
+            cache.insert(b, c);
+            c
+        }
+        let mut cache = HashMap::new();
+        let c = go(self, b, nvars, &mut cache);
+        let top_var = if b.is_const() {
+            nvars
+        } else {
+            self.nodes[b.0 as usize].var
+        };
+        c << top_var.min(nvars)
+    }
+
+    fn gap(&self, child: Bdd, parent_var: u32, nvars: u32) -> u32 {
+        let child_var = if child.is_const() {
+            nvars
+        } else {
+            self.nodes[child.0 as usize].var
+        };
+        child_var - parent_var - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let mut m = BddManager::new();
+        assert!(Bdd::TRUE.is_true() && Bdd::FALSE.is_false());
+        assert_eq!(m.and(Bdd::TRUE, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(Bdd::TRUE, Bdd::FALSE), Bdd::TRUE);
+        assert_eq!(m.not(Bdd::TRUE), Bdd::FALSE);
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        // (a & b) | (a & !b) == a
+        let nb = m.not(b);
+        let anb = m.and(a, nb);
+        let u = m.or(ab, anb);
+        assert_eq!(u, a);
+    }
+
+    #[test]
+    fn contradiction_and_tautology_collapse() {
+        let mut m = BddManager::new();
+        let a = m.var(3);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+        assert_eq!(m.or(a, na), Bdd::TRUE);
+        let t = m.implies(a, a);
+        assert!(t.is_true());
+    }
+
+    #[test]
+    fn eval_defaults_to_alive() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(9);
+        let f = m.and(a, b);
+        // Unlisted variables default to true.
+        assert!(m.eval(f, &[]));
+        assert!(!m.eval(f, &[false]));
+        assert!(m.eval(f, &[true, false, false]));
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // D's RIB for subnet N: V = (a1&a4) | (!a1 & a2 & a3 & a4).
+        // The paper observes a4=false falsifies V — one failure suffices.
+        let mut m = BddManager::new();
+        let a1 = m.var(1);
+        let a2 = m.var(2);
+        let a3 = m.var(3);
+        let a4 = m.var(4);
+        let r3 = m.and(a1, a4);
+        let na1 = m.not(a1);
+        let r4 = m.and_all([na1, a2, a3, a4]);
+        let v = m.or(r3, r4);
+        assert_eq!(m.min_failures_to_falsify(v), 1);
+        assert_eq!(m.min_falsifying_failures(v), Some(vec![4]));
+        // With all links alive V holds.
+        assert!(m.eval(v, &[]));
+        // r4 requires a1 down: needs exactly one failure to be satisfiable.
+        assert_eq!(m.min_failures_to_satisfy(r4), 1);
+        // r3 holds with zero failures.
+        assert_eq!(m.min_failures_to_satisfy(r3), 0);
+    }
+
+    #[test]
+    fn min_failures_extremes() {
+        let mut m = BddManager::new();
+        assert_eq!(m.min_failures_to_satisfy(Bdd::FALSE), INF_FAILURES);
+        assert_eq!(m.min_failures_to_satisfy(Bdd::TRUE), 0);
+        assert_eq!(m.min_failures_to_falsify(Bdd::TRUE), INF_FAILURES);
+        assert_eq!(m.min_failures_to_falsify(Bdd::FALSE), 0);
+        // !a1 & !a2 needs two failures to hold.
+        let n1 = m.nvar(1);
+        let n2 = m.nvar(2);
+        let f = m.and(n1, n2);
+        assert_eq!(m.min_failures_to_satisfy(f), 2);
+        assert_eq!(m.min_satisfying_failures(f), Some(vec![1, 2]));
+        // a1 | a2 needs two failures to falsify.
+        let a1 = m.var(1);
+        let a2 = m.var(2);
+        let g = m.or(a1, a2);
+        assert_eq!(m.min_failures_to_falsify(g), 2);
+    }
+
+    #[test]
+    fn restrict_fixes_variables() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b);
+        let f_a_false = m.restrict(f, 0, false);
+        assert_eq!(f_a_false, b);
+        let f_a_true = m.restrict(f, 0, true);
+        assert!(f_a_true.is_true());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let mut m = BddManager::new();
+        assert_eq!(m.size(Bdd::TRUE), 1);
+        let a = m.var(0);
+        assert_eq!(m.size(a), 2); // var node + terminals counted as one
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert!(m.size(ab) >= 3);
+    }
+
+    #[test]
+    fn support_lists_dependencies() {
+        let mut m = BddManager::new();
+        let a = m.var(2);
+        let b = m.var(7);
+        let f = m.xor(a, b);
+        assert_eq!(m.support(f), vec![2, 7]);
+        assert!(m.support(Bdd::TRUE).is_empty());
+    }
+
+    #[test]
+    fn count_models_small() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b);
+        assert_eq!(m.count_models(f, 2), 3);
+        let g = m.and(a, b);
+        assert_eq!(m.count_models(g, 2), 1);
+        assert_eq!(m.count_models(Bdd::TRUE, 3), 8);
+        assert_eq!(m.count_models(Bdd::FALSE, 3), 0);
+        // Single var over 3 vars: 4 models.
+        assert_eq!(m.count_models(a, 3), 4);
+        let c = m.var(2);
+        assert_eq!(m.count_models(c, 3), 4);
+    }
+
+    #[test]
+    fn import_preserves_semantics() {
+        let mut src = BddManager::new();
+        let a = src.var(1);
+        let b = src.var(3);
+        let nb = src.not(b);
+        let f = src.or(a, nb);
+        let mut dst = BddManager::new();
+        // Pre-populate dst differently so node ids diverge.
+        let _ = dst.var(7);
+        let g = dst.import(&src, f);
+        for bits in 0..16u32 {
+            let assign: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(src.eval(f, &assign), dst.eval(g, &assign));
+        }
+        assert_eq!(dst.import(&src, Bdd::TRUE), Bdd::TRUE);
+    }
+
+    #[test]
+    fn and_or_all() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        let all = m.and_all(vars.iter().copied());
+        assert_eq!(m.min_failures_to_falsify(all), 1);
+        let any = m.or_all(vars.iter().copied());
+        assert_eq!(m.min_failures_to_falsify(any), 4);
+        assert!(m.and_all(std::iter::empty()).is_true());
+        assert!(m.or_all(std::iter::empty()).is_false());
+    }
+}

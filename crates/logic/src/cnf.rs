@@ -1,0 +1,332 @@
+//! Conjunctive normal form with a Tseitin translation from [`Formula`],
+//! plus cardinality (`at-most-k`) constraints used by failure-bounded
+//! queries in the Minesweeper-style baseline.
+
+use crate::formula::Formula;
+
+/// A propositional variable (0-based index).
+pub type Var = u32;
+
+/// A literal: a variable with a sign. Encoded as `2*var + sign` where
+/// `sign == 1` means negated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// A positive literal for `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// A negative literal for `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Whether the literal is satisfied by `value` of its variable.
+    pub fn satisfied_by(self, value: bool) -> bool {
+        value != self.is_neg()
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_neg() {
+            write!(f, "!x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// A CNF instance under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// Clauses; each is a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+    /// Number of variables allocated so far.
+    pub num_vars: u32,
+}
+
+impl Cnf {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures variables `0..=v` exist.
+    pub fn ensure_var(&mut self, v: Var) {
+        self.num_vars = self.num_vars.max(v + 1);
+    }
+
+    /// Adds a clause (empty clauses make the instance trivially UNSAT).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.ensure_var(l.var());
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds unit clause `lit`.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause([lit]);
+    }
+
+    /// Tseitin-encodes `f`, adding a definition for every connective, and
+    /// returns the literal equivalent to `f`. Call [`Cnf::assert_lit`] on it
+    /// to assert the formula.
+    ///
+    /// Formula variables map to CNF variables with identical indices.
+    pub fn tseitin(&mut self, f: &Formula) -> Lit {
+        if let Some(mv) = f.max_var() {
+            self.ensure_var(mv);
+        }
+        self.tseitin_inner(f)
+    }
+
+    fn tseitin_inner(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::Const(c) => {
+                let v = self.fresh_var();
+                let lit = Lit::pos(v);
+                self.add_unit(if *c { lit } else { lit.negate() });
+                lit
+            }
+            Formula::Var(v) => Lit::pos(*v),
+            Formula::Not(inner) => self.tseitin_inner(inner).negate(),
+            Formula::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|x| self.tseitin_inner(x)).collect();
+                let out = Lit::pos(self.fresh_var());
+                // out -> each lit
+                for l in &lits {
+                    self.add_clause([out.negate(), *l]);
+                }
+                // all lits -> out
+                let mut clause: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+                clause.push(out);
+                self.add_clause(clause);
+                out
+            }
+            Formula::Or(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|x| self.tseitin_inner(x)).collect();
+                let out = Lit::pos(self.fresh_var());
+                // each lit -> out
+                for l in &lits {
+                    self.add_clause([l.negate(), out]);
+                }
+                // out -> some lit
+                let mut clause = lits;
+                clause.push(out.negate());
+                self.add_clause(clause);
+                out
+            }
+            Formula::Imp(a, b) => {
+                let fa = self.tseitin_inner(a);
+                let fb = self.tseitin_inner(b);
+                let out = Lit::pos(self.fresh_var());
+                // out <-> (!fa | fb)
+                self.add_clause([out.negate(), fa.negate(), fb]);
+                self.add_clause([fa, out]);
+                self.add_clause([fb.negate(), out]);
+                out
+            }
+            Formula::Iff(a, b) => {
+                let fa = self.tseitin_inner(a);
+                let fb = self.tseitin_inner(b);
+                let out = Lit::pos(self.fresh_var());
+                self.add_clause([out.negate(), fa.negate(), fb]);
+                self.add_clause([out.negate(), fa, fb.negate()]);
+                self.add_clause([out, fa, fb]);
+                self.add_clause([out, fa.negate(), fb.negate()]);
+                out
+            }
+        }
+    }
+
+    /// Asserts that `lit` holds.
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.add_unit(lit);
+    }
+
+    /// Asserts `f` via Tseitin translation, after constant folding.
+    /// Asserting `Const(true)` adds nothing; `Const(false)` adds the empty
+    /// clause (trivially UNSAT).
+    pub fn assert_formula(&mut self, f: &Formula) {
+        if let Some(mv) = f.max_var() {
+            self.ensure_var(mv);
+        }
+        match f.fold_consts() {
+            Formula::Const(true) => {}
+            Formula::Const(false) => self.add_clause([]),
+            folded => {
+                let lit = self.tseitin(&folded);
+                self.assert_lit(lit);
+            }
+        }
+    }
+
+    /// Adds a sequential-counter encoding of "at most `k` of `lits` are
+    /// true". With `k = 0` it simply negates every literal.
+    pub fn at_most_k(&mut self, lits: &[Lit], k: usize) {
+        if k >= lits.len() {
+            return;
+        }
+        if k == 0 {
+            for l in lits {
+                self.add_unit(l.negate());
+            }
+            return;
+        }
+        // Sinz 2005 sequential counter: registers s[i][j] = "at least j+1 of
+        // the first i+1 literals are true".
+        let n = lits.len();
+        let mut s = vec![vec![0 as Var; k]; n];
+        for (i, row) in s.iter_mut().enumerate().take(n) {
+            for slot in row.iter_mut() {
+                *slot = self.fresh_var();
+            }
+            let _ = i;
+        }
+        self.add_clause([lits[0].negate(), Lit::pos(s[0][0])]);
+        for j in 1..k {
+            self.add_unit(Lit::neg(s[0][j]));
+        }
+        for i in 1..n {
+            self.add_clause([lits[i].negate(), Lit::pos(s[i][0])]);
+            self.add_clause([Lit::neg(s[i - 1][0]), Lit::pos(s[i][0])]);
+            for j in 1..k {
+                self.add_clause([
+                    lits[i].negate(),
+                    Lit::neg(s[i - 1][j - 1]),
+                    Lit::pos(s[i][j]),
+                ]);
+                self.add_clause([Lit::neg(s[i - 1][j]), Lit::pos(s[i][j])]);
+            }
+            self.add_clause([lits[i].negate(), Lit::neg(s[i - 1][k - 1])]);
+        }
+    }
+
+    /// Total literal count across all clauses — the "formula size" metric
+    /// used when comparing against the Minesweeper-style encoding (§8.2).
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatResult, Solver};
+
+    fn solve(cnf: &Cnf) -> SatResult {
+        Solver::from_cnf(cnf).solve()
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let p = Lit::pos(5);
+        let n = Lit::neg(5);
+        assert_eq!(p.var(), 5);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+        assert!(p.satisfied_by(true));
+        assert!(n.satisfied_by(false));
+        assert_eq!(p.to_string(), "x5");
+        assert_eq!(n.to_string(), "!x5");
+    }
+
+    #[test]
+    fn tseitin_preserves_satisfiability() {
+        // (a | b) & (!a | !b): XOR, satisfiable.
+        let f = Formula::and(
+            Formula::or(Formula::var(0), Formula::var(1)),
+            Formula::or(Formula::not(Formula::var(0)), Formula::not(Formula::var(1))),
+        );
+        let mut cnf = Cnf::new();
+        cnf.assert_formula(&f);
+        let res = solve(&cnf);
+        let model = res.model().expect("should be SAT");
+        assert!(f.eval(&model));
+    }
+
+    #[test]
+    fn tseitin_unsat() {
+        let f = Formula::and(Formula::var(0), Formula::not(Formula::var(0)));
+        let mut cnf = Cnf::new();
+        cnf.assert_formula(&f);
+        assert!(solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn at_most_zero_forces_all_false() {
+        let mut cnf = Cnf::new();
+        let lits: Vec<Lit> = (0..4).map(Lit::pos).collect();
+        for l in &lits {
+            cnf.ensure_var(l.var());
+        }
+        cnf.at_most_k(&lits, 0);
+        cnf.add_unit(Lit::pos(2));
+        assert!(solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn at_most_k_bounds_count() {
+        // Force 3 of 5 true with an at-most-2 constraint: UNSAT.
+        let mut cnf = Cnf::new();
+        let lits: Vec<Lit> = (0..5).map(Lit::pos).collect();
+        for l in &lits {
+            cnf.ensure_var(l.var());
+        }
+        cnf.at_most_k(&lits, 2);
+        cnf.add_unit(Lit::pos(0));
+        cnf.add_unit(Lit::pos(1));
+        cnf.add_unit(Lit::pos(2));
+        assert!(solve(&cnf).is_unsat());
+
+        // Exactly 2 true is fine.
+        let mut cnf = Cnf::new();
+        for l in &lits {
+            cnf.ensure_var(l.var());
+        }
+        cnf.at_most_k(&lits, 2);
+        cnf.add_unit(Lit::pos(0));
+        cnf.add_unit(Lit::pos(1));
+        let res = solve(&cnf);
+        let model = res.model().expect("SAT");
+        let true_count = (0..5).filter(|&v| model[v]).count();
+        assert!(true_count <= 2);
+    }
+
+    #[test]
+    fn at_most_k_noop_when_k_ge_n() {
+        let mut cnf = Cnf::new();
+        let lits: Vec<Lit> = (0..3).map(Lit::pos).collect();
+        cnf.at_most_k(&lits, 3);
+        assert!(cnf.clauses.is_empty());
+    }
+}

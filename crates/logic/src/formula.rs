@@ -1,0 +1,253 @@
+//! A small propositional formula AST.
+//!
+//! The AST is the lingua franca between subsystems that *describe* logic
+//! (racing encodings, the Minesweeper-style baseline) and the engines that
+//! *decide* it (the BDD manager, the CDCL solver). It also carries a
+//! brute-force evaluator that the property tests use as the oracle.
+
+use std::fmt;
+
+use crate::bdd::{Bdd, BddManager};
+
+/// A propositional formula over numbered variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// Constant.
+    Const(bool),
+    /// Variable `v`.
+    Var(u32),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (true when empty).
+    And(Vec<Formula>),
+    /// N-ary disjunction (false when empty).
+    Or(Vec<Formula>),
+    /// Implication.
+    Imp(Box<Formula>, Box<Formula>),
+    /// Biconditional.
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Variable helper.
+    pub fn var(v: u32) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Negation helper.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Binary conjunction helper.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(vec![a, b])
+    }
+
+    /// Binary disjunction helper.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![a, b])
+    }
+
+    /// Implication helper.
+    pub fn imp(a: Formula, b: Formula) -> Formula {
+        Formula::Imp(Box::new(a), Box::new(b))
+    }
+
+    /// Biconditional helper.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates under a total assignment; missing variables default true.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::Const(c) => *c,
+            Formula::Var(v) => assignment.get(*v as usize).copied().unwrap_or(true),
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Imp(a, b) => !a.eval(assignment) || b.eval(assignment),
+            Formula::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// Folds constants away. The result contains no `Const` nodes unless the
+    /// whole formula is constant.
+    pub fn fold_consts(&self) -> Formula {
+        match self {
+            Formula::Const(c) => Formula::Const(*c),
+            Formula::Var(v) => Formula::Var(*v),
+            Formula::Not(f) => match f.fold_consts() {
+                Formula::Const(c) => Formula::Const(!c),
+                g => Formula::not(g),
+            },
+            Formula::And(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    match f.fold_consts() {
+                        Formula::Const(false) => return Formula::Const(false),
+                        Formula::Const(true) => {}
+                        g => out.push(g),
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(true),
+                    1 => out.pop().unwrap(),
+                    _ => Formula::And(out),
+                }
+            }
+            Formula::Or(fs) => {
+                let mut out = Vec::new();
+                for f in fs {
+                    match f.fold_consts() {
+                        Formula::Const(true) => return Formula::Const(true),
+                        Formula::Const(false) => {}
+                        g => out.push(g),
+                    }
+                }
+                match out.len() {
+                    0 => Formula::Const(false),
+                    1 => out.pop().unwrap(),
+                    _ => Formula::Or(out),
+                }
+            }
+            Formula::Imp(a, b) => match (a.fold_consts(), b.fold_consts()) {
+                (Formula::Const(false), _) => Formula::Const(true),
+                (Formula::Const(true), g) => g,
+                (_, Formula::Const(true)) => Formula::Const(true),
+                (g, Formula::Const(false)) => Formula::not(g),
+                (g, h) => Formula::imp(g, h),
+            },
+            Formula::Iff(a, b) => match (a.fold_consts(), b.fold_consts()) {
+                (Formula::Const(true), g) | (g, Formula::Const(true)) => g,
+                (Formula::Const(false), g) | (g, Formula::Const(false)) => match g {
+                    Formula::Const(c) => Formula::Const(!c),
+                    g => Formula::not(g),
+                },
+                (g, h) => Formula::iff(g, h),
+            },
+        }
+    }
+
+    /// Largest variable index mentioned, or `None` for a constant formula.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Formula::Const(_) => None,
+            Formula::Var(v) => Some(*v),
+            Formula::Not(f) => f.max_var(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(|f| f.max_var()).max(),
+            Formula::Imp(a, b) | Formula::Iff(a, b) => a.max_var().max(b.max_var()),
+        }
+    }
+
+    /// Compiles to a BDD in `mgr`.
+    pub fn to_bdd(&self, mgr: &mut BddManager) -> Bdd {
+        match self {
+            Formula::Const(true) => Bdd::TRUE,
+            Formula::Const(false) => Bdd::FALSE,
+            Formula::Var(v) => mgr.var(*v),
+            Formula::Not(f) => {
+                let x = f.to_bdd(mgr);
+                mgr.not(x)
+            }
+            Formula::And(fs) => {
+                let mut acc = Bdd::TRUE;
+                for f in fs {
+                    let x = f.to_bdd(mgr);
+                    acc = mgr.and(acc, x);
+                    if acc.is_false() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Or(fs) => {
+                let mut acc = Bdd::FALSE;
+                for f in fs {
+                    let x = f.to_bdd(mgr);
+                    acc = mgr.or(acc, x);
+                    if acc.is_true() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Formula::Imp(a, b) => {
+                let x = a.to_bdd(mgr);
+                let y = b.to_bdd(mgr);
+                mgr.implies(x, y)
+            }
+            Formula::Iff(a, b) => {
+                let x = a.to_bdd(mgr);
+                let y = b.to_bdd(mgr);
+                mgr.iff(x, y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(c) => write!(f, "{c}"),
+            Formula::Var(v) => write!(f, "a{v}"),
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" & "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            Formula::Imp(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <-> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let f = Formula::and(Formula::var(0), Formula::not(Formula::var(1)));
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+        // Missing variables default to true.
+        assert!(!f.eval(&[true]));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Formula::And(vec![]).eval(&[]));
+        assert!(!Formula::Or(vec![]).eval(&[]));
+    }
+
+    #[test]
+    fn to_bdd_matches_eval() {
+        let f = Formula::iff(
+            Formula::imp(Formula::var(0), Formula::var(1)),
+            Formula::or(Formula::not(Formula::var(0)), Formula::var(1)),
+        );
+        let mut m = BddManager::new();
+        let b = f.to_bdd(&mut m);
+        assert!(b.is_true()); // tautology
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::and(Formula::var(1), Formula::not(Formula::var(4)));
+        assert_eq!(f.to_string(), "(a1 & !(a4))");
+    }
+
+    #[test]
+    fn max_var() {
+        let f = Formula::or(Formula::var(3), Formula::and(Formula::var(9), Formula::Const(true)));
+        assert_eq!(f.max_var(), Some(9));
+        assert_eq!(Formula::Const(false).max_var(), None);
+    }
+}

@@ -1,0 +1,550 @@
+//! A CDCL SAT solver: two-literal watching, first-UIP clause learning,
+//! VSIDS-style activities and Luby restarts.
+//!
+//! This is the "small-scale SMT" engine of the reproduction: all of Hoyan's
+//! solver queries are propositional (link-aliveness Booleans and
+//! route-selection indicator Booleans), so a SAT solver with model
+//! enumeration covers them. Route-update racing detection (Appendix B)
+//! literally asks "does this formula have more than one solution?", which is
+//! [`Solver::count_models`] with a limit of 2.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Outcome of a solve call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model (`model[v]` = value of variable `v`).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<Vec<bool>> {
+        match self {
+            SatResult::Sat(m) => Some(m.clone()),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is UNSAT.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+type ClauseRef = u32;
+
+const NO_REASON: ClauseRef = u32::MAX;
+
+fn lit_value(assign: &[i8], l: Lit) -> i8 {
+    match assign[l.var() as usize] {
+        -1 => -1,
+        v => {
+            if l.is_neg() {
+                1 - v
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// A CDCL solver instance. Build one per query with [`Solver::from_cnf`];
+/// incremental clause addition between solves is supported via
+/// [`Solver::add_clause`] (used by model enumeration).
+pub struct Solver {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+    /// watches[lit.0] = clause indices currently watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<i8>, // -1 unassigned, 0 false, 1 true
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    unsat: bool,
+    conflicts: u64,
+    /// Statistics: total conflicts seen over the solver's lifetime.
+    pub total_conflicts: u64,
+}
+
+impl Solver {
+    /// Builds a solver over `cnf`'s clauses.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::with_vars(cnf.num_vars);
+        for c in &cnf.clauses {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    /// An empty solver with `num_vars` variables.
+    pub fn with_vars(num_vars: u32) -> Self {
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); (num_vars as usize) * 2],
+            assign: vec![-1; num_vars as usize],
+            level: vec![0; num_vars as usize],
+            reason: vec![NO_REASON; num_vars as usize],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars as usize],
+            var_inc: 1.0,
+            unsat: false,
+            conflicts: 0,
+            total_conflicts: 0,
+        }
+    }
+
+    /// Grows the variable space so variables `0..n` all exist.
+    pub fn reserve_vars(&mut self, n: u32) {
+        debug_assert_eq!(self.decision_level(), 0);
+        while self.num_vars < n {
+            self.num_vars += 1;
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.assign.push(-1);
+            self.level.push(0);
+            self.reason.push(NO_REASON);
+            self.activity.push(0.0);
+        }
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        lit_value(&self.assign, l)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Must be called at decision level 0 (between solves).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.unsat {
+            return;
+        }
+        // Simplify: drop duplicate and false-at-level-0 literals; detect
+        // tautologies and satisfied clauses.
+        lits.sort();
+        lits.dedup();
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return; // l and !l: tautology
+            }
+            i += 1;
+        }
+        lits.retain(|l| self.value(*l) != 0);
+        if lits.iter().any(|l| self.value(*l) == 1) {
+            return;
+        }
+        match lits.len() {
+            0 => {
+                self.unsat = true;
+            }
+            1 => {
+                self.enqueue(lits[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as ClauseRef;
+                self.watches[lits[0].0 as usize].push(idx);
+                self.watches[lits[1].0 as usize].push(idx);
+                self.clauses.push(Clause { lits });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value(l), -1);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { 0 } else { 1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns a conflicting clause index on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negate();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.0 as usize]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                // Ensure false_lit is at position 1. Borrow clause storage
+                // and the assignment separately so we can read values while
+                // rearranging literals.
+                let assign = &self.assign;
+                let lits = &mut self.clauses[cref as usize].lits;
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
+                if lit_value(assign, first) == 1 {
+                    i += 1;
+                    continue; // already satisfied
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..lits.len() {
+                    if lit_value(assign, lits[k]) != 0 {
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[new_watch.0 as usize].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == 0 {
+                    // Conflict: restore remaining watches.
+                    self.watches[false_lit.0 as usize] = ws;
+                    return Some(cref);
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+            self.watches[false_lit.0 as usize] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
+        let mut seen = vec![false; self.num_vars as usize];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        let cur_level = self.decision_level();
+
+        loop {
+            let start = if p.is_some() { 1 } else { 0 };
+            let clause_lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[p.unwrap().var() as usize];
+            debug_assert_ne!(confl, NO_REASON);
+            // p is lits[0] of its reason clause by construction.
+        }
+        learned[0] = p.unwrap().negate();
+
+        let backjump = if learned.len() == 1 {
+            0
+        } else {
+            // Second-highest level in the clause; move that literal to slot 1.
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var() as usize] > self.level[learned[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            self.level[learned[1].var() as usize]
+        };
+        (learned, backjump)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                self.assign[l.var() as usize] = -1;
+                self.reason[l.var() as usize] = NO_REASON;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0;
+        for v in 0..self.num_vars {
+            if self.assign[v as usize] == -1 && self.activity[v as usize] > best_act {
+                best = Some(v);
+                best_act = self.activity[v as usize];
+            }
+        }
+        // Phase saving would go here; default to false (links-down-last is
+        // irrelevant since callers interpret models themselves).
+        best.map(Lit::neg)
+    }
+
+    /// The Luby restart sequence (1 1 2 1 1 2 4 ...), 1-indexed.
+    fn luby(mut i: u64) -> u64 {
+        debug_assert!(i >= 1);
+        loop {
+            let k = 64 - i.leading_zeros() as u64; // 2^(k-1) <= i < 2^k
+            if i == (1 << k) - 1 {
+                return 1 << (k - 1);
+            }
+            i = i - (1 << (k - 1)) + 1;
+        }
+    }
+
+    /// Decides satisfiability, returning a total model when SAT.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_count = 1u64;
+        let mut conflict_budget = 64 * Self::luby(restart_count);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                self.total_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                let (learned, backjump) = self.analyze(confl);
+                self.cancel_until(backjump);
+                self.var_inc *= 1.0 / 0.95;
+                let assert_lit = learned[0];
+                if learned.len() == 1 {
+                    self.enqueue(assert_lit, NO_REASON);
+                } else {
+                    let idx = self.clauses.len() as ClauseRef;
+                    self.watches[learned[0].0 as usize].push(idx);
+                    self.watches[learned[1].0 as usize].push(idx);
+                    self.clauses.push(Clause { lits: learned });
+                    self.enqueue(assert_lit, idx);
+                }
+                if self.conflicts >= conflict_budget {
+                    self.conflicts = 0;
+                    restart_count += 1;
+                    conflict_budget = 64 * Self::luby(restart_count);
+                    self.cancel_until(0);
+                }
+            } else if let Some(decision) = self.decide() {
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(decision, NO_REASON);
+            } else {
+                // All variables assigned: SAT.
+                let model: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
+                self.cancel_until(0);
+                return SatResult::Sat(model);
+            }
+        }
+    }
+
+    /// Counts models projected onto `vars`, up to `limit`. Each discovered
+    /// model is blocked with a clause over `vars` and the solver re-runs.
+    ///
+    /// Racing detection calls this with the route-selection indicator
+    /// variables and `limit = 2`: two or more projected models mean the
+    /// configuration converges differently under different arrival orders.
+    pub fn count_models(&mut self, vars: &[Var], limit: usize) -> Vec<Vec<bool>> {
+        if let Some(&max) = vars.iter().max() {
+            self.reserve_vars(max + 1);
+        }
+        let mut found = Vec::new();
+        while found.len() < limit {
+            match self.solve() {
+                SatResult::Unsat => break,
+                SatResult::Sat(model) => {
+                    let projected: Vec<bool> = vars.iter().map(|&v| model[v as usize]).collect();
+                    // Block this projection.
+                    let blocking: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| {
+                            if model[v as usize] {
+                                Lit::neg(v)
+                            } else {
+                                Lit::pos(v)
+                            }
+                        })
+                        .collect();
+                    found.push(projected);
+                    if blocking.is_empty() {
+                        break; // single possible projection
+                    }
+                    self.add_clause(blocking);
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use crate::formula::Formula;
+
+    fn lit(v: i32) -> Lit {
+        if v < 0 {
+            Lit::neg((-v - 1) as u32)
+        } else {
+            Lit::pos((v - 1) as u32)
+        }
+    }
+
+    fn solver_with(clauses: &[&[i32]], nvars: u32) -> Solver {
+        let mut s = Solver::with_vars(nvars);
+        for c in clauses {
+            s.add_clause(c.iter().map(|&v| lit(v)).collect());
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = solver_with(&[&[1]], 1);
+        assert_eq!(s.solve(), SatResult::Sat(vec![true]));
+        let mut s = solver_with(&[&[1], &[-1]], 1);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::with_vars(1);
+        s.add_clause(vec![]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautological_clause_is_dropped() {
+        let mut s = Solver::with_vars(1);
+        s.add_clause(vec![lit(1), lit(-1)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x1, x1->x2, x2->x3 forces all true.
+        let mut s = solver_with(&[&[1], &[-1, 2], &[-2, 3]], 3);
+        assert_eq!(s.solve(), SatResult::Sat(vec![true, true, true]));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. Vars: 1..=6 as (i*2 + j + 1).
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![(i * 2 + 1) as i32, (i * 2 + 2) as i32]);
+        }
+        for j in 0..2i32 {
+            for a in 0..3i32 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-(a * 2 + j + 1), -(b * 2 + j + 1)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(&refs, 6);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn model_enumeration_counts_projections() {
+        // x0 free, x1 = !x0: two models projected on (x0,x1).
+        let f = Formula::iff(Formula::var(1), Formula::not(Formula::var(0)));
+        let mut cnf = Cnf::new();
+        cnf.assert_formula(&f);
+        let mut s = Solver::from_cnf(&cnf);
+        let models = s.count_models(&[0, 1], 10);
+        assert_eq!(models.len(), 2);
+        assert!(models.contains(&vec![true, false]));
+        assert!(models.contains(&vec![false, true]));
+    }
+
+    #[test]
+    fn model_enumeration_respects_limit() {
+        let mut cnf = Cnf::new();
+        for v in 0..4 {
+            cnf.ensure_var(v);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        let models = s.count_models(&[0, 1, 2, 3], 5);
+        assert_eq!(models.len(), 5); // 16 exist, limit caps at 5
+    }
+
+    #[test]
+    fn racing_formula_from_paper_has_two_solutions() {
+        // Figure 1(c): I_DBA = I_DB, I_CA = !I_DBA, I_CAB = I_CA, I_DB = !I_CAB.
+        // Vars: 0=I_DB, 1=I_DBA, 2=I_CA, 3=I_CAB.
+        let f = Formula::And(vec![
+            Formula::iff(Formula::var(1), Formula::var(0)),
+            Formula::iff(Formula::var(2), Formula::not(Formula::var(1))),
+            Formula::iff(Formula::var(3), Formula::var(2)),
+            Formula::iff(Formula::var(0), Formula::not(Formula::var(3))),
+        ]);
+        let mut cnf = Cnf::new();
+        cnf.assert_formula(&f);
+        let mut s = Solver::from_cnf(&cnf);
+        let models = s.count_models(&[0, 1, 2, 3], 3);
+        assert_eq!(models.len(), 2, "ambiguous convergence has exactly two solutions");
+        assert!(models.contains(&vec![false, false, true, true]));
+        assert!(models.contains(&vec![true, true, false, false]));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the BDD engine and the CDCL solver must both agree with
+//! the brute-force formula evaluator on random small formulas.
+
+use hoyan_logic::{bdd::INF_FAILURES, BddManager, Cnf, Formula, Solver};
+use proptest::prelude::*;
+
+const NVARS: u32 = 6;
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Formula::Var),
+        any::<bool>().prop_map(Formula::Const),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::not(f)),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::Or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::imp(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::iff(a, b)),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|v| bits & (1 << v) != 0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_agrees_with_eval(f in arb_formula()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        for a in assignments() {
+            prop_assert_eq!(mgr.eval(b, &a), f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn sat_agrees_with_brute_force(f in arb_formula()) {
+        let brute_sat = assignments().any(|a| f.eval(&a));
+        let mut cnf = Cnf::new();
+        cnf.assert_formula(&f);
+        let result = Solver::from_cnf(&cnf).solve();
+        prop_assert_eq!(result.is_sat(), brute_sat);
+        if let Some(model) = result.model() {
+            prop_assert!(f.eval(&model));
+        }
+    }
+
+    #[test]
+    fn min_failure_costs_agree_with_brute_force(f in arb_formula()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        // Brute force: cost = number of false vars among the NVARS.
+        let mut best_sat = None::<u32>;
+        let mut best_falsify = None::<u32>;
+        for a in assignments() {
+            let down = a.iter().filter(|x| !**x).count() as u32;
+            if f.eval(&a) {
+                best_sat = Some(best_sat.map_or(down, |c| c.min(down)));
+            } else {
+                best_falsify = Some(best_falsify.map_or(down, |c| c.min(down)));
+            }
+        }
+        prop_assert_eq!(
+            mgr.min_failures_to_satisfy(b),
+            best_sat.unwrap_or(INF_FAILURES)
+        );
+        prop_assert_eq!(
+            mgr.min_failures_to_falsify(b),
+            best_falsify.unwrap_or(INF_FAILURES)
+        );
+    }
+
+    #[test]
+    fn count_models_agrees_with_brute_force(f in arb_formula()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        let brute = assignments().filter(|a| f.eval(a)).count() as u128;
+        prop_assert_eq!(mgr.count_models(b, NVARS), brute);
+    }
+
+    #[test]
+    fn model_enumeration_matches_model_count(f in arb_formula()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        let brute = assignments().filter(|a| f.eval(a)).count();
+        let mut cnf = Cnf::new();
+        // Establish the projection universe before Tseitin allocates
+        // auxiliary variables, as real encoders do.
+        cnf.ensure_var(NVARS - 1);
+        cnf.assert_formula(&f);
+        let vars: Vec<u32> = (0..NVARS).collect();
+        let models = Solver::from_cnf(&cnf).count_models(&vars, 1 << NVARS);
+        prop_assert_eq!(models.len(), brute);
+        prop_assert_eq!(mgr.count_models(b, NVARS) as usize, brute);
+        // Every enumerated projection satisfies the formula.
+        for m in &models {
+            prop_assert!(f.eval(m));
+        }
+    }
+
+    #[test]
+    fn restrict_matches_semantic_restriction(f in arb_formula(), v in 0..NVARS, val in any::<bool>()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        let r = mgr.restrict(b, v, val);
+        for mut a in assignments() {
+            a[v as usize] = val;
+            prop_assert_eq!(mgr.eval(r, &a), f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn min_falsifying_failures_is_minimal_and_valid(f in arb_formula()) {
+        let mut mgr = BddManager::new();
+        let b = f.to_bdd(&mut mgr);
+        if let Some(fails) = mgr.min_falsifying_failures(b) {
+            // Applying exactly that failure set (others alive) falsifies b.
+            let mut a = vec![true; NVARS as usize];
+            for v in &fails {
+                a[*v as usize] = false;
+            }
+            prop_assert!(!f.eval(&a));
+            prop_assert_eq!(fails.len() as u32, mgr.min_failures_to_falsify(b));
+        } else {
+            prop_assert_eq!(mgr.min_failures_to_falsify(b), INF_FAILURES);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! BGP AS paths and the operations route policies perform on them.
+//!
+//! Several of the vendor-specific behaviors the paper catalogs (Table 2) are
+//! AS-path operations — `remove-private-AS` semantics, AS-loop tolerance and
+//! `local-as` migration — so the primitive operations live here and the
+//! vendor-dependent *choice* of operation lives in `hoyan-device`.
+
+use std::fmt;
+
+/// A BGP autonomous-system number.
+pub type AsNum = u32;
+
+/// First AS number of the 16-bit private range.
+pub const FIRST_PRIVATE_AS: AsNum = 64512;
+/// Last AS number of the 16-bit private range.
+pub const LAST_PRIVATE_AS: AsNum = 65534;
+
+/// Whether `asn` falls in the private-use range.
+pub fn is_private_as(asn: AsNum) -> bool {
+    (FIRST_PRIVATE_AS..=LAST_PRIVATE_AS).contains(&asn)
+}
+
+/// An AS path: the sequence of AS numbers a route has traversed, most recent
+/// (nearest) first, as carried in BGP UPDATE messages.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AsPath(Vec<AsNum>);
+
+impl AsPath {
+    /// The empty path (a locally originated route, shown as `i` in RIBs).
+    pub fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// Builds a path from nearest-first AS numbers.
+    pub fn from_slice(asns: &[AsNum]) -> Self {
+        AsPath(asns.to_vec())
+    }
+
+    /// Number of AS hops (the metric used in best-path selection).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for locally originated routes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The AS numbers, nearest first.
+    pub fn asns(&self) -> &[AsNum] {
+        &self.0
+    }
+
+    /// Returns a new path with `asn` prepended (done once per eBGP hop).
+    pub fn prepend(&self, asn: AsNum) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// Returns a new path with `asns` prepended in order.
+    pub fn prepend_all(&self, asns: &[AsNum]) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + asns.len());
+        v.extend_from_slice(asns);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// Whether the path already contains `asn` — the standard eBGP loop check.
+    pub fn contains(&self, asn: AsNum) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Whether any AS number appears more than once (an AS repetition, which
+    /// some vendors permit and others reject — the "AS loop" VSB).
+    pub fn has_repetition(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.0.iter().any(|asn| !seen.insert(*asn))
+    }
+
+    /// `remove-private-AS`, vendor A semantics: strips *every* private AS
+    /// number from the path.
+    pub fn remove_private_all(&self) -> AsPath {
+        AsPath(self.0.iter().copied().filter(|a| !is_private_as(*a)).collect())
+    }
+
+    /// `remove-private-AS`, vendor B semantics: strips private AS numbers
+    /// only from the front of the path, stopping at the first public one.
+    pub fn remove_private_leading(&self) -> AsPath {
+        let skip = self.0.iter().take_while(|a| is_private_as(**a)).count();
+        AsPath(self.0[skip..].to_vec())
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "i");
+        }
+        let parts: Vec<String> = self.0.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join("-"))
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_orders_nearest_first() {
+        let p = AsPath::empty().prepend(100).prepend(200).prepend(300);
+        assert_eq!(p.asns(), &[300, 200, 100]);
+        assert_eq!(p.to_string(), "300-200-100");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn empty_path_displays_as_origin() {
+        assert_eq!(AsPath::empty().to_string(), "i");
+        assert!(AsPath::empty().is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let p = AsPath::from_slice(&[100, 200, 300]);
+        assert!(p.contains(200));
+        assert!(!p.contains(400));
+        assert!(!p.has_repetition());
+        assert!(AsPath::from_slice(&[100, 200, 100]).has_repetition());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(is_private_as(64512));
+        assert!(is_private_as(65534));
+        assert!(!is_private_as(64511));
+        assert!(!is_private_as(65535));
+    }
+
+    #[test]
+    fn remove_private_all_vs_leading() {
+        // Vendor A removes every private AS; vendor B stops at the first
+        // public one — the example from the paper's introduction.
+        let p = AsPath::from_slice(&[64512, 100, 64513, 200]);
+        assert_eq!(p.remove_private_all().asns(), &[100, 200]);
+        assert_eq!(p.remove_private_leading().asns(), &[100, 64513, 200]);
+    }
+
+    #[test]
+    fn remove_private_on_fully_private_path() {
+        let p = AsPath::from_slice(&[64512, 64513]);
+        assert!(p.remove_private_all().is_empty());
+        assert!(p.remove_private_leading().is_empty());
+    }
+
+    #[test]
+    fn prepend_all_for_local_as_migration() {
+        // The "local AS" VSB: some vendors prepend only the old AS, others
+        // prepend both old and new.
+        let p = AsPath::from_slice(&[100]);
+        assert_eq!(p.prepend_all(&[65001, 200]).asns(), &[65001, 200, 100]);
+    }
+}

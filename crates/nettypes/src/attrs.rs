@@ -1,0 +1,144 @@
+//! Route attributes and identifiers.
+//!
+//! [`RouteAttrs`] is the record the whole system converses in: the simulator
+//! propagates it, policies rewrite it, the route selector ranks it, and the
+//! tuner compares it field-by-field (the "extended RIB" of §6 is exactly
+//! "all attributes of a route that can make impacts in route selection").
+
+use std::fmt;
+
+use crate::aspath::AsPath;
+use crate::community::CommunitySet;
+
+/// Identifies a device (router) in a network model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Identifies an undirected link in a network model. The link's aliveness is
+/// also the index of its Boolean variable in topology conditions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// BGP origin attribute, ranked IGP < EGP < Incomplete (lower is better).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Origin {
+    /// Originated by an IGP / `network` statement.
+    #[default]
+    Igp,
+    /// Learned via EGP (historic).
+    Egp,
+    /// Redistributed or otherwise incomplete.
+    Incomplete,
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Igp => write!(f, "i"),
+            Origin::Egp => write!(f, "e"),
+            Origin::Incomplete => write!(f, "?"),
+        }
+    }
+}
+
+/// Default BGP local preference when none is set.
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// All selection-relevant attributes of a route.
+///
+/// `isis_weight` exists because Hoyan verifies IS-IS by *translating it into
+/// a path-vector protocol* whose nodes carry a transitive weight attribute
+/// ranked above AS-path length (Appendix C); reusing the same record keeps
+/// one propagation engine for both protocols.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RouteAttrs {
+    /// Cisco-style per-router weight; highest wins, never propagated.
+    pub weight: u32,
+    /// Local preference; highest wins, propagated over iBGP only.
+    pub local_pref: u32,
+    /// The AS path; shortest wins.
+    pub as_path: AsPath,
+    /// Origin code; lowest wins.
+    pub origin: Origin,
+    /// Multi-exit discriminator; lowest wins.
+    pub med: u32,
+    /// Communities attached to the route.
+    pub communities: CommunitySet,
+    /// Accumulated IS-IS weight (only meaningful for translated IS-IS
+    /// routes); lowest wins and outranks AS-path length.
+    pub isis_weight: u64,
+}
+
+impl Default for RouteAttrs {
+    fn default() -> Self {
+        RouteAttrs {
+            weight: 0,
+            local_pref: DEFAULT_LOCAL_PREF,
+            as_path: AsPath::empty(),
+            origin: Origin::Igp,
+            med: 0,
+            communities: CommunitySet::new(),
+            isis_weight: 0,
+        }
+    }
+}
+
+impl RouteAttrs {
+    /// A fresh locally-originated route.
+    pub fn originated() -> Self {
+        RouteAttrs::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_ranking() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+        assert_eq!(Origin::Igp.to_string(), "i");
+        assert_eq!(Origin::Incomplete.to_string(), "?");
+    }
+
+    #[test]
+    fn defaults_match_bgp_conventions() {
+        let a = RouteAttrs::default();
+        assert_eq!(a.weight, 0);
+        assert_eq!(a.local_pref, 100);
+        assert_eq!(a.med, 0);
+        assert!(a.as_path.is_empty());
+        assert!(a.communities.is_empty());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+    }
+}

@@ -1,0 +1,216 @@
+//! BGP community values and sets.
+//!
+//! Communities matter to Hoyan twice over: they are matched and set by route
+//! policies, and whether a vendor *keeps or strips* them on outbound updates
+//! by default is one of the highest-impact VSBs the paper found (63.91% of
+//! devices affected, Figure 6).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::prefix::PrefixParseError;
+
+/// A community value. Standard communities are `asn:value` pairs packed into
+/// 32 bits; extended communities get a flag so the "ext community" VSB can
+/// treat them separately.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Community {
+    /// Packed `asn:value` (high 16 bits : low 16 bits).
+    pub raw: u32,
+    /// True for extended communities (stripped by some vendors by default).
+    pub extended: bool,
+}
+
+impl Community {
+    /// A standard community `asn:value`.
+    pub fn std(asn: u16, value: u16) -> Self {
+        Community {
+            raw: ((asn as u32) << 16) | value as u32,
+            extended: false,
+        }
+    }
+
+    /// An extended community `asn:value`.
+    pub fn ext(asn: u16, value: u16) -> Self {
+        Community {
+            raw: ((asn as u32) << 16) | value as u32,
+            extended: true,
+        }
+    }
+
+    /// The administrator (AS) half.
+    pub fn asn(self) -> u16 {
+        (self.raw >> 16) as u16
+    }
+
+    /// The value half.
+    pub fn value(self) -> u16 {
+        self.raw as u16
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.extended {
+            write!(f, "ext:{}:{}", self.asn(), self.value())
+        } else {
+            write!(f, "{}:{}", self.asn(), self.value())
+        }
+    }
+}
+
+impl fmt::Debug for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Community {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (s, extended) = match s.strip_prefix("ext:") {
+            Some(rest) => (rest, true),
+            None => (s, false),
+        };
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| PrefixParseError(s.to_string()))?;
+        let asn: u16 = a.parse().map_err(|_| PrefixParseError(s.to_string()))?;
+        let value: u16 = v.parse().map_err(|_| PrefixParseError(s.to_string()))?;
+        Ok(if extended {
+            Community::ext(asn, value)
+        } else {
+            Community::std(asn, value)
+        })
+    }
+}
+
+/// An ordered set of communities attached to a route.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct CommunitySet(BTreeSet<Community>);
+
+impl CommunitySet {
+    /// The empty set.
+    pub fn new() -> Self {
+        CommunitySet::default()
+    }
+
+    /// Builds a set from a list of communities.
+    pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        CommunitySet(iter.into_iter().collect())
+    }
+
+    /// Adds a community, returning whether it was newly inserted.
+    pub fn add(&mut self, c: Community) -> bool {
+        self.0.insert(c)
+    }
+
+    /// Removes a community, returning whether it was present.
+    pub fn remove(&mut self, c: Community) -> bool {
+        self.0.remove(&c)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Community) -> bool {
+        self.0.contains(&c)
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns the set with all standard communities removed (the
+    /// strip-on-send behavior of some vendors).
+    pub fn without_standard(&self) -> CommunitySet {
+        CommunitySet(self.0.iter().copied().filter(|c| c.extended).collect())
+    }
+
+    /// Returns the set with all extended communities removed.
+    pub fn without_extended(&self) -> CommunitySet {
+        CommunitySet(self.0.iter().copied().filter(|c| !c.extended).collect())
+    }
+
+    /// Returns the empty set (strip everything).
+    pub fn cleared(&self) -> CommunitySet {
+        CommunitySet::new()
+    }
+}
+
+impl fmt::Display for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "-");
+        }
+        let parts: Vec<String> = self.0.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+impl fmt::Debug for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let c: Community = "920:1".parse().unwrap();
+        assert_eq!(c, Community::std(920, 1));
+        assert_eq!(c.to_string(), "920:1");
+        let e: Community = "ext:100:5".parse().unwrap();
+        assert!(e.extended);
+        assert_eq!(e.to_string(), "ext:100:5");
+        assert!("junk".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s = CommunitySet::new();
+        assert!(s.add(Community::std(100, 1)));
+        assert!(!s.add(Community::std(100, 1)));
+        assert!(s.add(Community::ext(100, 2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Community::std(100, 1)));
+        assert!(s.remove(Community::std(100, 1)));
+        assert!(!s.remove(Community::std(100, 1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stripping_variants() {
+        let s = CommunitySet::from_iter([
+            Community::std(100, 1),
+            Community::ext(100, 2),
+            Community::std(200, 3),
+        ]);
+        assert_eq!(s.without_standard().len(), 1);
+        assert_eq!(s.without_extended().len(), 2);
+        assert!(s.cleared().is_empty());
+        // The original is untouched.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn display_empty_as_dash() {
+        // RIB dumps in the paper show "-" for no communities (Figure 6).
+        assert_eq!(CommunitySet::new().to_string(), "-");
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Fundamental network types shared by every Hoyan subsystem.
+//!
+//! This crate is dependency-free and holds the vocabulary of the verifier:
+//! IPv4 prefixes and a longest-prefix-match trie, BGP path attributes
+//! (AS paths, communities, local preference, MED, weight, origin), and the
+//! [`RouteAttrs`] record that route updates, RIB rules and extended-RIB
+//! comparisons are all built from.
+
+pub mod aspath;
+pub mod attrs;
+pub mod community;
+pub mod prefix;
+pub mod trie;
+
+pub use aspath::{is_private_as, AsNum, AsPath, FIRST_PRIVATE_AS, LAST_PRIVATE_AS};
+pub use attrs::{LinkId, NodeId, Origin, RouteAttrs, DEFAULT_LOCAL_PREF};
+pub use community::{Community, CommunitySet};
+pub use prefix::{pfx, Ipv4Addr, Ipv4Prefix, PrefixParseError};
+pub use trie::PrefixTrie;

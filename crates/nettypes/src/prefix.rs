@@ -1,0 +1,275 @@
+//! IPv4 addresses and prefixes.
+//!
+//! Prefixes are stored canonicalized: host bits below the mask are always
+//! zero, so two textual spellings of the same prefix compare equal.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address, stored as a big-endian `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error produced when parsing an address or prefix from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for slot in &mut octets {
+            let part = parts
+                .next()
+                .ok_or_else(|| PrefixParseError(s.to_string()))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| PrefixParseError(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(PrefixParseError(s.to_string()));
+        }
+        let [a, b, c, d] = octets;
+        Ok(Ipv4Addr::new(a, b, c, d))
+    }
+}
+
+/// An IPv4 prefix in CIDR form, canonicalized so host bits are zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Builds a prefix from a network address and length, masking host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Ipv4Prefix {
+            bits: addr.0 & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The all-zero default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { bits: 0, len: 0 };
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// The network address (host bits zero).
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr(self.bits)
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route.
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains_addr(self, addr: Ipv4Addr) -> bool {
+        addr.0 & Self::mask(self.len) == self.bits
+    }
+
+    /// Whether `other` is a (non-strict) subset of this prefix.
+    pub fn contains(self, other: Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains_addr(other.network())
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` at `/0`.
+    pub fn parent(self) -> Option<Ipv4Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Ipv4Prefix::new(Ipv4Addr(self.bits), self.len - 1))
+        }
+    }
+
+    /// The two halves of this prefix, or `None` at `/32`.
+    pub fn children(self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let left = Ipv4Prefix {
+            bits: self.bits,
+            len: self.len + 1,
+        };
+        let right = Ipv4Prefix {
+            bits: self.bits | (1 << (31 - self.len as u32)),
+            len: self.len + 1,
+        };
+        Some((left, right))
+    }
+
+    /// Bit `i` of the network address counting from the most significant bit.
+    pub fn bit(self, i: u8) -> bool {
+        debug_assert!(i < 32);
+        self.bits & (1 << (31 - i as u32)) != 0
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse()?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| PrefixParseError(s.to_string()))?;
+        if len > 32 {
+            return Err(PrefixParseError(s.to_string()));
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// Convenience constructor used pervasively in tests: `"10.0.1.0/24".parse()`
+/// with a panic on malformed input.
+pub fn pfx(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap_or_else(|_| panic!("bad prefix literal {s}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        let a: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        assert_eq!(a.octets(), [10, 1, 2, 3]);
+        assert_eq!(a.to_string(), "10.1.2.3");
+    }
+
+    #[test]
+    fn addr_parse_rejects_garbage() {
+        assert!("10.1.2".parse::<Ipv4Addr>().is_err());
+        assert!("10.1.2.3.4".parse::<Ipv4Addr>().is_err());
+        assert!("10.1.2.256".parse::<Ipv4Addr>().is_err());
+        assert!("ten.one.two.three".parse::<Ipv4Addr>().is_err());
+    }
+
+    #[test]
+    fn prefix_canonicalizes_host_bits() {
+        let a = pfx("10.0.1.7/24");
+        let b = pfx("10.0.1.0/24");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn prefix_parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let big = pfx("10.0.0.0/8");
+        let small = pfx("10.1.0.0/16");
+        assert!(big.contains(small));
+        assert!(!small.contains(big));
+        assert!(big.contains(big));
+        assert!(!big.contains(pfx("11.0.0.0/16")));
+        assert!(big.contains_addr("10.200.0.1".parse().unwrap()));
+        assert!(!big.contains_addr("11.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_route() {
+        assert!(Ipv4Prefix::DEFAULT.is_default());
+        assert!(Ipv4Prefix::DEFAULT.contains(pfx("192.168.0.0/16")));
+        assert_eq!(Ipv4Prefix::DEFAULT.to_string(), "0.0.0.0/0");
+        assert_eq!(pfx("0.0.0.0/0"), Ipv4Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let p = pfx("10.0.1.0/31");
+        let (l, r) = p.children().unwrap();
+        assert_eq!(l, pfx("10.0.1.0/32"));
+        assert_eq!(r, pfx("10.0.1.1/32"));
+        assert_eq!(l.parent().unwrap(), p);
+        assert_eq!(r.parent().unwrap(), p);
+        assert!(pfx("1.2.3.4/32").children().is_none());
+        assert!(Ipv4Prefix::DEFAULT.parent().is_none());
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let p = pfx("128.0.0.0/1");
+        assert!(p.bit(0));
+        let q = pfx("64.0.0.0/2");
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+}

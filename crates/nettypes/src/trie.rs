@@ -1,0 +1,272 @@
+//! A binary prefix trie with longest-prefix match.
+//!
+//! Used for FIB lookup during packet reachability (§5.5: "based on longest
+//! prefix or other built-in logic") and by prefix-lists in route policies.
+
+use crate::prefix::{Ipv4Addr, Ipv4Prefix};
+
+/// A map from IPv4 prefixes to values supporting exact and longest-prefix
+/// lookups. Nodes are stored in a flat arena; children indices of 0 mean
+/// "absent" (index 0 is the root, which is never a child).
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: Option<T>,
+    children: [u32; 2],
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node {
+                value: None,
+                children: [0, 0],
+            }],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn descend_or_create(&mut self, prefix: Ipv4Prefix) -> usize {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            idx = if next == 0 {
+                let new = self.nodes.len();
+                self.nodes.push(Node {
+                    value: None,
+                    children: [0, 0],
+                });
+                self.nodes[idx].children[dir] = new as u32;
+                new
+            } else {
+                next
+            };
+        }
+        idx
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let idx = self.descend_or_create(prefix);
+        let old = self.nodes[idx].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Looks up the exact prefix.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            if next == 0 {
+                return None;
+            }
+            idx = next;
+        }
+        self.nodes[idx].value.as_ref()
+    }
+
+    /// Mutable exact lookup.
+    pub fn get_mut(&mut self, prefix: Ipv4Prefix) -> Option<&mut T> {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            if next == 0 {
+                return None;
+            }
+            idx = next;
+        }
+        self.nodes[idx].value.as_mut()
+    }
+
+    /// Removes the value at the exact prefix (nodes are not compacted).
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            if next == 0 {
+                return None;
+            }
+            idx = next;
+        }
+        let old = self.nodes[idx].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for an address: the most specific stored prefix
+    /// containing `addr`, with its value.
+    pub fn lpm(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &T)> {
+        let full = Ipv4Prefix::new(addr, 32);
+        let mut idx = 0usize;
+        let mut best: Option<(u8, usize)> = self.nodes[0].value.as_ref().map(|_| (0u8, 0usize));
+        for i in 0..32u8 {
+            let dir = full.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            if next == 0 {
+                break;
+            }
+            idx = next;
+            if self.nodes[idx].value.is_some() {
+                best = Some((i + 1, idx));
+            }
+        }
+        best.map(|(len, idx)| {
+            (
+                Ipv4Prefix::new(addr, len),
+                self.nodes[idx].value.as_ref().expect("tracked Some"),
+            )
+        })
+    }
+
+    /// All stored prefixes (with values) that contain `addr`, shortest first.
+    pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Ipv4Prefix, &T)> {
+        let full = Ipv4Prefix::new(addr, 32);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        if let Some(v) = self.nodes[0].value.as_ref() {
+            out.push((Ipv4Prefix::DEFAULT, v));
+        }
+        for i in 0..32u8 {
+            let dir = full.bit(i) as usize;
+            let next = self.nodes[idx].children[dir] as usize;
+            if next == 0 {
+                break;
+            }
+            idx = next;
+            if let Some(v) = self.nodes[idx].value.as_ref() {
+                out.push((Ipv4Prefix::new(addr, i + 1), v));
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in depth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![(0usize, 0u32, 0u8)]; // (node, bits, len)
+        while let Some((idx, bits, len)) = stack.pop() {
+            if let Some(v) = self.nodes[idx].value.as_ref() {
+                out.push((Ipv4Prefix::new(Ipv4Addr(bits), len), v));
+            }
+            for dir in [1usize, 0usize] {
+                let next = self.nodes[idx].children[dir] as usize;
+                if next != 0 {
+                    let bit = if dir == 1 { 1u32 << (31 - len as u32) } else { 0 };
+                    stack.push((next, bits | bit, len + 1));
+                }
+            }
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::pfx;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(pfx("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(pfx("10.0.0.0/9")), None);
+        assert_eq!(t.remove(pfx("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(pfx("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, "default");
+        t.insert(pfx("10.0.0.0/8"), "eight");
+        t.insert(pfx("10.1.0.0/16"), "sixteen");
+        let (p, v) = t.lpm("10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(p, pfx("10.1.0.0/16"));
+        assert_eq!(*v, "sixteen");
+        let (p, v) = t.lpm("10.2.0.1".parse().unwrap()).unwrap();
+        assert_eq!(p, pfx("10.0.0.0/8"));
+        assert_eq!(*v, "eight");
+        let (p, v) = t.lpm("192.168.0.1".parse().unwrap()).unwrap();
+        assert_eq!(p, Ipv4Prefix::DEFAULT);
+        assert_eq!(*v, "default");
+    }
+
+    #[test]
+    fn lpm_without_default_can_miss() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), ());
+        assert!(t.lpm("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn matches_lists_all_covering_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, 0);
+        t.insert(pfx("10.0.0.0/8"), 8);
+        t.insert(pfx("10.1.0.0/16"), 16);
+        t.insert(pfx("10.1.2.0/24"), 24);
+        let m = t.matches("10.1.2.3".parse().unwrap());
+        let lens: Vec<u8> = m.iter().map(|(p, _)| p.len()).collect();
+        assert_eq!(lens, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t = PrefixTrie::new();
+        let ps = ["10.0.0.0/8", "10.1.0.0/16", "192.168.1.0/24", "0.0.0.0/0"];
+        for (i, p) in ps.iter().enumerate() {
+            t.insert(pfx(p), i);
+        }
+        let mut got: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = ps.iter().map(|p| pfx(p).to_string()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn host_route_lookup() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.1.5/32"), "host");
+        let (p, v) = t.lpm("10.0.1.5".parse().unwrap()).unwrap();
+        assert_eq!(p.len(), 32);
+        assert_eq!(*v, "host");
+        assert!(t.lpm("10.0.1.6".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Update-plan generation with injected configuration errors — the workload
+//! behind the Figure 7 campaign and the §7 case studies.
+//!
+//! Each [`InjectedUpdate`] is an *incremental command script* for one device
+//! (merged onto the snapshot with `hoyan_config::apply_update`), optionally
+//! carrying a seeded error of one of the paper's §7 classes.
+
+use hoyan_config::apply_update;
+use hoyan_nettypes::Ipv4Prefix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wan::Wan;
+
+/// The §7 error classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ErrorClass {
+    /// §7.1: raise the static preference on a PE whose eBGP preference was
+    /// specially configured to 30 — the static stops being used.
+    WrongStaticPreference,
+    /// §7.2: announce an IP prefix already used elsewhere (missing filter /
+    /// address recovery confusion) — an IP conflict.
+    IpConflict,
+    /// §7.1/Fig 1: add an egress weight-rewriting policy on an iBGP session
+    /// of a dual-announced prefix — convergence becomes arrival-order
+    /// dependent.
+    RacingWeightPolicy,
+    /// §7.2: add an inbound deny on one router of a redundant PE pair but
+    /// not its twin — breaks the equivalent-role property.
+    EquivalenceBreak,
+}
+
+impl ErrorClass {
+    /// All classes.
+    pub const ALL: [ErrorClass; 4] = [
+        ErrorClass::WrongStaticPreference,
+        ErrorClass::IpConflict,
+        ErrorClass::RacingWeightPolicy,
+        ErrorClass::EquivalenceBreak,
+    ];
+}
+
+/// One update in a plan: an incremental script for one device.
+#[derive(Clone, Debug)]
+pub struct InjectedUpdate {
+    /// Target device hostname.
+    pub device: String,
+    /// The incremental command lines.
+    pub script: String,
+    /// The injected error, if this update is faulty.
+    pub error: Option<ErrorClass>,
+    /// A prefix relevant to checking the update (if any).
+    pub focus_prefix: Option<Ipv4Prefix>,
+}
+
+/// A batch of updates (e.g. one month's operations).
+#[derive(Clone, Debug)]
+pub struct UpdatePlan {
+    /// The updates in application order.
+    pub updates: Vec<InjectedUpdate>,
+}
+
+impl UpdatePlan {
+    /// Generates a plan of `n` updates against `wan`; each update is faulty
+    /// with probability `error_rate`. Deterministic in `seed`.
+    pub fn generate(wan: &Wan, seed: u64, n: usize, error_rate: f64) -> UpdatePlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut updates = Vec::new();
+        for i in 0..n {
+            let faulty = rng.gen_bool(error_rate);
+            let update = if faulty {
+                let class = ErrorClass::ALL[rng.gen_range(0..ErrorClass::ALL.len())];
+                Self::faulty_update(wan, &mut rng, class, i)
+            } else {
+                Self::benign_update(wan, &mut rng, i)
+            };
+            if let Some(u) = update {
+                updates.push(u);
+            }
+        }
+        UpdatePlan { updates }
+    }
+
+    /// A harmless update: add a new, unused customer prefix announcement on
+    /// a DC edge (footprint expansion — the most common daily operation).
+    fn benign_update(wan: &Wan, rng: &mut StdRng, salt: usize) -> Option<InjectedUpdate> {
+        let dcs: Vec<&str> = wan
+            .hostnames()
+            .into_iter()
+            .filter(|h| h.starts_with("DC"))
+            .collect();
+        if dcs.is_empty() {
+            return None;
+        }
+        let dc = dcs[rng.gen_range(0..dcs.len())];
+        let new_prefix: Ipv4Prefix = format!("10.200.{}.0/24", salt % 250).parse().unwrap();
+        // Announce it at the DC and admit it at the PE's prefix list.
+        Some(InjectedUpdate {
+            device: dc.to_string(),
+            script: format!("router bgp 0\n network {new_prefix}\n"),
+            error: None,
+            focus_prefix: Some(new_prefix),
+        })
+    }
+
+    fn faulty_update(
+        wan: &Wan,
+        rng: &mut StdRng,
+        class: ErrorClass,
+        salt: usize,
+    ) -> Option<InjectedUpdate> {
+        match class {
+            ErrorClass::WrongStaticPreference => {
+                let pe = wan.old_pes.get(salt % wan.old_pes.len().max(1))?.clone();
+                let cfg = wan.config(&pe)?;
+                let s = cfg.static_routes.first()?;
+                Some(InjectedUpdate {
+                    device: pe.clone(),
+                    script: format!(
+                        "no ip route {p} {nh}\nip route {p} {nh} preference 150\n",
+                        p = s.prefix,
+                        nh = s.next_hop
+                    ),
+                    error: Some(ErrorClass::WrongStaticPreference),
+                    focus_prefix: Some(s.prefix),
+                })
+            }
+            ErrorClass::IpConflict => {
+                // Announce somebody else's prefix from a different DC edge.
+                let victim = wan.customer_prefixes.first()?;
+                let dcs: Vec<&str> = wan
+                    .hostnames()
+                    .into_iter()
+                    .filter(|h| h.starts_with("DC") && !h.ends_with("0x0"))
+                    .collect();
+                let dc = dcs.get(rng.gen_range(0..dcs.len().max(1)))?.to_string();
+                Some(InjectedUpdate {
+                    device: dc,
+                    script: format!("router bgp 0\n network {victim}\n"),
+                    error: Some(ErrorClass::IpConflict),
+                    focus_prefix: Some(*victim),
+                })
+            }
+            ErrorClass::RacingWeightPolicy => {
+                // On a core router, rewrite weight on an iBGP egress — with
+                // a dual-announced prefix this makes convergence
+                // order-dependent (Figure 1's shape).
+                let crs: Vec<&str> = wan
+                    .hostnames()
+                    .into_iter()
+                    .filter(|h| h.starts_with("CR"))
+                    .collect();
+                let cr = crs.get(rng.gen_range(0..crs.len().max(1)))?.to_string();
+                let peer_cr = crs
+                    .iter()
+                    .find(|c| **c != cr)
+                    .map(|c| c.to_string())?;
+                let focus = wan.customer_prefixes.get(salt % wan.customer_prefixes.len())?;
+                Some(InjectedUpdate {
+                    device: cr.clone(),
+                    script: format!(
+                        "route-map RM_W{salt} permit 10\n set weight 100\nrouter bgp 0\n neighbor {peer_cr} route-map RM_W{salt} out\n",
+                    ),
+                    error: Some(ErrorClass::RacingWeightPolicy),
+                    focus_prefix: Some(*focus),
+                })
+            }
+            ErrorClass::EquivalenceBreak => {
+                // Drop one customer prefix at CR{r}x0's ingress from the
+                // prefix's PE — its twin CR{r}x1 keeps the route, breaking
+                // the equivalent-role intent.
+                let (prefix, _dc, pe) = wan
+                    .prefix_origin
+                    .get(salt % wan.prefix_origin.len().max(1))?
+                    .clone();
+                let region = pe.trim_start_matches("PE").split('x').next()?.to_string();
+                let cr = format!("CR{region}x0");
+                wan.config(&cr)?;
+                Some(InjectedUpdate {
+                    device: cr,
+                    script: format!(
+                        "ip prefix-list PL_DROP{salt} permit {prefix}\nroute-map RM_DROP{salt} deny 5\n match prefix-list PL_DROP{salt}\nroute-map RM_DROP{salt} permit 10\nrouter bgp 0\n neighbor {pe} route-map RM_DROP{salt} in\n"
+                    ),
+                    error: Some(ErrorClass::EquivalenceBreak),
+                    focus_prefix: Some(prefix),
+                })
+            }
+        }
+    }
+
+    /// Applies the plan to the snapshot, returning the updated configs.
+    /// Scripts that reference `router bgp 0` are rewritten to the device's
+    /// actual AS first (operator shorthand).
+    pub fn apply(
+        &self,
+        wan: &Wan,
+    ) -> Result<Vec<hoyan_config::DeviceConfig>, hoyan_config::ParseError> {
+        let mut configs = wan.configs.clone();
+        for u in &self.updates {
+            let Some(idx) = configs.iter().position(|c| c.hostname == u.device) else {
+                continue;
+            };
+            let asn = configs[idx].bgp.as_ref().map(|b| b.asn).unwrap_or(0);
+            let script = u.script.replace("router bgp 0", &format!("router bgp {asn}"));
+            configs[idx] = apply_update(&configs[idx], &script)?;
+        }
+        Ok(configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wan::WanSpec;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let wan = WanSpec::small(11).build();
+        let p1 = UpdatePlan::generate(&wan, 42, 20, 0.3);
+        let p2 = UpdatePlan::generate(&wan, 42, 20, 0.3);
+        assert_eq!(p1.updates.len(), p2.updates.len());
+        for (a, b) in p1.updates.iter().zip(&p2.updates) {
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.script, b.script);
+            assert_eq!(a.error, b.error);
+        }
+    }
+
+    #[test]
+    fn plans_apply_cleanly() {
+        let wan = WanSpec::small(11).build();
+        let plan = UpdatePlan::generate(&wan, 7, 12, 0.5);
+        assert!(!plan.updates.is_empty());
+        let updated = plan.apply(&wan).expect("scripts merge");
+        assert_eq!(updated.len(), wan.configs.len());
+        // At least one update actually changed something.
+        assert!(updated
+            .iter()
+            .zip(&wan.configs)
+            .any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn wrong_static_preference_targets_old_pe() {
+        let wan = WanSpec::small(11).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = UpdatePlan::faulty_update(&wan, &mut rng, ErrorClass::WrongStaticPreference, 0)
+            .expect("old PEs exist");
+        assert!(wan.old_pes.contains(&u.device));
+        assert!(u.script.contains("preference 150"));
+    }
+
+    #[test]
+    fn error_rate_zero_yields_benign_plan() {
+        let wan = WanSpec::small(11).build();
+        let plan = UpdatePlan::generate(&wan, 3, 10, 0.0);
+        assert!(plan.updates.iter().all(|u| u.error.is_none()));
+    }
+}

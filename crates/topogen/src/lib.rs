@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Seeded generators for WAN topologies, configurations and workloads.
+//!
+//! The paper's evaluation runs on Alibaba's production WAN; this crate is
+//! the substitution (see DESIGN.md): a deterministic generator of
+//! *asymmetric* global WANs with the same structural features the paper
+//! stresses — a single-AS backbone running iBGP over IS-IS with route
+//! reflection, provider-edge routers in redundant pairs, eBGP to
+//! data-center edges and external ISPs, per-neighbor policies,
+//! community-based egress control, multi-vendor devices, and statics with
+//! redistribution.
+//!
+//! [`errors`] injects the §7 error classes into update plans for the
+//! Figure 7 campaign: wrong static preference, IP conflicts from missing
+//! filters, racing-prone dual announcements, and equivalence-breaking
+//! per-device edits.
+
+pub mod errors;
+pub mod vsb_scenarios;
+pub mod wan;
+
+pub use errors::{ErrorClass, InjectedUpdate, UpdatePlan};
+pub use vsb_scenarios::{all_scenarios, scenario, Probe, VsbScenario};
+pub use wan::{Wan, WanSpec};

@@ -1,0 +1,298 @@
+//! Minimal scenarios that exercise each of the eight Table 2 VSBs.
+//!
+//! Each scenario is a small network where the *true* behavior of a
+//! vendor-B or -C device differs observably from the naive (vendor-A)
+//! assumption, so the behavior model tuner can detect and localize exactly
+//! that VSB. The Table 2 experiment drives all eight through the tuner.
+
+use hoyan_config::{parse_config, DeviceConfig};
+use hoyan_nettypes::{pfx, Ipv4Addr, Ipv4Prefix};
+
+/// A probe packet description for data-plane VSBs.
+#[derive(Clone, Debug)]
+pub struct Probe {
+    /// Source device hostname.
+    pub src_device: String,
+    /// Destination address (inside the family's prefix).
+    pub dst: Ipv4Addr,
+}
+
+/// One VSB-exercising scenario.
+#[derive(Clone, Debug)]
+pub struct VsbScenario {
+    /// The VSB class this scenario manifests.
+    pub kind: hoyan_device::VsbKind,
+    /// Device configurations.
+    pub configs: Vec<DeviceConfig>,
+    /// The prefix family to validate.
+    pub family: Vec<Ipv4Prefix>,
+    /// Hostname of the device carrying the VSB.
+    pub culprit: String,
+    /// A data-plane probe, for VSBs invisible to control-plane ext-RIBs.
+    pub probe: Option<Probe>,
+}
+
+fn cfgs(texts: &[String]) -> Vec<DeviceConfig> {
+    texts
+        .iter()
+        .map(|t| parse_config(t).expect("scenario config parses"))
+        .collect()
+}
+
+/// Builds the scenario for a VSB kind.
+pub fn scenario(kind: hoyan_device::VsbKind) -> VsbScenario {
+    use hoyan_device::VsbKind as K;
+    match kind {
+        K::DefaultAcl => {
+            // B binds an ACL that matches nothing relevant; whether the
+            // probe passes is the vendor's default-ACL action (A: deny,
+            // B: permit). Control-plane RIBs are identical.
+            let texts = vec![
+                concat!(
+                    "hostname GW\nvendor A\nrouter-id 1\ninterface e0\n peer FW\n",
+                    "router bgp 100\n network 10.7.0.0/24\n neighbor FW remote-as 200\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname FW\nvendor B\nrouter-id 2\ninterface e0\n peer GW\ninterface e1\n peer S\n access-group EDGE in\n",
+                    "access-list EDGE deny udp any 192.168.0.0/16\n",
+                    "router bgp 200\n neighbor GW remote-as 100\n neighbor S remote-as 300\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname S\nvendor A\nrouter-id 3\ninterface e0\n peer FW\n",
+                    "router bgp 300\n neighbor FW remote-as 200\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.7.0.0/24")],
+                culprit: "FW".into(),
+                probe: Some(Probe {
+                    src_device: "S".into(),
+                    dst: "10.7.0.9".parse().unwrap(),
+                }),
+            }
+        }
+        K::DefaultRoutePolicy => {
+            // B binds an ingress route-map whose entries match nothing the
+            // GW announces: A's default accepts, B's rejects.
+            let texts = vec![
+                concat!(
+                    "hostname GW\nvendor A\nrouter-id 1\ninterface e0\n peer R\n",
+                    "router bgp 100\n network 10.8.0.0/24\n neighbor R remote-as 200\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname R\nvendor B\nrouter-id 2\ninterface e0\n peer GW\n",
+                    "ip prefix-list ONLY9 permit 9.0.0.0/8\n",
+                    "route-map NARROW permit 10\n match prefix-list ONLY9\n",
+                    "router bgp 200\n neighbor GW remote-as 100\n neighbor GW route-map NARROW in\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.8.0.0/24")],
+                culprit: "R".into(),
+                probe: None,
+            }
+        }
+        K::Community => {
+            // The Figure 6 chain (see hoyan-tuner's tests): B strips
+            // communities on send.
+            let texts = vec![
+                concat!(
+                    "hostname R1\nvendor A\nrouter-id 1\ninterface e0\n peer R2\n",
+                    "route-map TAG permit 10\n set community 100:920 additive\n",
+                    "router bgp 100\n network 10.0.0.0/8\n network 20.0.0.0/8\n",
+                    " neighbor R2 remote-as 200\n neighbor R2 route-map TAG out\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname R2\nvendor B\nrouter-id 2\ninterface e0\n peer R1\ninterface e1\n peer R3\n",
+                    "router bgp 200\n neighbor R1 remote-as 100\n neighbor R3 remote-as 300\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname R3\nvendor A\nrouter-id 3\ninterface e0\n peer R2\n",
+                    "router bgp 300\n neighbor R2 remote-as 200\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.0.0.0/8"), pfx("20.0.0.0/8")],
+                culprit: "R2".into(),
+                probe: None,
+            }
+        }
+        K::RouteRedistribution => {
+            // B redistributes a static default route; A would not.
+            let texts = vec![
+                concat!(
+                    "hostname B1\nvendor B\nrouter-id 1\ninterface e0\n peer R\ninterface e1\n peer UP\n",
+                    "ip route 0.0.0.0/0 UP preference 1\n",
+                    "router bgp 100\n redistribute static\n neighbor R remote-as 200\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname R\nvendor A\nrouter-id 2\ninterface e0\n peer B1\n",
+                    "router bgp 200\n neighbor B1 remote-as 100\n",
+                )
+                .to_string(),
+                "hostname UP\nvendor A\nrouter-id 3\ninterface e0\n peer B1\n".to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("0.0.0.0/0")],
+                culprit: "B1".into(),
+                probe: None,
+            }
+        }
+        K::AsLoop => {
+            // The origin prepends a repeated AS; vendor B accepts the
+            // repetition, vendor A rejects it.
+            let texts = vec![
+                concat!(
+                    "hostname O\nvendor A\nrouter-id 1\ninterface e0\n peer R\n",
+                    "route-map REP permit 10\n set as-path prepend 300 300\n",
+                    "router bgp 100\n network 10.9.0.0/24\n",
+                    " neighbor R remote-as 200\n neighbor R route-map REP out\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname R\nvendor B\nrouter-id 2\ninterface e0\n peer O\n",
+                    "router bgp 200\n neighbor O remote-as 100\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.9.0.0/24")],
+                culprit: "R".into(),
+                probe: None,
+            }
+        }
+        K::RemovePrivateAs => {
+            // Mixed private/public/private path; B's leading-only removal
+            // leaves different ASes than A's remove-all.
+            let texts = vec![
+                concat!(
+                    "hostname O\nvendor A\nrouter-id 1\ninterface e0\n peer M\n",
+                    "route-map TE permit 10\n set as-path prepend 64512 3356 64513\n",
+                    "router bgp 100\n network 10.6.0.0/24\n",
+                    " neighbor M remote-as 200\n neighbor M route-map TE out\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname M\nvendor B\nrouter-id 2\ninterface e0\n peer O\ninterface e1\n peer X\n",
+                    "router bgp 200\n neighbor O remote-as 100\n neighbor O allowas-in\n",
+                    " neighbor X remote-as 300\n neighbor X remove-private-as\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname X\nvendor A\nrouter-id 3\ninterface e0\n peer M\n",
+                    "router bgp 300\n neighbor M remote-as 200\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.6.0.0/24")],
+                culprit: "M".into(),
+                probe: None,
+            }
+        }
+        K::SelfNextHop => {
+            // B relays an eBGP route over iBGP without explicit
+            // next-hop-self; the VSB silently rewrites the next hop.
+            let texts = vec![
+                concat!(
+                    "hostname E\nvendor A\nrouter-id 1\ninterface e0\n peer PE\n",
+                    "router bgp 900\n network 10.5.0.0/24\n neighbor PE remote-as 100\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname PE\nvendor B\nrouter-id 2\ninterface e0\n peer E\ninterface e1\n peer CR\n",
+                    "router bgp 100\n neighbor E remote-as 900\n neighbor CR remote-as 100\n",
+                    "router isis\n area 1\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname CR\nvendor A\nrouter-id 3\ninterface e0\n peer PE\n",
+                    "router bgp 100\n neighbor PE remote-as 100\n",
+                    "router isis\n area 1\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.5.0.0/24")],
+                culprit: "PE".into(),
+                probe: None,
+            }
+        }
+        K::LocalAs => {
+            // B under AS migration presents local-as 64499; whether the
+            // real AS is also prepended is the VSB.
+            let texts = vec![
+                concat!(
+                    "hostname MIG\nvendor B\nrouter-id 1\ninterface e0\n peer P\n",
+                    "router bgp 100\n network 10.4.0.0/24\n",
+                    " neighbor P remote-as 200\n neighbor P local-as 64499\n",
+                )
+                .to_string(),
+                concat!(
+                    "hostname P\nvendor A\nrouter-id 2\ninterface e0\n peer MIG\n",
+                    "router bgp 200\n neighbor MIG remote-as 64499\n",
+                )
+                .to_string(),
+            ];
+            VsbScenario {
+                kind,
+                configs: cfgs(&texts),
+                family: vec![pfx("10.4.0.0/24")],
+                culprit: "MIG".into(),
+                probe: None,
+            }
+        }
+    }
+}
+
+/// All eight scenarios in Table 2 order.
+pub fn all_scenarios() -> Vec<VsbScenario> {
+    hoyan_device::VsbKind::ALL.iter().map(|k| scenario(*k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build() {
+        let all = all_scenarios();
+        assert_eq!(all.len(), 8);
+        for s in &all {
+            assert!(!s.configs.is_empty());
+            assert!(!s.family.is_empty());
+            assert!(s.configs.iter().any(|c| c.hostname == s.culprit));
+        }
+    }
+
+    #[test]
+    fn culprits_are_non_vendor_a() {
+        for s in all_scenarios() {
+            let culprit = s.configs.iter().find(|c| c.hostname == s.culprit).unwrap();
+            assert_ne!(culprit.vendor, hoyan_config::Vendor::A, "{:?}", s.kind);
+        }
+    }
+}

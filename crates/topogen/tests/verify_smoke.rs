@@ -1,0 +1,28 @@
+//! End-to-end smoke: the verifier must handle generated WANs.
+
+use hoyan_core::Verifier;
+use hoyan_device::VsbProfile;
+use hoyan_topogen::WanSpec;
+
+#[test]
+fn tiny_wan_verifies() {
+    let wan = WanSpec::tiny(1).build();
+    let verifier = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let p = wan.customer_prefixes[0];
+    // The prefix must reach a remote-region core router.
+    let report = verifier.route_reachability(p, "CR1x0", 1).unwrap();
+    assert!(report.reachable_now, "route must propagate: {report:?}");
+}
+
+#[test]
+fn small_wan_full_sweep() {
+    let wan = WanSpec::small(2).build();
+    let verifier = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let t0 = std::time::Instant::now();
+    let reports = verifier.verify_all_routes(1, 8).unwrap();
+    eprintln!("small sweep k=1: {} prefixes in {:?}", reports.len(), t0.elapsed());
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert!(r.scope.len() >= 2, "prefix {} should propagate, scope={:?}", r.prefix, r.scope);
+    }
+}

@@ -1,0 +1,311 @@
+//! Coverage-guided prefix selection for model validation (§6, "scalability
+//! of model validation"): comparing every prefix's propagation against the
+//! network is not tractable, so configurations are split into *blocks* that
+//! each represent a single policy or behavior, and a moderate set of
+//! prefixes is chosen to cover most blocks — the "equivalence class" idea
+//! the paper borrows from ATPG.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hoyan_core::{NetworkModel, SimError, Simulation};
+use hoyan_nettypes::Ipv4Prefix;
+
+/// One coverable unit of configuration.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConfigBlock {
+    /// A prefix-list entry: `(device, list name, entry index)`.
+    PrefixListEntry(String, String, usize),
+    /// A route-map entry: `(device, map name, sequence)`.
+    RouteMapEntry(String, String, u32),
+    /// A BGP neighbor block: `(device, peer)`.
+    Neighbor(String, String),
+    /// A static route: `(device, prefix)`.
+    Static(String, Ipv4Prefix),
+    /// An aggregate: `(device, prefix)`.
+    Aggregate(String, Ipv4Prefix),
+}
+
+/// The coverage relation: which blocks each prefix exercises.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageMap {
+    /// Blocks exercised per prefix.
+    pub by_prefix: BTreeMap<Ipv4Prefix, BTreeSet<ConfigBlock>>,
+    /// Every block that at least one prefix exercises.
+    pub coverable: BTreeSet<ConfigBlock>,
+    /// Every block in the configuration (including unexercised dead config).
+    pub all_blocks: BTreeSet<ConfigBlock>,
+}
+
+impl CoverageMap {
+    /// Builds the coverage relation by simulating each prefix once (all
+    /// links alive) and attributing the config blocks along its
+    /// propagation: the sessions it crossed, the policies bound to them,
+    /// the prefix-list entries it matches, and its statics/aggregates.
+    pub fn build(net: &NetworkModel, prefixes: &[Ipv4Prefix]) -> Result<CoverageMap, SimError> {
+        let mut map = CoverageMap::default();
+
+        // All blocks (for the denominator of the coverage metric).
+        for dev in &net.devices {
+            let host = &dev.config.hostname;
+            for (name, pl) in &dev.config.prefix_lists {
+                for i in 0..pl.entries.len() {
+                    map.all_blocks
+                        .insert(ConfigBlock::PrefixListEntry(host.clone(), name.clone(), i));
+                }
+            }
+            for (name, rm) in &dev.config.route_maps {
+                for e in &rm.entries {
+                    map.all_blocks
+                        .insert(ConfigBlock::RouteMapEntry(host.clone(), name.clone(), e.seq));
+                }
+            }
+            if let Some(bgp) = dev.config.bgp.as_ref() {
+                for n in &bgp.neighbors {
+                    map.all_blocks
+                        .insert(ConfigBlock::Neighbor(host.clone(), n.peer.clone()));
+                }
+                for a in &bgp.aggregates {
+                    map.all_blocks
+                        .insert(ConfigBlock::Aggregate(host.clone(), a.prefix));
+                }
+            }
+            for s in &dev.config.static_routes {
+                map.all_blocks
+                    .insert(ConfigBlock::Static(host.clone(), s.prefix));
+            }
+        }
+
+        for p in prefixes {
+            let mut sim = Simulation::new_bgp(net, vec![*p], Some(0), None);
+            sim.run()?;
+            let mut blocks = BTreeSet::new();
+            // Sessions the prefix actually crossed (production state).
+            for (from, to, _prefix, _attrs, cond) in sim.updates() {
+                if !sim.mgr.eval(cond, &[]) {
+                    continue;
+                }
+                let from_name = net.topology.name(from).to_string();
+                let to_name = net.topology.name(to).to_string();
+                blocks.insert(ConfigBlock::Neighbor(from_name.clone(), to_name.clone()));
+                blocks.insert(ConfigBlock::Neighbor(to_name.clone(), from_name.clone()));
+                // Policies exercised by this direction of the session: the
+                // sender's egress map toward the receiver and the
+                // receiver's ingress map from the sender.
+                let sides = [
+                    (&from_name, &to_name, true),  // sender: out-map
+                    (&to_name, &from_name, false), // receiver: in-map
+                ];
+                for (host, peer, outbound) in sides {
+                    let dev = &net.devices[net.topology.node(host).unwrap().0 as usize];
+                    let Some(bgp) = dev.config.bgp.as_ref() else {
+                        continue;
+                    };
+                    let Some(n) = bgp.neighbor(peer) else { continue };
+                    let bound = if outbound {
+                        n.route_map_out.as_ref()
+                    } else {
+                        n.route_map_in.as_ref()
+                    };
+                    for rm_name in bound.into_iter() {
+                        if let Some(rm) = dev.config.route_maps.get(rm_name) {
+                            // The first matching entry is the exercised one.
+                            for e in &rm.entries {
+                                blocks.insert(ConfigBlock::RouteMapEntry(
+                                    host.to_string(),
+                                    rm_name.clone(),
+                                    e.seq,
+                                ));
+                                // Conservative: stop at the first entry that
+                                // could match on prefix grounds alone.
+                                let prefix_matches = e.matches.iter().all(|m| match m {
+                                    hoyan_config::MatchClause::PrefixList(pl) => dev
+                                        .config
+                                        .prefix_lists
+                                        .get(pl)
+                                        .map(|l| l.permits(*p))
+                                        .unwrap_or(false),
+                                    hoyan_config::MatchClause::Prefix(q) => q == p,
+                                    _ => true,
+                                });
+                                if prefix_matches {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Prefix-list entries this prefix matches on this device.
+                    for (pl_name, pl) in &dev.config.prefix_lists {
+                        for (i, e) in pl.entries.iter().enumerate() {
+                            if e.matches(*p) {
+                                blocks.insert(ConfigBlock::PrefixListEntry(
+                                    host.to_string(),
+                                    pl_name.clone(),
+                                    i,
+                                ));
+                                break; // first match decides
+                            }
+                        }
+                    }
+                }
+            }
+            for dev in &net.devices {
+                for s in &dev.config.static_routes {
+                    if s.prefix == *p {
+                        blocks.insert(ConfigBlock::Static(dev.config.hostname.clone(), *p));
+                    }
+                }
+                if let Some(bgp) = dev.config.bgp.as_ref() {
+                    for a in &bgp.aggregates {
+                        if a.prefix.contains(*p) {
+                            blocks.insert(ConfigBlock::Aggregate(
+                                dev.config.hostname.clone(),
+                                a.prefix,
+                            ));
+                        }
+                    }
+                }
+            }
+            map.coverable.extend(blocks.iter().cloned());
+            map.by_prefix.insert(*p, blocks);
+        }
+        Ok(map)
+    }
+
+    /// Greedy set cover: the smallest prefix set (greedily) whose combined
+    /// coverage reaches `target` (0..=1) of all coverable blocks. This is
+    /// the "moderate number of prefixes that can cover most configuration
+    /// blocks" the deployed tuner monitors.
+    pub fn select_representatives(&self, target: f64) -> Vec<Ipv4Prefix> {
+        let want = ((self.coverable.len() as f64) * target).ceil() as usize;
+        let mut covered: BTreeSet<&ConfigBlock> = BTreeSet::new();
+        let mut chosen = Vec::new();
+        let mut remaining: Vec<(&Ipv4Prefix, &BTreeSet<ConfigBlock>)> =
+            self.by_prefix.iter().collect();
+        while covered.len() < want && !remaining.is_empty() {
+            // Pick the prefix adding the most new blocks (ties: lowest).
+            let (best_idx, gain) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, (_, blocks))| {
+                    (i, blocks.iter().filter(|b| !covered.contains(b)).count())
+                })
+                .max_by_key(|(i, gain)| (*gain, std::cmp::Reverse(*i)))
+                .unwrap();
+            if gain == 0 {
+                break;
+            }
+            let (p, blocks) = remaining.remove(best_idx);
+            covered.extend(blocks.iter());
+            chosen.push(*p);
+        }
+        chosen
+    }
+
+    /// Fraction of all configuration blocks exercised by `prefixes`.
+    pub fn coverage_of(&self, prefixes: &[Ipv4Prefix]) -> f64 {
+        if self.all_blocks.is_empty() {
+            return 1.0;
+        }
+        let mut covered: BTreeSet<&ConfigBlock> = BTreeSet::new();
+        for p in prefixes {
+            if let Some(blocks) = self.by_prefix.get(p) {
+                covered.extend(blocks.iter());
+            }
+        }
+        covered.len() as f64 / self.all_blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_device::VsbProfile;
+
+    fn wan() -> (hoyan_topogen_shim::Wan, NetworkModel) {
+        let wan = hoyan_topogen_shim::build_small();
+        let net =
+            NetworkModel::from_configs(wan.configs.clone(), VsbProfile::ground_truth).unwrap();
+        (wan, net)
+    }
+
+    // The tuner crate cannot depend on topogen (cycle); tests synthesize a
+    // small WAN inline instead.
+    mod hoyan_topogen_shim {
+        use hoyan_config::{parse_config, DeviceConfig};
+        use hoyan_nettypes::{pfx, Ipv4Prefix};
+
+        pub struct Wan {
+            pub configs: Vec<DeviceConfig>,
+            pub customer_prefixes: Vec<Ipv4Prefix>,
+        }
+
+        pub fn build_small() -> Wan {
+            let texts = [
+                concat!(
+                    "hostname GW1\ninterface e0\n peer R\n",
+                    "router bgp 101\n network 10.1.0.0/24\n network 10.1.1.0/24\n neighbor R remote-as 500\n",
+                ),
+                concat!(
+                    "hostname GW2\ninterface e0\n peer R\n",
+                    "router bgp 102\n network 10.2.0.0/24\n neighbor R remote-as 500\n",
+                ),
+                concat!(
+                    "hostname R\ninterface e0\n peer GW1\ninterface e1\n peer GW2\ninterface e2\n peer X\n",
+                    "ip prefix-list P1 permit 10.1.0.0/16 ge 17 le 24\n",
+                    "ip prefix-list P2 permit 10.2.0.0/16 ge 17 le 24\n",
+                    "route-map IN1 permit 10\n match prefix-list P1\n set local-preference 200\n",
+                    "route-map IN1 deny 20\n",
+                    "route-map IN2 permit 10\n match prefix-list P2\n set local-preference 150\n",
+                    "route-map IN2 deny 20\n",
+                    "router bgp 500\n neighbor GW1 remote-as 101\n neighbor GW1 route-map IN1 in\n",
+                    " neighbor GW2 remote-as 102\n neighbor GW2 route-map IN2 in\n neighbor X remote-as 600\n",
+                ),
+                concat!(
+                    "hostname X\ninterface e0\n peer R\n",
+                    "router bgp 600\n neighbor R remote-as 500\n",
+                ),
+            ];
+            Wan {
+                configs: texts.iter().map(|t| parse_config(t).unwrap()).collect(),
+                customer_prefixes: vec![pfx("10.1.0.0/24"), pfx("10.1.1.0/24"), pfx("10.2.0.0/24")],
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_attributes_blocks_to_prefixes() {
+        let (wan, net) = wan();
+        let map = CoverageMap::build(&net, &wan.customer_prefixes).unwrap();
+        let p1 = wan.customer_prefixes[0];
+        let blocks = &map.by_prefix[&p1];
+        assert!(blocks.contains(&ConfigBlock::PrefixListEntry("R".into(), "P1".into(), 0)));
+        assert!(blocks.contains(&ConfigBlock::RouteMapEntry("R".into(), "IN1".into(), 10)));
+        assert!(!blocks.contains(&ConfigBlock::RouteMapEntry("R".into(), "IN2".into(), 10)));
+    }
+
+    #[test]
+    fn two_prefixes_of_one_class_are_redundant() {
+        // 10.1.0.0/24 and 10.1.1.0/24 exercise the same blocks (the same
+        // equivalence class); 10.2.0.0/24 exercises IN2/P2. Greedy cover
+        // needs exactly two representatives.
+        let (wan, net) = wan();
+        let map = CoverageMap::build(&net, &wan.customer_prefixes).unwrap();
+        let reps = map.select_representatives(1.0);
+        assert_eq!(reps.len(), 2, "reps: {reps:?}");
+        // One rep from each class.
+        let class1 = ["10.1.0.0/24", "10.1.1.0/24"];
+        assert!(reps.iter().any(|p| class1.contains(&p.to_string().as_str())));
+        assert!(reps.iter().any(|p| p.to_string() == "10.2.0.0/24"));
+    }
+
+    #[test]
+    fn coverage_fraction_is_monotone() {
+        let (wan, net) = wan();
+        let map = CoverageMap::build(&net, &wan.customer_prefixes).unwrap();
+        let one = map.coverage_of(&wan.customer_prefixes[..1]);
+        let all = map.coverage_of(&wan.customer_prefixes);
+        assert!(one > 0.0);
+        assert!(all >= one);
+        assert!(all <= 1.0);
+    }
+}

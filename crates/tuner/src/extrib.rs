@@ -1,0 +1,128 @@
+//! Extended RIBs (§6): per-device routing tables carrying *every* attribute
+//! relevant to route selection, so a VSB's effect is visible at the first
+//! device it touches rather than far downstream (the Figure 6 lesson).
+
+use std::collections::BTreeMap;
+
+use hoyan_core::Simulation;
+use hoyan_device::LearnedFrom;
+use hoyan_nettypes::{Ipv4Prefix, NodeId, RouteAttrs};
+
+/// One route in an extended RIB. Unlike a plain RIB row (prefix/path), this
+/// carries all selection-relevant attributes plus provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtRoute {
+    /// Full attributes (AS path, communities, local-pref, weight, MED...).
+    pub attrs: RouteAttrs,
+    /// The advertising peer, if any.
+    pub from: Option<NodeId>,
+    /// How the route was learned.
+    pub learned: LearnedFrom,
+    /// The BGP next hop.
+    pub next_hop: Option<NodeId>,
+}
+
+/// The extended RIB of the whole network for one prefix family, restricted
+/// to the production state (all links alive) like the data the deployed
+/// tuner pulls from devices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtRib {
+    /// Ranked routes per (node, prefix).
+    pub routes: BTreeMap<(NodeId, Ipv4Prefix), Vec<ExtRoute>>,
+    /// In-flight updates per (from, to, prefix), attribute view.
+    pub updates: BTreeMap<(NodeId, NodeId, Ipv4Prefix), Vec<RouteAttrs>>,
+}
+
+impl ExtRib {
+    /// Extracts the all-links-alive ext-RIB from a converged simulation.
+    pub fn from_simulation(sim: &mut Simulation<'_>, nodes: impl Iterator<Item = NodeId>) -> Self {
+        let mut routes = BTreeMap::new();
+        let prefixes: Vec<Ipv4Prefix> = sim.prefixes().to_vec();
+        let nodes: Vec<NodeId> = nodes.collect();
+        for n in &nodes {
+            for p in &prefixes {
+                let views = sim.rib(*n, *p);
+                let rows: Vec<ExtRoute> = views
+                    .into_iter()
+                    .filter(|v| sim.mgr.eval(v.cond, &[]))
+                    .map(|v| ExtRoute {
+                        attrs: v.attrs,
+                        from: v.from_node,
+                        learned: v.learned_from,
+                        next_hop: v.next_hop,
+                    })
+                    .collect();
+                if !rows.is_empty() {
+                    routes.insert((*n, *p), rows);
+                }
+            }
+        }
+        let mut updates: BTreeMap<(NodeId, NodeId, Ipv4Prefix), Vec<RouteAttrs>> = BTreeMap::new();
+        for (from, to, prefix, attrs, cond) in sim.updates() {
+            if sim.mgr.eval(cond, &[]) {
+                updates.entry((from, to, prefix)).or_default().push(attrs);
+            }
+        }
+        for v in updates.values_mut() {
+            v.sort();
+        }
+        ExtRib { routes, updates }
+    }
+
+    /// Whether node `n` has identical routes for `p` in both ext-RIBs.
+    pub fn node_matches(&self, other: &ExtRib, n: NodeId, p: Ipv4Prefix) -> bool {
+        self.routes.get(&(n, p)) == other.routes.get(&(n, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_core::{NetworkModel, Simulation};
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn two_node_net() -> NetworkModel {
+        let configs = vec![
+            parse_config(
+                "hostname A\ninterface e0\n peer B\nrouter bgp 1\n network 10.0.0.0/24\n neighbor B remote-as 2\n",
+            )
+            .unwrap(),
+            parse_config(
+                "hostname B\ninterface e0\n peer A\nrouter bgp 2\n neighbor A remote-as 1\n",
+            )
+            .unwrap(),
+        ];
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    #[test]
+    fn extracts_production_state() {
+        let net = two_node_net();
+        let mut sim = Simulation::new_bgp(&net, vec![pfx("10.0.0.0/24")], Some(0), None);
+        sim.run().unwrap();
+        let ext = ExtRib::from_simulation(&mut sim, net.topology.nodes());
+        let b = net.topology.node("B").unwrap();
+        let rows = &ext.routes[&(b, pfx("10.0.0.0/24"))];
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].attrs.as_path.to_string(), "1");
+        // One update A -> B is visible.
+        let a = net.topology.node("A").unwrap();
+        assert!(ext.updates.contains_key(&(a, b, pfx("10.0.0.0/24"))));
+    }
+
+    #[test]
+    fn node_matches_compares_per_node() {
+        let net = two_node_net();
+        let mut sim = Simulation::new_bgp(&net, vec![pfx("10.0.0.0/24")], Some(0), None);
+        sim.run().unwrap();
+        let ext1 = ExtRib::from_simulation(&mut sim, net.topology.nodes());
+        let ext2 = ext1.clone();
+        let b = net.topology.node("B").unwrap();
+        assert!(ext1.node_matches(&ext2, b, pfx("10.0.0.0/24")));
+        let mut ext3 = ext1.clone();
+        ext3.routes.remove(&(b, pfx("10.0.0.0/24")));
+        assert!(!ext1.node_matches(&ext3, b, pfx("10.0.0.0/24")));
+    }
+}

@@ -1,0 +1,321 @@
+//! Replayable ext-RIB fixtures: a line-oriented text serialization of
+//! [`ExtRib`] so recorded network state (the deployed system's BMP/RIB
+//! feeds) can be stored and replayed against the model later — validation
+//! does not need the live network.
+//!
+//! Format (one record per line, `#` comments):
+//!
+//! ```text
+//! route <node> <prefix> <rank> <learned> from=<node|-> nh=<node|-> \
+//!       w=<weight> lp=<lp> path=<aspath|i> origin=<i|e|?> med=<med> comm=<set|->
+//! update <from> <to> <prefix> w=.. lp=.. path=.. origin=.. med=.. comm=..
+//! ```
+
+use std::fmt::Write as _;
+
+use hoyan_device::LearnedFrom;
+use hoyan_nettypes::{AsPath, CommunitySet, Ipv4Prefix, NodeId, Origin, RouteAttrs};
+
+use crate::extrib::{ExtRib, ExtRoute};
+
+/// Serialization/parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixtureError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fixture line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+fn learned_str(l: LearnedFrom) -> &'static str {
+    match l {
+        LearnedFrom::Local => "local",
+        LearnedFrom::Ebgp => "ebgp",
+        LearnedFrom::IbgpClient => "ibgp-client",
+        LearnedFrom::IbgpNonClient => "ibgp",
+    }
+}
+
+fn parse_learned(s: &str, line: usize) -> Result<LearnedFrom, FixtureError> {
+    match s {
+        "local" => Ok(LearnedFrom::Local),
+        "ebgp" => Ok(LearnedFrom::Ebgp),
+        "ibgp-client" => Ok(LearnedFrom::IbgpClient),
+        "ibgp" => Ok(LearnedFrom::IbgpNonClient),
+        other => Err(FixtureError {
+            line,
+            message: format!("unknown learned kind `{other}`"),
+        }),
+    }
+}
+
+fn attrs_fields(attrs: &RouteAttrs) -> String {
+    format!(
+        "w={} lp={} path={} origin={} med={} comm={}",
+        attrs.weight, attrs.local_pref, attrs.as_path, attrs.origin, attrs.med, attrs.communities
+    )
+}
+
+/// Serializes an ext-RIB to the fixture text format.
+pub fn to_text(ext: &ExtRib) -> String {
+    let mut out = String::new();
+    writeln!(out, "# hoyan ext-RIB fixture v1").unwrap();
+    for ((node, prefix), rows) in &ext.routes {
+        for (rank, r) in rows.iter().enumerate() {
+            writeln!(
+                out,
+                "route {} {} {} {} from={} nh={} {}",
+                node.0,
+                prefix,
+                rank,
+                learned_str(r.learned),
+                r.from.map(|n| n.0.to_string()).unwrap_or_else(|| "-".into()),
+                r.next_hop.map(|n| n.0.to_string()).unwrap_or_else(|| "-".into()),
+                attrs_fields(&r.attrs),
+            )
+            .unwrap();
+        }
+    }
+    for ((from, to, prefix), updates) in &ext.updates {
+        for u in updates {
+            writeln!(
+                out,
+                "update {} {} {} {}",
+                from.0,
+                to.0,
+                prefix,
+                attrs_fields(u)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn parse_kv<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, FixtureError> {
+    tok.strip_prefix(key)
+        .and_then(|s| s.strip_prefix('='))
+        .ok_or_else(|| FixtureError {
+            line,
+            message: format!("expected `{key}=...`, got `{tok}`"),
+        })
+}
+
+fn parse_attrs(toks: &[&str], line: usize) -> Result<RouteAttrs, FixtureError> {
+    let need = |i: usize| -> Result<&str, FixtureError> {
+        toks.get(i).copied().ok_or_else(|| FixtureError {
+            line,
+            message: "truncated attribute fields".into(),
+        })
+    };
+    let err = |message: String| FixtureError { line, message };
+    let weight: u32 = parse_kv(need(0)?, "w", line)?
+        .parse()
+        .map_err(|e| err(format!("bad weight: {e}")))?;
+    let local_pref: u32 = parse_kv(need(1)?, "lp", line)?
+        .parse()
+        .map_err(|e| err(format!("bad lp: {e}")))?;
+    let path_s = parse_kv(need(2)?, "path", line)?;
+    let as_path = if path_s == "i" {
+        AsPath::empty()
+    } else {
+        let asns: Result<Vec<u32>, _> = path_s.split('-').map(|t| t.parse::<u32>()).collect();
+        AsPath::from_slice(&asns.map_err(|e| err(format!("bad path: {e}")))?)
+    };
+    let origin = match parse_kv(need(3)?, "origin", line)? {
+        "i" => Origin::Igp,
+        "e" => Origin::Egp,
+        "?" => Origin::Incomplete,
+        other => return Err(err(format!("bad origin `{other}`"))),
+    };
+    let med: u32 = parse_kv(need(4)?, "med", line)?
+        .parse()
+        .map_err(|e| err(format!("bad med: {e}")))?;
+    let comm_s = parse_kv(need(5)?, "comm", line)?;
+    let mut communities = CommunitySet::new();
+    if comm_s != "-" {
+        for c in comm_s.split(',') {
+            communities.add(c.parse().map_err(|_| err(format!("bad community `{c}`")))?);
+        }
+    }
+    Ok(RouteAttrs {
+        weight,
+        local_pref,
+        as_path,
+        origin,
+        med,
+        communities,
+        isis_weight: 0,
+    })
+}
+
+fn parse_node(tok: &str, line: usize) -> Result<Option<NodeId>, FixtureError> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    tok.parse::<u32>().map(|v| Some(NodeId(v))).map_err(|_| FixtureError {
+        line,
+        message: format!("bad node id `{tok}`"),
+    })
+}
+
+/// Parses a fixture back into an [`ExtRib`]. Routes are re-assembled in
+/// rank order; ranks must be contiguous from 0 per `(node, prefix)`.
+pub fn from_text(text: &str) -> Result<ExtRib, FixtureError> {
+    let mut ext = ExtRib::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let t: Vec<&str> = l.split_whitespace().collect();
+        match t[0] {
+            "route" => {
+                if t.len() < 12 {
+                    return Err(FixtureError {
+                        line,
+                        message: "route record needs 12 fields".into(),
+                    });
+                }
+                let node = parse_node(t[1], line)?.ok_or(FixtureError {
+                    line,
+                    message: "route node cannot be `-`".into(),
+                })?;
+                let prefix: Ipv4Prefix = t[2].parse().map_err(|_| FixtureError {
+                    line,
+                    message: format!("bad prefix `{}`", t[2]),
+                })?;
+                let rank: usize = t[3].parse().map_err(|_| FixtureError {
+                    line,
+                    message: format!("bad rank `{}`", t[3]),
+                })?;
+                let learned = parse_learned(t[4], line)?;
+                let from = parse_node(parse_kv(t[5], "from", line)?, line)?;
+                let next_hop = parse_node(parse_kv(t[6], "nh", line)?, line)?;
+                let attrs = parse_attrs(&t[7..], line)?;
+                let rows = ext.routes.entry((node, prefix)).or_default();
+                if rows.len() != rank {
+                    return Err(FixtureError {
+                        line,
+                        message: format!("rank {rank} out of order (have {})", rows.len()),
+                    });
+                }
+                rows.push(ExtRoute {
+                    attrs,
+                    from,
+                    learned,
+                    next_hop,
+                });
+            }
+            "update" => {
+                if t.len() < 10 {
+                    return Err(FixtureError {
+                        line,
+                        message: "update record needs 10 fields".into(),
+                    });
+                }
+                let from = parse_node(t[1], line)?.ok_or(FixtureError {
+                    line,
+                    message: "update sender cannot be `-`".into(),
+                })?;
+                let to = parse_node(t[2], line)?.ok_or(FixtureError {
+                    line,
+                    message: "update receiver cannot be `-`".into(),
+                })?;
+                let prefix: Ipv4Prefix = t[3].parse().map_err(|_| FixtureError {
+                    line,
+                    message: format!("bad prefix `{}`", t[3]),
+                })?;
+                let attrs = parse_attrs(&t[4..], line)?;
+                ext.updates.entry((from, to, prefix)).or_default().push(attrs);
+            }
+            other => {
+                return Err(FixtureError {
+                    line,
+                    message: format!("unknown record `{other}`"),
+                })
+            }
+        }
+    }
+    for v in ext.updates.values_mut() {
+        v.sort();
+    }
+    Ok(ext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+    use hoyan_core::{NetworkModel, Simulation};
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn sample_ext() -> ExtRib {
+        let configs = vec![
+            parse_config(
+                "hostname A\ninterface e0\n peer B\nrouter bgp 1\n network 10.0.0.0/24\n neighbor B remote-as 2\n",
+            )
+            .unwrap(),
+            parse_config(
+                "hostname B\ninterface e0\n peer A\nrouter bgp 2\n neighbor A remote-as 1\n",
+            )
+            .unwrap(),
+        ];
+        let net = NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap();
+        let mut sim = Simulation::new_bgp(&net, vec![pfx("10.0.0.0/24")], Some(0), None);
+        sim.run().unwrap();
+        ExtRib::from_simulation(&mut sim, net.topology.nodes())
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let ext = sample_ext();
+        let text = to_text(&ext);
+        let back = from_text(&text).unwrap();
+        assert_eq!(ext, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let ext = sample_ext();
+        let text = format!("# leading comment\n\n{}\n# trailing\n", to_text(&ext));
+        assert_eq!(from_text(&text).unwrap(), ext);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_text("bogus record\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = from_text("# ok\nroute x 10.0.0.0/24 0 ebgp from=- nh=-\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rank_order_is_enforced() {
+        let text = "route 0 10.0.0.0/24 1 ebgp from=- nh=- w=0 lp=100 path=i origin=i med=0 comm=-\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn fixture_replay_supports_validation() {
+        // A recorded oracle fixture equals a fresh oracle computation — the
+        // validator can therefore diff against recordings instead of a live
+        // network.
+        let ext = sample_ext();
+        let stored = to_text(&ext);
+        let replayed = from_text(&stored).unwrap();
+        let a = hoyan_nettypes::NodeId(1);
+        assert!(replayed.node_matches(&ext, a, pfx("10.0.0.0/24")));
+    }
+}

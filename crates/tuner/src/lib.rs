@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The behavior model tuner (§6): continuously compares the verifier's
+//! computed routes against the real network, localizes the first divergence
+//! to a device and a vendor-specific behavior, and patches the behavior
+//! model registry.
+//!
+//! The "real network" in this reproduction is an *oracle* simulation built
+//! with each vendor's true `VsbProfile` (`hoyan-device` ships the
+//! ground-truth profiles); the verifier's model starts from the naive
+//! assumption that every vendor behaves like the majority vendor. The tuner
+//! is a black-box differ and never peeks at the truth directly — it only
+//! sees ext-RIBs and update streams, exactly like the deployed system.
+
+pub mod coverage;
+pub mod extrib;
+pub mod fixtures;
+pub mod registry;
+pub mod validator;
+
+pub use coverage::{ConfigBlock, CoverageMap};
+pub use extrib::{ExtRib, ExtRoute};
+pub use fixtures::{from_text, to_text, FixtureError};
+pub use registry::ModelRegistry;
+pub use validator::{Localization, Mismatch, TunerOutcome, Validator};

@@ -1,0 +1,97 @@
+//! The verifier's behavior model registry: which [`VsbProfile`] it assumes
+//! per vendor. Patches produced by the tuner mutate this registry; the
+//! accuracy experiments (Figure 14) measure verification quality before and
+//! after patching.
+
+use std::collections::BTreeMap;
+
+use hoyan_config::Vendor;
+use hoyan_device::{VsbKind, VsbProfile};
+
+/// The mutable per-vendor behavior model registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelRegistry {
+    profiles: BTreeMap<Vendor, VsbProfile>,
+    patches: Vec<(Vendor, VsbKind)>,
+}
+
+impl ModelRegistry {
+    /// The registry a freshly deployed verifier starts with: every vendor
+    /// assumed to behave like the majority vendor.
+    pub fn naive() -> Self {
+        ModelRegistry {
+            profiles: [Vendor::A, Vendor::B, Vendor::C]
+                .into_iter()
+                .map(|v| (v, VsbProfile::naive_assumption(v)))
+                .collect(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// The fully corrected registry (what the tuner converges to).
+    pub fn ground_truth() -> Self {
+        ModelRegistry {
+            profiles: [Vendor::A, Vendor::B, Vendor::C]
+                .into_iter()
+                .map(|v| (v, VsbProfile::ground_truth(v)))
+                .collect(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// The profile currently assumed for `vendor`.
+    pub fn profile(&self, vendor: Vendor) -> VsbProfile {
+        self.profiles[&vendor]
+    }
+
+    /// A closure suitable for `NetworkModel::from_configs`.
+    pub fn profile_fn(&self) -> impl Fn(Vendor) -> VsbProfile + '_ {
+        move |v| self.profile(v)
+    }
+
+    /// Applies a patch: set `vendor`'s behavior for `kind` to `value`'s
+    /// field. Records the patch for reporting (Table 2).
+    pub fn apply_patch(&mut self, vendor: Vendor, kind: VsbKind, truth: &VsbProfile) {
+        let p = self.profiles.get_mut(&vendor).expect("vendor known");
+        p.apply_patch(kind, truth);
+        self.patches.push((vendor, kind));
+    }
+
+    /// All patches applied so far, in order.
+    pub fn patches(&self) -> &[(Vendor, VsbKind)] {
+        &self.patches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_assumes_vendor_a_everywhere() {
+        let r = ModelRegistry::naive();
+        assert_eq!(r.profile(Vendor::B), VsbProfile::ground_truth(Vendor::A));
+        assert_eq!(r.profile(Vendor::C), VsbProfile::ground_truth(Vendor::A));
+    }
+
+    #[test]
+    fn patching_converges_to_truth() {
+        let mut r = ModelRegistry::naive();
+        let truth_b = VsbProfile::ground_truth(Vendor::B);
+        for kind in VsbKind::ALL {
+            r.apply_patch(Vendor::B, kind, &truth_b);
+        }
+        assert_eq!(r.profile(Vendor::B), truth_b);
+        assert_eq!(r.patches().len(), 8);
+    }
+
+    #[test]
+    fn profile_fn_reflects_patches() {
+        let mut r = ModelRegistry::naive();
+        let truth_b = VsbProfile::ground_truth(Vendor::B);
+        r.apply_patch(Vendor::B, hoyan_device::VsbKind::Community, &truth_b);
+        let f = r.profile_fn();
+        assert_eq!(f(Vendor::B).community_handling, truth_b.community_handling);
+        assert_ne!(f(Vendor::B), truth_b); // other fields still naive
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: generate a small WAN, build a verifier, and ask the three
+//! questions operators ask daily — route reachability under failures,
+//! packet reachability, and role equivalence.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hoyan::core::Verifier;
+use hoyan::device::{Packet, VsbProfile};
+use hoyan::topogen::WanSpec;
+
+fn main() {
+    // A deterministic 20-router WAN (plus DC edges and ISP peers): two
+    // regions, redundant PE pairs, iBGP over IS-IS with route reflectors.
+    let wan = WanSpec::small(7).build();
+    println!(
+        "generated WAN: {} devices, {} customer prefixes",
+        wan.device_count(),
+        wan.customer_prefixes.len()
+    );
+
+    // Build the verifier. The VSB profile registry here is the ground
+    // truth — see the `vsb_discovery` example for how the tuner gets there.
+    let verifier = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3))
+        .expect("configs form a WAN");
+
+    // 1. Route reachability under k failures: can the far-region core
+    //    still receive the first customer prefix if any 1 link dies?
+    let prefix = wan.customer_prefixes[0];
+    let report = verifier
+        .route_reachability(prefix, "CR1x1", 1)
+        .expect("simulation converges");
+    println!(
+        "\nroute {prefix} -> CR1x1: reachable={}, min failures to break={}, \
+         resilient to k=1: {}",
+        report.reachable_now, report.min_failures_to_break, report.resilient
+    );
+    if let Some(witness) = &report.witness {
+        println!("  a minimal breaking failure set: {witness:?}");
+    }
+
+    // 2. Packet reachability (the route existing does not imply packets
+    //    arrive — ACLs and LPM can diverge, §5.1).
+    let packet = Packet {
+        src: "198.18.0.9".parse().unwrap(),
+        dst: prefix.network(),
+        proto: hoyan::config::AclProto::Tcp,
+    };
+    let preport = verifier
+        .packet_reachability("MAN1x0", prefix, packet, 1)
+        .expect("simulation converges");
+    println!(
+        "packet MAN1x0 -> {prefix}: reachable={}, min failures to break={}",
+        preport.reachable_now, preport.min_failures_to_break
+    );
+
+    // 3. Role equivalence: the redundant PE pair of region 0 should *not*
+    //    be equivalent (each fronts a different DC), but the two region
+    //    cores see the same world.
+    for (a, b) in [("PE0x0", "PE0x1"), ("CR0x0", "CR0x1")] {
+        let eq = verifier.role_equivalence(a, b).expect("converges");
+        println!(
+            "role equivalence {a} ~ {b}: {}{}",
+            eq.equivalent,
+            eq.first_difference
+                .map(|p| format!(" (first differs on {p})"))
+                .unwrap_or_default()
+        );
+    }
+
+    // 4. The full sweep all operators run before pushing an update.
+    let t0 = std::time::Instant::now();
+    let reports = verifier.verify_all_routes(1, 8).expect("sweep converges");
+    let fragile: usize = reports.iter().filter(|r| !r.fragile.is_empty()).count();
+    println!(
+        "\nfull sweep at k=1: {} prefixes in {:?}; {} prefixes have \
+         non-resilient consumers",
+        reports.len(),
+        t0.elapsed(),
+        fragile
+    );
+}

@@ -1,0 +1,87 @@
+//! The §6 story: discovering vendor-specific behaviors with the model tuner.
+//!
+//! A fresh verifier assumes every vendor behaves like the majority vendor.
+//! On a mixed-vendor WAN that assumption is wrong in eight documented ways
+//! (Table 2), and verification accuracy is poor. The tuner compares the
+//! model's extended RIBs against the network's real ones (here: an oracle
+//! simulation running the true vendor behaviors), localizes the first
+//! divergence to a device + behavior class, and patches the model — driving
+//! accuracy to 100% exactly as Figure 14 shows.
+//!
+//! Run with: `cargo run --release --example vsb_discovery`
+
+use hoyan::device::VsbProfile;
+use hoyan::topogen::WanSpec;
+use hoyan::tuner::{ModelRegistry, Validator};
+
+fn main() {
+    let wan = WanSpec::small(55).build();
+    let vendors: Vec<(&str, &str)> = wan
+        .configs
+        .iter()
+        .map(|c| (c.hostname.as_str(), c.vendor.letter()))
+        .filter(|(_, v)| *v != "A")
+        .collect();
+    println!(
+        "WAN with {} devices; non-majority-vendor devices: {:?}",
+        wan.device_count(),
+        vendors
+    );
+
+    let validator = Validator::new(wan.configs.clone()).expect("topology");
+    let mut registry = ModelRegistry::naive();
+    let families: Vec<Vec<_>> = wan.customer_prefixes.iter().map(|p| vec![*p]).collect();
+
+    let t0 = std::time::Instant::now();
+    let outcome = validator
+        .tune(&mut registry, &families, 32)
+        .expect("tuning converges");
+    println!(
+        "\ntuner: {} round(s), {} patches in {:?}",
+        outcome.rounds,
+        outcome.localizations.len(),
+        t0.elapsed()
+    );
+    for loc in &outcome.localizations {
+        println!(
+            "  localized VSB: device={} vendor={} class=\"{}\" \
+             (~{} config lines implicated; paper's model patch: {} lines)",
+            loc.hostname,
+            loc.vendor.letter(),
+            loc.vsb.name(),
+            loc.config_lines,
+            loc.vsb.paper_patch_lines(),
+        );
+    }
+
+    let avg = |v: &[(hoyan::nettypes::Ipv4Prefix, f64)]| {
+        v.iter().map(|(_, a)| a).sum::<f64>() / v.len().max(1) as f64
+    };
+    let perfect_after = outcome
+        .accuracy_after
+        .iter()
+        .filter(|(_, a)| *a >= 1.0)
+        .count();
+    println!(
+        "\naccuracy: mean {:.1}% -> {:.1}% ({} of {} prefixes now at 100%)",
+        100.0 * avg(&outcome.accuracy_before),
+        100.0 * avg(&outcome.accuracy_after),
+        perfect_after,
+        outcome.accuracy_after.len()
+    );
+
+    // The tuner only patches VSBs that production traffic *exercises* —
+    // exactly the paper's pragmatic coverage strategy ("validate behavior
+    // models under all cases that appear in the production", §6). Fields
+    // that nothing on this WAN can distinguish stay at the assumption.
+    for v in [hoyan::config::Vendor::B, hoyan::config::Vendor::C] {
+        let truth = VsbProfile::ground_truth(v);
+        let remaining = registry.profile(v).diff(&truth);
+        println!(
+            "vendor {}: {} VSB field(s) not yet exercised by this WAN: {:?}",
+            v.letter(),
+            remaining.len(),
+            remaining.iter().map(|k| k.name()).collect::<Vec<_>>()
+        );
+    }
+}

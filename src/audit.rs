@@ -1,0 +1,256 @@
+//! The operator-facing update audit: the checks Hoyan runs against a
+//! proposed configuration update before it is committed (§3.2's "check
+//! correctness and inconspicuous ambiguities of new configurations in an
+//! update"), combining the core verifier's primitives.
+//!
+//! Four §7 detectors:
+//! - **reachability regression**: a focus prefix reaches fewer devices
+//!   after the update, or stops being resilient to `k` failures;
+//! - **IP conflict**: a prefix gains an origin (the §7.2 address-conflict
+//!   audit);
+//! - **static shadowing**: a static route stops being the preferred FIB
+//!   rule on its device (the §7.1 outage);
+//! - **racing**: convergence becomes ambiguous under update racing;
+//! - **equivalence break**: a redundant device pair stops being equivalent.
+
+use hoyan_config::DeviceConfig;
+use hoyan_core::{fib_rules_for, racing_check, NetworkModel, Simulation, Verifier, VerifierError};
+use hoyan_device::VsbProfile;
+use hoyan_nettypes::Ipv4Prefix;
+
+/// One problem found by the audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// Fewer devices can reach the prefix after the update.
+    ReachabilityRegression {
+        /// The prefix.
+        prefix: Ipv4Prefix,
+        /// Devices in scope before.
+        scope_before: usize,
+        /// Devices in scope after.
+        scope_after: usize,
+    },
+    /// The prefix is announced by more gateways than before.
+    IpConflict {
+        /// The prefix.
+        prefix: Ipv4Prefix,
+        /// Origin count after the update.
+        origins: usize,
+    },
+    /// A static route lost to a protocol route on its own device.
+    StaticShadowed {
+        /// The device.
+        device: String,
+        /// The static's prefix.
+        prefix: Ipv4Prefix,
+    },
+    /// Route convergence became dependent on update arrival order.
+    RacingIntroduced {
+        /// The prefix.
+        prefix: Ipv4Prefix,
+        /// Number of distinct convergences found.
+        solutions: usize,
+    },
+    /// A redundant pair is no longer equivalent.
+    EquivalenceBroken {
+        /// The pair.
+        pair: (String, String),
+        /// First prefix that differs.
+        first_difference: Option<Ipv4Prefix>,
+    },
+}
+
+/// The audit result.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Everything found, in detector order.
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// Whether the update is clean.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn origin_count(configs: &[DeviceConfig], prefix: Ipv4Prefix) -> usize {
+    configs
+        .iter()
+        .filter(|c| {
+            c.bgp
+                .as_ref()
+                .map(|b| b.networks.contains(&prefix))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn static_shadowed(net: &NetworkModel, configs: &[DeviceConfig]) -> Vec<(String, Ipv4Prefix)> {
+    let mut out = Vec::new();
+    for cfg in configs {
+        let Some(node) = net.topology.node(&cfg.hostname) else {
+            continue;
+        };
+        for s in &cfg.static_routes {
+            let Ok(mut sim) = Simulation::new_bgp(net, vec![s.prefix], Some(0), None)
+                .run_owned()
+            else {
+                continue;
+            };
+            let rules = fib_rules_for(&mut sim, net, node, s.prefix.network());
+            let best_is_static = rules
+                .first()
+                .map(|r| r.pref == s.preference && r.cond.is_true())
+                .unwrap_or(false);
+            if !best_is_static {
+                out.push((cfg.hostname.clone(), s.prefix));
+            }
+        }
+    }
+    out
+}
+
+/// Audits `after` against `before`. `focus` are the prefixes the update
+/// touches (plus any the operator wants re-checked); `pairs` are the
+/// redundant device pairs subject to the equivalence intent.
+pub fn audit_update(
+    before: &[DeviceConfig],
+    after: &[DeviceConfig],
+    focus: &[Ipv4Prefix],
+    pairs: &[(String, String)],
+    k: u32,
+) -> Result<AuditReport, VerifierError> {
+    let v_before = Verifier::new(before.to_vec(), VsbProfile::ground_truth, Some(k.max(1)))?;
+    let v_after = Verifier::new(after.to_vec(), VsbProfile::ground_truth, Some(k.max(1)))?;
+    let mut findings = Vec::new();
+
+    for p in focus {
+        // Reachability scope.
+        let scope_before = v_before.propagation_scope(*p).map_err(VerifierError::Sim)?;
+        let scope_after = v_after.propagation_scope(*p).map_err(VerifierError::Sim)?;
+        if scope_after.len() < scope_before.len() {
+            findings.push(Finding::ReachabilityRegression {
+                prefix: *p,
+                scope_before: scope_before.len(),
+                scope_after: scope_after.len(),
+            });
+        }
+        // Origins (IP conflict).
+        let origins_before = origin_count(before, *p);
+        let origins_after = origin_count(after, *p);
+        if origins_after > origins_before.max(1) {
+            findings.push(Finding::IpConflict {
+                prefix: *p,
+                origins: origins_after,
+            });
+        }
+        // Racing.
+        let racing_before = racing_check(&v_before.net, *p, 2);
+        let racing_after = racing_check(&v_after.net, *p, 2);
+        if racing_after.ambiguous && !racing_before.ambiguous {
+            findings.push(Finding::RacingIntroduced {
+                prefix: *p,
+                solutions: racing_after.solutions,
+            });
+        }
+    }
+
+    // Static shadowing: anything newly shadowed.
+    let shadowed_before = static_shadowed(&v_before.net, before);
+    for (device, prefix) in static_shadowed(&v_after.net, after) {
+        if !shadowed_before.contains(&(device.clone(), prefix)) {
+            findings.push(Finding::StaticShadowed { device, prefix });
+        }
+    }
+
+    // Equivalence pairs.
+    for pair in pairs {
+        let eq_before = v_before
+            .role_equivalence(&pair.0, &pair.1)
+            .map_err(VerifierError::Sim)?;
+        let eq_after = v_after
+            .role_equivalence(&pair.0, &pair.1)
+            .map_err(VerifierError::Sim)?;
+        if eq_before.equivalent && !eq_after.equivalent {
+            findings.push(Finding::EquivalenceBroken {
+                pair: pair.clone(),
+                first_difference: eq_after.first_difference,
+            });
+        }
+    }
+
+    Ok(AuditReport { findings })
+}
+
+/// Tiny helper so `static_shadowed` can use `?`-less flow.
+trait RunOwned<'n>: Sized {
+    fn run_owned(self) -> Result<Simulation<'n>, hoyan_core::SimError>;
+}
+
+impl<'n> RunOwned<'n> for Simulation<'n> {
+    fn run_owned(mut self) -> Result<Simulation<'n>, hoyan_core::SimError> {
+        self.run()?;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoyan_config::parse_config;
+
+    fn two_node(origin_extra: &str) -> Vec<DeviceConfig> {
+        vec![
+            parse_config(&format!(
+                "hostname A\ninterface e0\n peer B\nrouter bgp 1\n network 10.0.0.0/24\n{origin_extra} neighbor B remote-as 2\n",
+            ))
+            .unwrap(),
+            parse_config(
+                "hostname B\ninterface e0\n peer A\nrouter bgp 2\n neighbor A remote-as 1\n",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let cfgs = two_node("");
+        let report = audit_update(
+            &cfgs,
+            &cfgs,
+            &["10.0.0.0/24".parse().unwrap()],
+            &[],
+            1,
+        )
+        .unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn scope_shrink_is_a_regression() {
+        let before = two_node("");
+        // After: A filters its announcement to B entirely.
+        let after = vec![
+            parse_config(concat!(
+                "hostname A\ninterface e0\n peer B\n",
+                "route-map NONE deny 10\n",
+                "router bgp 1\n network 10.0.0.0/24\n neighbor B remote-as 2\n neighbor B route-map NONE out\n",
+            ))
+            .unwrap(),
+            before[1].clone(),
+        ];
+        let report = audit_update(
+            &before,
+            &after,
+            &["10.0.0.0/24".parse().unwrap()],
+            &[],
+            1,
+        )
+        .unwrap();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::ReachabilityRegression { .. })));
+    }
+}

@@ -1,0 +1,343 @@
+//! The `hoyan` command-line tool: the operator-facing frontend (§4's
+//! "user-friendly interfaces for our operators").
+//!
+//! ```text
+//! hoyan gen <dir> [--size tiny|small|medium|reference] [--seed N]
+//! hoyan verify <dir> --prefix 10.0.0.0/24 --device CR1x0 [--k 2]
+//! hoyan packet <dir> --prefix 10.0.0.0/24 --from MAN1x0 [--k 2] [--proto tcp|udp]
+//! hoyan scope  <dir> --prefix 10.0.0.0/24
+//! hoyan racing <dir> --prefix 10.0.0.0/24
+//! hoyan routers <dir> --prefix 10.0.0.0/24 --device CR1x0
+//! hoyan equiv  <dir> --a CR0x0 --b CR0x1
+//! hoyan sweep  <dir> [--k 1]
+//! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
+//! hoyan tune   <dir>
+//! ```
+//!
+//! A configuration directory holds one `<hostname>.cfg` per device in the
+//! dialect of `hoyan::config` (see `hoyan gen` for samples).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hoyan::config::{parse_config, DeviceConfig};
+use hoyan::core::Verifier;
+use hoyan::device::{Packet, VsbProfile};
+use hoyan::nettypes::Ipv4Prefix;
+use hoyan::topogen::WanSpec;
+use hoyan::tuner::{ModelRegistry, Validator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flags(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn load_dir(dir: &str) -> Result<Vec<DeviceConfig>, String> {
+    let mut configs = Vec::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "cfg").unwrap_or(false))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .cfg files in {dir}"));
+    }
+    for p in paths {
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let cfg = parse_config(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        configs.push(cfg);
+    }
+    Ok(configs)
+}
+
+fn verifier_for(dir: &str, k: u32) -> Result<Verifier, String> {
+    let configs = load_dir(dir)?;
+    Verifier::new(configs, VsbProfile::ground_truth, Some(k.max(3)))
+        .map_err(|e| format!("model construction failed: {e}"))
+}
+
+fn parse_prefix(s: &str) -> Result<Ipv4Prefix, String> {
+    s.parse().map_err(|_| format!("bad prefix `{s}`"))
+}
+
+fn get_k(args: &[String]) -> Result<u32, String> {
+    match flag(args, "--k") {
+        None => Ok(1),
+        Some(v) => v.parse().map_err(|_| format!("bad --k `{v}`")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    match cmd {
+        "gen" => {
+            let dir = args.get(1).ok_or("gen needs a target directory")?;
+            let seed: u64 = flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+                .transpose()?
+                .unwrap_or(7);
+            let spec = match flag(args, "--size").as_deref() {
+                None | Some("small") => WanSpec::small(seed),
+                Some("tiny") => WanSpec::tiny(seed),
+                Some("medium") => WanSpec::medium(seed),
+                Some("reference") => WanSpec::reference(seed),
+                Some(other) => return Err(format!("unknown --size `{other}`")),
+            };
+            let wan = spec.build();
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            for (cfg, text) in wan.configs.iter().zip(&wan.texts) {
+                let path = Path::new(dir).join(format!("{}.cfg", cfg.hostname));
+                std::fs::write(&path, text).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "wrote {} device configs to {dir} ({} customer prefixes, e.g. {})",
+                wan.configs.len(),
+                wan.customer_prefixes.len(),
+                wan.customer_prefixes[0]
+            );
+            Ok(())
+        }
+        "verify" => {
+            let dir = args.get(1).ok_or("verify needs a config directory")?;
+            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let device = flag(args, "--device").ok_or("--device required")?;
+            let k = get_k(args)?;
+            let v = verifier_for(dir, k)?;
+            let r = v
+                .route_reachability(prefix, &device, k)
+                .map_err(|e| e.to_string())?;
+            println!("route {prefix} -> {device}:");
+            println!("  reachable now:          {}", r.reachable_now);
+            println!("  resilient to {k} failures: {}", r.resilient);
+            match r.witness {
+                Some(w) => println!("  minimal breaking cut:   {w:?}"),
+                None => println!("  minimal breaking cut:   none within budget"),
+            }
+            Ok(())
+        }
+        "packet" => {
+            let dir = args.get(1).ok_or("packet needs a config directory")?;
+            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let from = flag(args, "--from").ok_or("--from required")?;
+            let k = get_k(args)?;
+            let proto = match flag(args, "--proto").as_deref() {
+                None | Some("tcp") => hoyan::config::AclProto::Tcp,
+                Some("udp") => hoyan::config::AclProto::Udp,
+                Some("ip") => hoyan::config::AclProto::Ip,
+                Some(other) => return Err(format!("unknown --proto `{other}`")),
+            };
+            let v = verifier_for(dir, k)?;
+            let packet = Packet {
+                src: "192.0.2.1".parse().unwrap(),
+                dst: prefix.network(),
+                proto,
+            };
+            let r = v
+                .packet_reachability(&from, prefix, packet, k)
+                .map_err(|e| e.to_string())?;
+            println!("packet {from} -> {prefix}:");
+            println!("  delivered now:          {}", r.reachable_now);
+            println!("  resilient to {k} failures: {}", r.resilient);
+            if let Some(w) = r.witness {
+                println!("  minimal breaking cut:   {w:?}");
+            }
+            Ok(())
+        }
+        "scope" => {
+            let dir = args.get(1).ok_or("scope needs a config directory")?;
+            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let v = verifier_for(dir, 0)?;
+            let scope = v.propagation_scope(prefix).map_err(|e| e.to_string())?;
+            println!("{} devices hold a route for {prefix}:", scope.len());
+            for n in scope {
+                println!("  {}", v.net.topology.name(n));
+            }
+            Ok(())
+        }
+        "routers" => {
+            let dir = args.get(1).ok_or("routers needs a config directory")?;
+            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let device = flag(args, "--device").ok_or("--device required")?;
+            let v = verifier_for(dir, 4)?;
+            let fatal = v
+                .router_failure_tolerance(prefix, &device)
+                .map_err(|e| e.to_string())?;
+            if fatal.is_empty() {
+                println!("{prefix} at {device} survives any single router failure");
+            } else {
+                println!(
+                    "{prefix} at {device}: single points of failure: {fatal:?}"
+                );
+            }
+            Ok(())
+        }
+        "racing" => {
+            let dir = args.get(1).ok_or("racing needs a config directory")?;
+            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let v = verifier_for(dir, 0)?;
+            let r = v.racing(prefix);
+            println!(
+                "racing analysis for {prefix}: candidates={} solutions={} ambiguous={}",
+                r.candidates, r.solutions, r.ambiguous
+            );
+            if r.ambiguous {
+                println!("  convergence depends on route-update arrival order — fix before deploying");
+            }
+            Ok(())
+        }
+        "equiv" => {
+            let dir = args.get(1).ok_or("equiv needs a config directory")?;
+            let a = flag(args, "--a").ok_or("--a required")?;
+            let b = flag(args, "--b").ok_or("--b required")?;
+            let v = verifier_for(dir, 1)?;
+            let r = v.role_equivalence(&a, &b).map_err(|e| e.to_string())?;
+            println!(
+                "{a} ~ {b}: {}{}",
+                if r.equivalent { "equivalent" } else { "NOT equivalent" },
+                r.first_difference
+                    .map(|p| format!(" (first differs on {p})"))
+                    .unwrap_or_default()
+            );
+            Ok(())
+        }
+        "sweep" => {
+            let dir = args.get(1).ok_or("sweep needs a config directory")?;
+            let k = get_k(args)?;
+            let v = verifier_for(dir, k)?;
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let t0 = std::time::Instant::now();
+            let reports = v.verify_all_routes(k, threads).map_err(|e| e.to_string())?;
+            println!(
+                "swept {} prefixes at k={k} in {:?}",
+                reports.len(),
+                t0.elapsed()
+            );
+            for r in reports.iter().filter(|r| !r.fragile.is_empty()) {
+                let names: Vec<&str> = r
+                    .fragile
+                    .iter()
+                    .map(|n| v.net.topology.name(*n))
+                    .collect();
+                println!("  {}: not {k}-failure resilient at {:?}", r.prefix, names);
+            }
+            Ok(())
+        }
+        "audit" => {
+            let before_dir = args.get(1).ok_or("audit needs <before-dir> <after-dir>")?;
+            let after_dir = args.get(2).ok_or("audit needs <before-dir> <after-dir>")?;
+            let k = get_k(args)?;
+            let before = load_dir(before_dir)?;
+            let after = load_dir(after_dir)?;
+            let mut focus: Vec<Ipv4Prefix> = Vec::new();
+            for p in flags(args, "--prefix") {
+                focus.push(parse_prefix(&p)?);
+            }
+            if focus.is_empty() {
+                // Default: every prefix whose origin set changed plus all
+                // announced prefixes (bounded).
+                let all: std::collections::BTreeSet<Ipv4Prefix> = after
+                    .iter()
+                    .chain(before.iter())
+                    .filter_map(|c| c.bgp.as_ref())
+                    .flat_map(|b| b.networks.iter().copied())
+                    .collect();
+                focus = all.into_iter().collect();
+            }
+            let report = hoyan::audit::audit_update(&before, &after, &focus, &[], k)
+                .map_err(|e| e.to_string())?;
+            if report.passed() {
+                println!("audit PASSED: no findings on {} focus prefixes", focus.len());
+            } else {
+                println!("audit FAILED: {} finding(s)", report.findings.len());
+                for f in &report.findings {
+                    println!("  {f:?}");
+                }
+                return Err("update rejected".into());
+            }
+            Ok(())
+        }
+        "tune" => {
+            let dir = args.get(1).ok_or("tune needs a config directory")?;
+            let configs = load_dir(dir)?;
+            let validator = Validator::new(configs.clone()).map_err(|e| e.to_string())?;
+            let mut registry = ModelRegistry::naive();
+            let prefixes: Vec<Vec<Ipv4Prefix>> = configs
+                .iter()
+                .filter_map(|c| c.bgp.as_ref())
+                .flat_map(|b| b.networks.iter().map(|p| vec![*p]))
+                .collect();
+            let outcome = validator
+                .tune(&mut registry, &prefixes, 64)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "tuner: {} patches over {} rounds",
+                outcome.localizations.len(),
+                outcome.rounds
+            );
+            for l in &outcome.localizations {
+                println!(
+                    "  {} on {} (vendor {}): ~{} config lines implicated",
+                    l.vsb.name(),
+                    l.hostname,
+                    l.vendor.letter(),
+                    l.config_lines
+                );
+            }
+            let avg = |v: &[(Ipv4Prefix, f64)]| {
+                100.0 * v.iter().map(|(_, a)| a).sum::<f64>() / v.len().max(1) as f64
+            };
+            println!(
+                "accuracy: {:.1}% -> {:.1}%",
+                avg(&outcome.accuracy_before),
+                avg(&outcome.accuracy_after)
+            );
+            Ok(())
+        }
+        _ => {
+            println!(
+                "hoyan — configuration verifier (SIGCOMM'20 reproduction)\n\
+                 \n\
+                 usage:\n\
+                 \x20 hoyan gen <dir> [--size tiny|small|medium|reference] [--seed N]\n\
+                 \x20 hoyan verify <dir> --prefix P --device D [--k K]\n\
+                 \x20 hoyan packet <dir> --prefix P --from D [--k K] [--proto tcp|udp|ip]\n\
+                 \x20 hoyan scope  <dir> --prefix P\n\
+                 \x20 hoyan racing <dir> --prefix P\n\
+                 \x20 hoyan routers <dir> --prefix P --device D\n\
+                 \x20 hoyan equiv  <dir> --a D1 --b D2\n\
+                 \x20 hoyan sweep  <dir> [--k K]\n\
+                 \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
+                 \x20 hoyan tune   <dir>"
+            );
+            Ok(())
+        }
+    }
+}

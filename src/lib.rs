@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # Hoyan
+//!
+//! A configuration verifier for global WANs, reproducing the system described
+//! in *"Accuracy, Scalability, Coverage: A Practical Configuration Verifier on
+//! a Global WAN"* (SIGCOMM 2020).
+//!
+//! This façade crate re-exports every subsystem so applications can depend on
+//! a single crate:
+//!
+//! - [`nettypes`] — prefixes, AS paths, communities, route attributes.
+//! - [`logic`] — the topology-condition engine (BDDs) and a CDCL SAT solver.
+//! - [`config`] — the router-configuration dialect, parser and emitter.
+//! - [`device`] — per-device behavior models and vendor-specific behavior
+//!   (VSB) profiles.
+//! - [`core`] — the global simulator with local formal modeling: route and
+//!   packet reachability under `k` failures, role equivalence, and
+//!   route-update-racing detection.
+//! - [`tuner`] — the behavior-model tuner that discovers and localizes VSBs.
+//! - [`baselines`] — Batfish-, Minesweeper- and Plankton-style verifiers used
+//!   for the performance comparisons.
+//! - [`topogen`] — seeded generators for WAN topologies, configurations and
+//!   fault/error-injection workloads.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use hoyan::core::Verifier;
+//! use hoyan::device::VsbProfile;
+//! use hoyan::topogen::WanSpec;
+//!
+//! let wan = WanSpec::tiny(7).build();
+//! let verifier =
+//!     Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(2)).unwrap();
+//! let report = verifier
+//!     .route_reachability(wan.customer_prefixes[0], "CR1x0", 1)
+//!     .unwrap();
+//! assert!(report.reachable_now);
+//! ```
+
+pub mod audit;
+
+pub use hoyan_baselines as baselines;
+pub use hoyan_config as config;
+pub use hoyan_core as core;
+pub use hoyan_device as device;
+pub use hoyan_logic as logic;
+pub use hoyan_nettypes as nettypes;
+pub use hoyan_topogen as topogen;
+pub use hoyan_tuner as tuner;

@@ -1,0 +1,133 @@
+//! End-to-end tests of the `hoyan` CLI binary: generate a WAN to disk,
+//! then drive every subcommand against the on-disk configs (this exercises
+//! the full text → parse → verify pipeline exactly as an operator would).
+
+use std::process::Command;
+
+fn hoyan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hoyan"))
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hoyan-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_verify_scope_racing_equiv() {
+    let dir = tempdir("main");
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("CR0x0.cfg").exists());
+
+    let out = hoyan()
+        .args([
+            "verify",
+            dir.to_str().unwrap(),
+            "--prefix",
+            "10.0.0.0/24",
+            "--device",
+            "CR1x0",
+            "--k",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reachable now:          true"), "{stdout}");
+
+    let out = hoyan()
+        .args(["scope", dir.to_str().unwrap(), "--prefix", "10.0.0.0/24"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("devices hold a route"));
+
+    let out = hoyan()
+        .args(["racing", dir.to_str().unwrap(), "--prefix", "10.0.0.0/24"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ambiguous=false"));
+
+    let out = hoyan()
+        .args(["equiv", dir.to_str().unwrap(), "--a", "CR0x0", "--b", "CR0x1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("equivalent"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_rejects_ip_conflict() {
+    let before = tempdir("audit-before");
+    let after = tempdir("audit-after");
+    for d in [&before, &after] {
+        let out = hoyan()
+            .args(["gen", d.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    // Introduce an IP conflict in the after snapshot.
+    let victim = after.join("DC1x0.cfg");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    let text = text.replace("router bgp 65001\n", "router bgp 65001\n  network 10.0.0.0/24\n");
+    std::fs::write(&victim, text).unwrap();
+
+    let out = hoyan()
+        .args([
+            "audit",
+            before.to_str().unwrap(),
+            after.to_str().unwrap(),
+            "--k",
+            "1",
+            "--prefix",
+            "10.0.0.0/24",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "conflicting update must be rejected");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("IpConflict"));
+
+    // Identical snapshots pass.
+    let out = hoyan()
+        .args([
+            "audit",
+            before.to_str().unwrap(),
+            before.to_str().unwrap(),
+            "--k",
+            "1",
+            "--prefix",
+            "10.0.0.0/24",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASSED"));
+
+    let _ = std::fs::remove_dir_all(&before);
+    let _ = std::fs::remove_dir_all(&after);
+}
+
+#[test]
+fn malformed_config_reports_file_and_line() {
+    let dir = tempdir("bad");
+    std::fs::write(dir.join("X.cfg"), "hostname X\nbogus command here\n").unwrap();
+    let out = hoyan()
+        .args(["scope", dir.to_str().unwrap(), "--prefix", "10.0.0.0/24"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("X.cfg") && err.contains("line 2"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

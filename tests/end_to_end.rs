@@ -1,0 +1,135 @@
+//! End-to-end integration: the full operator workflow on generated WANs —
+//! update plans with injected errors must be caught by the pre-commit audit
+//! (the machinery behind the Figure 7 campaign), and the tuner must recover
+//! accuracy on a mixed-vendor WAN (the Figure 14 machinery).
+
+use hoyan::audit::{audit_update, Finding};
+use hoyan::device::VsbProfile;
+use hoyan::topogen::{ErrorClass, UpdatePlan, WanSpec};
+use hoyan::tuner::{ModelRegistry, Validator};
+
+fn find_update(wan: &hoyan::topogen::Wan, class: ErrorClass) -> hoyan::topogen::InjectedUpdate {
+    (0..500)
+        .find_map(|seed| {
+            let p = UpdatePlan::generate(wan, seed, 8, 1.0);
+            p.updates.iter().find(|u| u.error == Some(class)).cloned()
+        })
+        .unwrap_or_else(|| panic!("generator yields {class:?}"))
+}
+
+fn audit_one(
+    wan: &hoyan::topogen::Wan,
+    update: hoyan::topogen::InjectedUpdate,
+) -> hoyan::audit::AuditReport {
+    let plan = UpdatePlan {
+        updates: vec![update.clone()],
+    };
+    let after = plan.apply(wan).expect("update merges");
+    let mut focus: Vec<_> = update.focus_prefix.into_iter().collect();
+    if focus.is_empty() {
+        focus.push(wan.customer_prefixes[0]);
+    }
+    audit_update(&wan.configs, &after, &focus, &wan.equiv_pairs, 1).expect("audit runs")
+}
+
+#[test]
+fn wrong_static_preference_is_caught() {
+    let wan = WanSpec::tiny(9).build();
+    let update = find_update(&wan, ErrorClass::WrongStaticPreference);
+    let report = audit_one(&wan, update);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::StaticShadowed { .. })),
+        "expected StaticShadowed, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn ip_conflict_is_caught() {
+    let wan = WanSpec::small(9).build();
+    let update = find_update(&wan, ErrorClass::IpConflict);
+    let report = audit_one(&wan, update);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::IpConflict { .. })),
+        "expected IpConflict, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn equivalence_break_is_caught() {
+    let wan = WanSpec::small(9).build();
+    let update = find_update(&wan, ErrorClass::EquivalenceBreak);
+    let report = audit_one(&wan, update);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| matches!(
+                f,
+                Finding::EquivalenceBroken { .. } | Finding::ReachabilityRegression { .. }
+            )),
+        "expected an equivalence/reachability finding, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn benign_updates_pass_the_audit() {
+    let wan = WanSpec::tiny(9).build();
+    let plan = UpdatePlan::generate(&wan, 4, 6, 0.0);
+    let after = plan.apply(&wan).expect("merges");
+    let report = audit_update(
+        &wan.configs,
+        &after,
+        &wan.customer_prefixes,
+        &wan.equiv_pairs,
+        1,
+    )
+    .expect("audit runs");
+    assert!(report.passed(), "benign plan flagged: {:?}", report.findings);
+}
+
+#[test]
+fn tuner_recovers_accuracy_on_mixed_vendor_wan() {
+    let wan = WanSpec::tiny(13).build();
+    let validator = Validator::new(wan.configs.clone()).unwrap();
+    let mut registry = ModelRegistry::naive();
+    let families: Vec<Vec<_>> = wan.customer_prefixes.iter().map(|p| vec![*p]).collect();
+    let outcome = validator.tune(&mut registry, &families, 16).unwrap();
+    let after_avg: f64 = outcome.accuracy_after.iter().map(|(_, a)| a).sum::<f64>()
+        / outcome.accuracy_after.len().max(1) as f64;
+    assert!(
+        after_avg > 0.999,
+        "accuracy after tuning {:?} (patches {:?})",
+        after_avg,
+        outcome.localizations
+    );
+    for fam in &families {
+        assert!(validator.check(&registry, fam).unwrap().is_none());
+    }
+}
+
+#[test]
+fn oracle_and_verifier_agree_when_models_are_correct() {
+    let wan = WanSpec::tiny(17).build();
+    let verifier = hoyan::core::Verifier::new(
+        wan.configs.clone(),
+        VsbProfile::ground_truth,
+        Some(2),
+    )
+    .unwrap();
+    // Every customer prefix must be visible on every core router.
+    for p in &wan.customer_prefixes {
+        for cr in ["CR0x0", "CR0x1", "CR1x0", "CR1x1"] {
+            let r = verifier.route_reachability(*p, cr, 1).unwrap();
+            assert!(r.reachable_now, "{p} not at {cr}");
+        }
+    }
+}

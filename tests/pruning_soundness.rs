@@ -1,0 +1,92 @@
+//! Pruning soundness (§5.6): a simulation run with failure budget `k`
+//! must give exactly the same reachability verdicts as an *unpruned*
+//! simulation (`k = None`) for every failure scenario of size ≤ k — the
+//! paper argues the pruning decisions stay valid under later condition
+//! amendments; this test checks the end result on generated WANs.
+
+use std::collections::HashSet;
+
+use hoyan::baselines::failure_sets;
+use hoyan::core::{NetworkModel, Simulation};
+use hoyan::device::VsbProfile;
+use hoyan::nettypes::LinkId;
+use hoyan::topogen::WanSpec;
+
+#[test]
+fn pruned_and_unpruned_simulations_agree_within_the_ball() {
+    for seed in [3u64, 8, 21] {
+        let wan = WanSpec::tiny(seed).build();
+        let net =
+            NetworkModel::from_configs(wan.configs.clone(), VsbProfile::ground_truth).unwrap();
+        for p in &wan.customer_prefixes {
+            let mut exact = Simulation::new_bgp(&net, vec![*p], None, None);
+            exact.run().unwrap();
+            for k in 0..=2u32 {
+                let mut pruned = Simulation::new_bgp(&net, vec![*p], Some(k), None);
+                pruned.run().unwrap();
+                for dead_links in failure_sets(net.topology.link_count(), k as usize) {
+                    let dead: HashSet<LinkId> = dead_links.iter().copied().collect();
+                    let mut assign = vec![true; net.topology.link_count()];
+                    for l in &dead {
+                        assign[l.0 as usize] = false;
+                    }
+                    for n in net.topology.nodes() {
+                        let ve = exact.reach_cond(n, *p);
+                        let vp = pruned.reach_cond(n, *p);
+                        assert_eq!(
+                            exact.mgr.eval(ve, &assign),
+                            pruned.mgr.eval(vp, &assign),
+                            "seed {seed} prefix {p} k={k} node {} dead {:?}",
+                            net.topology.name(n),
+                            dead_links,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_reduces_work_monotonically() {
+    // Lower budgets must never do *more* work (deliveries) than higher ones.
+    let wan = WanSpec::small(5).build();
+    let net = NetworkModel::from_configs(wan.configs.clone(), VsbProfile::ground_truth).unwrap();
+    let p = wan.customer_prefixes[0];
+    let mut last = 0u64;
+    for k in 0..=3u32 {
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(k), None);
+        sim.run().unwrap();
+        assert!(
+            sim.stats.delivered >= last,
+            "k={k}: delivered {} < {}",
+            sim.stats.delivered,
+            last
+        );
+        last = sim.stats.delivered;
+    }
+}
+
+#[test]
+fn resilience_verdicts_match_between_budgets() {
+    // The min-failures verdict *within* the budget must not depend on the
+    // budget chosen (as long as the verdict is inside it).
+    let wan = WanSpec::tiny(30).build();
+    let net = NetworkModel::from_configs(wan.configs.clone(), VsbProfile::ground_truth).unwrap();
+    for p in &wan.customer_prefixes {
+        let mut sim2 = Simulation::new_bgp(&net, vec![*p], Some(2), None);
+        sim2.run().unwrap();
+        let mut sim3 = Simulation::new_bgp(&net, vec![*p], Some(3), None);
+        sim3.run().unwrap();
+        for n in net.topology.nodes() {
+            let v2 = sim2.reach_cond(n, *p);
+            let v3 = sim3.reach_cond(n, *p);
+            let m2 = sim2.mgr.min_failures_to_falsify(v2);
+            let m3 = sim3.mgr.min_failures_to_falsify(v3);
+            // Verdicts at or below the smaller budget must coincide.
+            if m3 <= 2 || m2 <= 2 {
+                assert_eq!(m2, m3, "prefix {p} node {}", net.topology.name(n));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Randomized soundness: on random connected eBGP topologies with random
+//! (monotone) policies, Hoyan's conditioned simulation must agree with the
+//! concrete per-scenario simulator for *every* failure set of size ≤ 2.
+//!
+//! Policies are restricted to route monotone transformations (AS-path
+//! prepending, MED, community tagging, prefix filters) so the network has a
+//! unique stable state — with non-monotone policies (e.g. weight rewrites)
+//! convergence can be genuinely order-dependent, which is racing detection's
+//! job, not reachability's.
+
+use std::collections::HashSet;
+
+use hoyan::baselines::{concrete::converge, failure_sets};
+use hoyan::config::{parse_config, DeviceConfig};
+use hoyan::core::{NetworkModel, Simulation};
+use hoyan::device::VsbProfile;
+use hoyan::nettypes::{pfx, LinkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_net(seed: u64) -> Vec<DeviceConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..8usize);
+    // Random connected graph: a random spanning tree + extra edges.
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        edges.insert((j, i));
+    }
+    for _ in 0..rng.gen_range(0..n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    let mut texts: Vec<String> = Vec::new();
+    for i in 0..n {
+        let mut t = format!("hostname R{i}\nrouter-id {}\n", i + 1);
+        for (k, (a, b)) in edges.iter().enumerate() {
+            if *a == i {
+                t += &format!("interface e{k}\n peer R{b}\n");
+            } else if *b == i {
+                t += &format!("interface e{k}\n peer R{a}\n");
+            }
+        }
+        // Random policies (monotone only).
+        let mut policy_lines = String::new();
+        let mut maps: Vec<(usize, String)> = Vec::new();
+        for (k, (a, b)) in edges.iter().enumerate() {
+            let peer = if *a == i {
+                *b
+            } else if *b == i {
+                *a
+            } else {
+                continue;
+            };
+            match rng.gen_range(0..5u8) {
+                0 => {
+                    policy_lines += &format!(
+                        "route-map RM{k} permit 10\n set as-path prepend {}\n",
+                        100 + i
+                    );
+                    maps.push((peer, format!("RM{k}")));
+                }
+                1 => {
+                    policy_lines += &format!(
+                        "route-map RM{k} permit 10\n set med {}\n",
+                        rng.gen_range(0..50)
+                    );
+                    maps.push((peer, format!("RM{k}")));
+                }
+                2 => {
+                    policy_lines += &format!(
+                        "route-map RM{k} permit 10\n set community 1:{k} additive\n",
+                    );
+                    maps.push((peer, format!("RM{k}")));
+                }
+                _ => {}
+            }
+        }
+        t += &policy_lines;
+        t += &format!("router bgp {}\n", 100 + i);
+        if i == 0 {
+            t += " network 10.50.0.0/16\n";
+        }
+        for (a, b) in &edges {
+            let peer = if *a == i {
+                *b
+            } else if *b == i {
+                *a
+            } else {
+                continue;
+            };
+            t += &format!(" neighbor R{peer} remote-as {}\n", 100 + peer);
+            if let Some((_, rm)) = maps.iter().find(|(p, _)| *p == peer) {
+                let dir = if rng.gen_bool(0.5) { "in" } else { "out" };
+                t += &format!(" neighbor R{peer} route-map {rm} {dir}\n");
+            }
+        }
+        texts.push(t);
+    }
+    texts.iter().map(|t| parse_config(t).unwrap()).collect()
+}
+
+#[test]
+fn hoyan_matches_concrete_on_random_topologies() {
+    let p = pfx("10.50.0.0/16");
+    for seed in 0..20u64 {
+        let configs = random_net(seed);
+        let net = NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap();
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(2), None);
+        sim.run().unwrap();
+        for dead_links in failure_sets(net.topology.link_count(), 2) {
+            let dead: HashSet<LinkId> = dead_links.iter().copied().collect();
+            let state = converge(&net, &[p], &dead);
+            let mut assign = vec![true; net.topology.link_count()];
+            for l in &dead {
+                assign[l.0 as usize] = false;
+            }
+            for n in net.topology.nodes() {
+                let cond = sim.reach_cond(n, p);
+                assert_eq!(
+                    sim.mgr.eval(cond, &assign),
+                    state.has_route(n, p),
+                    "seed {seed}: node {} under dead={:?}",
+                    net.topology.name(n),
+                    dead_links
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn best_route_attributes_match_on_random_topologies() {
+    // Beyond existence: under the all-alive scenario, the *best route's
+    // attributes* must agree between the two engines.
+    let p = pfx("10.50.0.0/16");
+    for seed in 20..35u64 {
+        let configs = random_net(seed);
+        let net = NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap();
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(0), None);
+        sim.run().unwrap();
+        let state = converge(&net, &[p], &HashSet::new());
+        for n in net.topology.nodes() {
+            let hoyan_best = sim
+                .rib(n, p)
+                .into_iter()
+                .find(|v| sim.mgr.eval(v.cond, &[]))
+                .map(|v| v.attrs);
+            let concrete_best = state.best(n, p).map(|r| r.attrs.clone());
+            assert_eq!(
+                hoyan_best,
+                concrete_best,
+                "seed {seed}: best-route attrs diverge at {}",
+                net.topology.name(n)
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration: every Table 2 VSB class is detectable and localizable by
+//! the behavior model tuner on its dedicated scenario.
+
+use hoyan::device::VsbKind;
+use hoyan::topogen::{all_scenarios, scenario};
+use hoyan::tuner::{ModelRegistry, Validator};
+
+#[test]
+fn every_vsb_scenario_mismatches_under_the_naive_model() {
+    for s in all_scenarios() {
+        let validator = Validator::new(s.configs.clone()).unwrap();
+        let registry = ModelRegistry::naive();
+        let detected = match &s.probe {
+            None => validator.check(&registry, &s.family).unwrap().is_some(),
+            Some(p) => !validator
+                .check_probe(&registry, &s.family, &p.src_device, p.dst)
+                .unwrap(),
+        };
+        assert!(detected, "{:?}: naive model must diverge from the oracle", s.kind);
+    }
+}
+
+#[test]
+fn every_vsb_scenario_localizes_to_its_class_and_device() {
+    for s in all_scenarios() {
+        let validator = Validator::new(s.configs.clone()).unwrap();
+        let registry = ModelRegistry::naive();
+        let loc = match &s.probe {
+            None => {
+                let mismatch = validator.check(&registry, &s.family).unwrap().unwrap();
+                validator
+                    .localize(&registry, &mismatch, &s.family)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{:?}: localizable", s.kind))
+            }
+            Some(p) => validator
+                .localize_probe(&registry, &s.family, &p.src_device, p.dst)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{:?}: probe-localizable", s.kind)),
+        };
+        assert_eq!(loc.vsb, s.kind, "wrong VSB class for {:?}", s.kind);
+        assert_eq!(loc.hostname, s.culprit, "wrong device for {:?}", s.kind);
+    }
+}
+
+#[test]
+fn ground_truth_model_is_clean_on_every_scenario() {
+    for s in all_scenarios() {
+        let validator = Validator::new(s.configs.clone()).unwrap();
+        let registry = ModelRegistry::ground_truth();
+        match &s.probe {
+            None => assert!(
+                validator.check(&registry, &s.family).unwrap().is_none(),
+                "{:?}: truth model must match",
+                s.kind
+            ),
+            Some(p) => assert!(
+                validator
+                    .check_probe(&registry, &s.family, &p.src_device, p.dst)
+                    .unwrap(),
+                "{:?}: truth probe must match",
+                s.kind
+            ),
+        }
+    }
+}
+
+#[test]
+fn patching_one_scenario_fixes_it() {
+    let s = scenario(VsbKind::RemovePrivateAs);
+    let validator = Validator::new(s.configs.clone()).unwrap();
+    let mut registry = ModelRegistry::naive();
+    let outcome = validator.tune(&mut registry, &[s.family.clone()], 8).unwrap();
+    assert!(outcome
+        .localizations
+        .iter()
+        .any(|l| l.vsb == VsbKind::RemovePrivateAs));
+    assert!(validator.check(&registry, &s.family).unwrap().is_none());
+}
