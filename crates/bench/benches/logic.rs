@@ -1,35 +1,34 @@
 //! Micro-benchmarks of the formal-modeling substrate: BDD algebra, the
 //! failure-counting queries, and the CDCL solver.
+//!
+//! Run with `cargo bench -p hoyan-bench --bench logic`; results are written
+//! to `BENCH_logic.json` (see `hoyan_rt::bench`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hoyan_logic::{BddManager, Cnf, Formula, Lit, Solver};
+use hoyan_rt::bench::{black_box, BenchSuite};
 
-fn bdd_ops(c: &mut Criterion) {
-    c.bench_function("bdd/path_condition_chain_32", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let mut acc = hoyan_logic::Bdd::TRUE;
-            for i in 0..32 {
-                let v = m.var(i);
-                acc = m.and(acc, v);
-            }
-            black_box(acc)
-        })
+fn bdd_ops(s: &mut BenchSuite) {
+    s.bench("bdd/path_condition_chain_32", || {
+        let mut m = BddManager::new();
+        let mut acc = hoyan_logic::Bdd::TRUE;
+        for i in 0..32 {
+            let v = m.var(i);
+            acc = m.and(acc, v);
+        }
+        black_box(acc)
     });
-    c.bench_function("bdd/is_best_chain_16_paths", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let mut acc = hoyan_logic::Bdd::FALSE;
-            for i in 0..16u32 {
-                let x = m.var(i * 3);
-                let y = m.var(i * 3 + 1);
-                let path = m.and(x, y);
-                acc = m.or(acc, path);
-            }
-            black_box(m.min_failures_to_falsify(acc))
-        })
+    s.bench("bdd/is_best_chain_16_paths", || {
+        let mut m = BddManager::new();
+        let mut acc = hoyan_logic::Bdd::FALSE;
+        for i in 0..16u32 {
+            let x = m.var(i * 3);
+            let y = m.var(i * 3 + 1);
+            let path = m.and(x, y);
+            acc = m.or(acc, path);
+        }
+        black_box(m.min_failures_to_falsify(acc))
     });
-    c.bench_function("bdd/min_failures_query", |b| {
+    {
         let mut m = BddManager::new();
         let mut acc = hoyan_logic::Bdd::FALSE;
         for i in 0..24u32 {
@@ -38,59 +37,59 @@ fn bdd_ops(c: &mut Criterion) {
             let path = m.and(x, y);
             acc = m.or(acc, path);
         }
-        b.iter(|| {
+        s.bench("bdd/min_failures_query", || {
             // Fresh manager clone would skew; query is memoized, so measure
             // the memoized fast path (the common case during propagation).
             black_box(m.min_failures_to_falsify(black_box(acc)))
-        })
-    });
+        });
+    }
 }
 
-fn sat(c: &mut Criterion) {
-    c.bench_function("sat/pigeonhole_5_into_4", |b| {
-        b.iter(|| {
-            let n = 5usize;
-            let holes = 4usize;
-            let var = |p: usize, h: usize| (p * holes + h) as u32;
-            let mut s = Solver::with_vars((n * holes) as u32);
-            for p in 0..n {
-                s.add_clause((0..holes).map(|h| Lit::pos(var(p, h))).collect());
-            }
-            for h in 0..holes {
-                for a in 0..n {
-                    for bb in (a + 1)..n {
-                        s.add_clause(vec![Lit::neg(var(a, h)), Lit::neg(var(bb, h))]);
-                    }
+fn sat(s: &mut BenchSuite) {
+    s.bench("sat/pigeonhole_5_into_4", || {
+        let n = 5usize;
+        let holes = 4usize;
+        let var = |p: usize, h: usize| (p * holes + h) as u32;
+        let mut s = Solver::with_vars((n * holes) as u32);
+        for p in 0..n {
+            s.add_clause((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+        }
+        for h in 0..holes {
+            for a in 0..n {
+                for bb in (a + 1)..n {
+                    s.add_clause(vec![Lit::neg(var(a, h)), Lit::neg(var(bb, h))]);
                 }
             }
-            black_box(s.solve().is_unsat())
-        })
+        }
+        black_box(s.solve().is_unsat())
     });
-    c.bench_function("sat/racing_encoding_solve", |b| {
+    s.bench("sat/racing_encoding_solve", || {
         // The Figure 1 selection system, repeated 8 times over fresh vars.
-        b.iter(|| {
-            let mut clauses = Vec::new();
-            for g in 0..8u32 {
-                let base = g * 4;
-                clauses.push(Formula::iff(Formula::var(base + 1), Formula::var(base)));
-                clauses.push(Formula::iff(
-                    Formula::var(base + 2),
-                    Formula::not(Formula::var(base + 1)),
-                ));
-                clauses.push(Formula::iff(Formula::var(base + 3), Formula::var(base + 2)));
-                clauses.push(Formula::iff(
-                    Formula::var(base),
-                    Formula::not(Formula::var(base + 3)),
-                ));
-            }
-            let mut cnf = Cnf::new();
-            cnf.ensure_var(31);
-            cnf.assert_formula(&Formula::And(clauses));
-            let vars: Vec<u32> = (0..32).collect();
-            black_box(Solver::from_cnf(&cnf).count_models(&vars, 4).len())
-        })
+        let mut clauses = Vec::new();
+        for g in 0..8u32 {
+            let base = g * 4;
+            clauses.push(Formula::iff(Formula::var(base + 1), Formula::var(base)));
+            clauses.push(Formula::iff(
+                Formula::var(base + 2),
+                Formula::not(Formula::var(base + 1)),
+            ));
+            clauses.push(Formula::iff(Formula::var(base + 3), Formula::var(base + 2)));
+            clauses.push(Formula::iff(
+                Formula::var(base),
+                Formula::not(Formula::var(base + 3)),
+            ));
+        }
+        let mut cnf = Cnf::new();
+        cnf.ensure_var(31);
+        cnf.assert_formula(&Formula::And(clauses));
+        let vars: Vec<u32> = (0..32).collect();
+        black_box(Solver::from_cnf(&cnf).count_models(&vars, 4).len())
     });
 }
 
-criterion_group!(benches, bdd_ops, sat);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("logic");
+    bdd_ops(&mut suite);
+    sat(&mut suite);
+    suite.finish();
+}

@@ -1,10 +1,13 @@
 //! End-to-end pipeline benchmarks: parsing, the conditioned per-prefix
 //! simulation at each k (Figure 8's inner loop), packet walks, IS-IS
 //! database construction, and racing detection.
+//!
+//! Run with `cargo bench -p hoyan-bench --bench pipeline`; results are
+//! written to `BENCH_pipeline.json` (see `hoyan_rt::bench`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hoyan_core::{packet_reach, IsisDb, NetworkModel, Simulation};
 use hoyan_device::{Packet, VsbProfile};
+use hoyan_rt::bench::{black_box, BenchSuite};
 use hoyan_topogen::WanSpec;
 
 fn build() -> (hoyan_topogen::Wan, NetworkModel) {
@@ -14,76 +17,74 @@ fn build() -> (hoyan_topogen::Wan, NetworkModel) {
     (wan, net)
 }
 
-fn parse(c: &mut Criterion) {
+fn parse(s: &mut BenchSuite) {
     let wan = WanSpec::small(42).build();
     let total_lines: usize = wan.texts.iter().map(|t| t.lines().count()).sum();
-    c.bench_function("parse/small_wan_configs", |b| {
-        b.iter(|| {
-            for t in &wan.texts {
-                black_box(hoyan_config::parse_config(t).unwrap());
-            }
-        })
+    s.bench("parse/small_wan_configs", || {
+        for t in &wan.texts {
+            black_box(hoyan_config::parse_config(t).unwrap());
+        }
     });
     println!("(parsing {total_lines} config lines per iteration)");
 }
 
-fn simulate(c: &mut Criterion) {
+fn simulate(s: &mut BenchSuite) {
     let (wan, net) = build();
     let p = wan.customer_prefixes[0];
-    let mut group = c.benchmark_group("simulate/one_prefix");
     for k in 0..=3u32 {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                let mut sim = Simulation::new_bgp(&net, vec![p], Some(k), None);
-                sim.run().unwrap();
-                black_box(sim.stats.delivered)
-            })
+        s.bench(&format!("simulate/one_prefix/{k}"), || {
+            let mut sim = Simulation::new_bgp(&net, vec![p], Some(k), None);
+            sim.run().unwrap();
+            black_box(sim.stats.delivered)
         });
     }
-    group.finish();
 }
 
-fn isis(c: &mut Criterion) {
+fn isis(s: &mut BenchSuite) {
     let (_wan, net) = build();
-    let mut group = c.benchmark_group("isis/db_build");
-    group.sample_size(10);
     for k in [0u32, 3] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(IsisDb::build(&net, Some(k)).unwrap().stats.delivered))
+        // Whole-database builds are expensive; cap the sample count the way
+        // the old harness did with `sample_size(10)`.
+        s.bench_with_samples(&format!("isis/db_build/{k}"), 10, &mut || {
+            black_box(IsisDb::build(&net, Some(k)).unwrap().stats.delivered)
         });
     }
-    group.finish();
 }
 
-fn packet(c: &mut Criterion) {
+fn packet(s: &mut BenchSuite) {
     let (wan, net) = build();
     let p = wan.customer_prefixes[0];
     let isis = IsisDb::build(&net, Some(3)).unwrap();
-    c.bench_function("packet/walk_k3", |b| {
-        let mut sim = Simulation::new_bgp(&net, vec![p], Some(3), Some(&isis));
-        sim.run().unwrap();
-        let src = net.topology.node("MAN1x0").unwrap();
-        let packet = Packet {
-            src: "192.0.2.1".parse().unwrap(),
-            dst: p.network(),
-            proto: hoyan_config::AclProto::Tcp,
-        };
-        b.iter(|| {
-            black_box(
-                packet_reach(&mut sim, &net, Some(&isis), src, p, packet, Some(3))
-                    .branches,
-            )
-        })
+    let mut sim = Simulation::new_bgp(&net, vec![p], Some(3), Some(&isis));
+    sim.run().unwrap();
+    let src = net.topology.node("MAN1x0").unwrap();
+    let packet = Packet {
+        src: "192.0.2.1".parse().unwrap(),
+        dst: p.network(),
+        proto: hoyan_config::AclProto::Tcp,
+    };
+    s.bench("packet/walk_k3", || {
+        black_box(
+            packet_reach(&mut sim, &net, Some(&isis), src, p, packet, Some(3))
+                .branches,
+        )
     });
 }
 
-fn racing(c: &mut Criterion) {
+fn racing(s: &mut BenchSuite) {
     let (wan, net) = build();
     let p = wan.customer_prefixes[0];
-    c.bench_function("racing/check_one_prefix", |b| {
-        b.iter(|| black_box(hoyan_core::racing_check(&net, p, 2).candidates))
+    s.bench("racing/check_one_prefix", || {
+        black_box(hoyan_core::racing_check(&net, p, 2).candidates)
     });
 }
 
-criterion_group!(benches, parse, simulate, isis, packet, racing);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::new("pipeline");
+    parse(&mut suite);
+    simulate(&mut suite);
+    isis(&mut suite);
+    packet(&mut suite);
+    racing(&mut suite);
+    suite.finish();
+}

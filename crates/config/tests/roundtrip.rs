@@ -1,162 +1,176 @@
 //! Property test: `parse(emit(cfg)) == cfg` for arbitrary configurations.
+//!
+//! Runs on the in-tree seeded harness (`hoyan_rt::prop`); a failure prints
+//! the seed to replay with `HOYAN_TEST_SEED`.
 
 use hoyan_config::*;
 use hoyan_nettypes::{Community, Ipv4Addr, Ipv4Prefix};
-use proptest::prelude::*;
+use hoyan_rt::prop::{check, Gen};
 
-fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr(bits), len))
+const UPPER: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const ALNUM: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+const NAME_REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+
+fn arb_prefix(g: &mut Gen) -> Ipv4Prefix {
+    let bits = g.u32();
+    let len = g.range_u8_inclusive(0, 32);
+    Ipv4Prefix::new(Ipv4Addr(bits), len)
 }
 
-fn arb_community() -> impl Strategy<Value = Community> {
-    (any::<u16>(), any::<u16>(), any::<bool>()).prop_map(|(a, v, ext)| {
-        if ext {
-            Community::ext(a, v)
+fn arb_community(g: &mut Gen) -> Community {
+    let a = g.u16();
+    let v = g.u16();
+    if g.bool() {
+        Community::ext(a, v)
+    } else {
+        Community::std(a, v)
+    }
+}
+
+/// `[A-Z][A-Z0-9_]{0,8}`-shaped list/map names.
+fn arb_name(g: &mut Gen) -> String {
+    g.ident(UPPER, NAME_REST, 8)
+}
+
+/// `[A-Z][A-Za-z0-9]{0,6}`-shaped hostnames.
+fn arb_hostname(g: &mut Gen) -> String {
+    g.ident(UPPER, ALNUM, 6)
+}
+
+fn arb_action(g: &mut Gen) -> Action {
+    *g.choose(&[Action::Permit, Action::Deny])
+}
+
+fn arb_set(g: &mut Gen) -> SetClause {
+    match g.range_u32(0..6) {
+        0 => SetClause::LocalPref(g.range_u32(0..1000)),
+        1 => SetClause::Weight(g.range_u32(0..1000)),
+        2 => SetClause::Med(g.range_u32(0..1000)),
+        3 => SetClause::Community {
+            community: arb_community(g),
+            additive: g.bool(),
+        },
+        4 => SetClause::StripCommunities,
+        _ => SetClause::Prepend(g.vec(1..3, |g| g.range_u32(1..70000))),
+    }
+}
+
+fn arb_config(g: &mut Gen) -> DeviceConfig {
+    let hostname = arb_hostname(g);
+    let vendor = *g.choose(&[Vendor::A, Vendor::B, Vendor::C]);
+    let router_id = g.range_u32(1..1000);
+    let peers = g.vec(0..4, arb_hostname);
+    let metrics = g.vec(4..5, |g| g.range_u32(1..100));
+    let pl_names: std::collections::BTreeSet<String> =
+        g.vec(1..3, arb_name).into_iter().collect();
+    let pl_entries = g.vec(1..4, |g| {
+        let a = arb_action(g);
+        let p = arb_prefix(g);
+        let le = if g.bool() {
+            Some(g.range_u8_inclusive(0, 32))
         } else {
-            Community::std(a, v)
+            None
+        };
+        (a, p, le)
+    });
+    let communities = g.vec(0..3, |g| (arb_action(g), arb_community(g)));
+    let sets = g.vec(0..4, arb_set);
+    let asn = g.range_u32(1..70000);
+    let networks = g.vec(0..3, arb_prefix);
+    let statics = g.vec(0..3, |g| (arb_prefix(g), g.range_u32(1..255)));
+    let has_isis = g.bool();
+    let isis_area = g.range_u32(0..16);
+    let level = *g.choose(&[IsisLevel::L1, IsisLevel::L2, IsisLevel::L1L2]);
+
+    let mut cfg = DeviceConfig::new(hostname.clone());
+    cfg.vendor = vendor;
+    cfg.router_id = router_id;
+    // Interfaces: unique peers only (interface_to assumes one per peer).
+    let mut seen = std::collections::HashSet::new();
+    for (i, p) in peers.iter().enumerate() {
+        if p == &hostname || !seen.insert(p.clone()) {
+            continue;
         }
-    })
-}
+        cfg.interfaces.push(InterfaceConfig {
+            name: format!("eth{i}"),
+            peer: p.clone(),
+            link_metric: metrics[i % metrics.len()],
+            acl_in: None,
+            acl_out: None,
+        });
+    }
+    let pl_names: Vec<String> = pl_names.into_iter().collect();
+    for name in &pl_names {
+        let entries = pl_entries
+            .iter()
+            .map(|(a, p, le)| PrefixListEntry {
+                action: *a,
+                prefix: *p,
+                ge: None,
+                le: le.map(|l| l.max(p.len())),
+            })
+            .collect();
+        cfg.prefix_lists.insert(name.clone(), PrefixList { entries });
+    }
+    if !communities.is_empty() {
+        cfg.community_lists.insert(
+            "CL".to_string(),
+            CommunityList { entries: communities.clone() },
+        );
+    }
+    let mut rm = RouteMap::default();
+    rm.entries.push(RouteMapEntry {
+        seq: 10,
+        action: Action::Permit,
+        matches: vec![MatchClause::PrefixList(pl_names[0].clone())],
+        sets: sets.clone(),
+    });
+    rm.entries.push(RouteMapEntry { seq: 20, action: Action::Deny, matches: vec![], sets: vec![] });
+    cfg.route_maps.insert("RM".to_string(), rm);
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[A-Z][A-Z0-9_]{0,8}".prop_map(|s| s)
-}
-
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![Just(Action::Permit), Just(Action::Deny)]
-}
-
-fn arb_match(names: Vec<String>) -> impl Strategy<Value = MatchClause> {
-    let pick = proptest::sample::select(names);
-    prop_oneof![
-        pick.clone().prop_map(MatchClause::PrefixList),
-        pick.prop_map(MatchClause::CommunityList),
-        arb_community().prop_map(MatchClause::Community),
-        arb_prefix().prop_map(MatchClause::Prefix),
-        (1u32..70000).prop_map(MatchClause::AsPathContains),
-    ]
-}
-
-fn arb_set() -> impl Strategy<Value = SetClause> {
-    prop_oneof![
-        (0u32..1000).prop_map(SetClause::LocalPref),
-        (0u32..1000).prop_map(SetClause::Weight),
-        (0u32..1000).prop_map(SetClause::Med),
-        (arb_community(), any::<bool>()).prop_map(|(community, additive)| SetClause::Community {
-            community,
-            additive
-        }),
-        Just(SetClause::StripCommunities),
-        proptest::collection::vec(1u32..70000, 1..3).prop_map(SetClause::Prepend),
-    ]
-}
-
-prop_compose! {
-    fn arb_config()(
-        hostname in "[A-Z][A-Za-z0-9]{0,6}",
-        vendor in prop_oneof![Just(Vendor::A), Just(Vendor::B), Just(Vendor::C)],
-        router_id in 1u32..1000,
-        peers in proptest::collection::vec("[A-Z][A-Za-z0-9]{0,6}", 0..4),
-        metrics in proptest::collection::vec(1u32..100, 4),
-        pl_names in proptest::collection::btree_set(arb_name(), 1..3),
-        pl_entries in proptest::collection::vec((arb_action(), arb_prefix(), proptest::option::of(0u8..=32u8)), 1..4),
-        communities in proptest::collection::vec((arb_action(), arb_community()), 0..3),
-        sets in proptest::collection::vec(arb_set(), 0..4),
-        asn in 1u32..70000,
-        networks in proptest::collection::vec(arb_prefix(), 0..3),
-        statics in proptest::collection::vec((arb_prefix(), 1u32..255), 0..3),
-        has_isis in any::<bool>(),
-        isis_area in 0u32..16,
-        level in prop_oneof![Just(IsisLevel::L1), Just(IsisLevel::L2), Just(IsisLevel::L1L2)],
-    ) -> DeviceConfig {
-        let mut cfg = DeviceConfig::new(hostname.clone());
-        cfg.vendor = vendor;
-        cfg.router_id = router_id;
-        // Interfaces: unique peers only (interface_to assumes one per peer).
-        let mut seen = std::collections::HashSet::new();
-        for (i, p) in peers.iter().enumerate() {
-            if p == &hostname || !seen.insert(p.clone()) {
-                continue;
-            }
-            cfg.interfaces.push(InterfaceConfig {
-                name: format!("eth{i}"),
-                peer: p.clone(),
-                link_metric: metrics[i % metrics.len()],
-                acl_in: None,
-                acl_out: None,
+    let mut bgp = BgpConfig::new(asn);
+    bgp.networks = networks;
+    for (i, iface) in cfg.interfaces.iter().enumerate() {
+        let mut n = Neighbor::new(iface.peer.clone(), asn + i as u32);
+        if i == 0 {
+            n.route_map_in = Some("RM".to_string());
+            n.weight = Some(42);
+            n.remove_private_as = true;
+        }
+        bgp.neighbors.push(n);
+    }
+    cfg.bgp = Some(bgp);
+    if has_isis {
+        cfg.isis = Some(IsisConfig { area: isis_area, level, protocol: IgpKind::Isis });
+    }
+    for (p, pref) in statics {
+        if let Some(first) = cfg.interfaces.first() {
+            cfg.static_routes.push(StaticRoute {
+                prefix: p,
+                next_hop: first.peer.clone(),
+                preference: pref,
             });
         }
-        let pl_names: Vec<String> = pl_names.into_iter().collect();
-        for name in &pl_names {
-            let entries = pl_entries
-                .iter()
-                .map(|(a, p, le)| PrefixListEntry {
-                    action: *a,
-                    prefix: *p,
-                    ge: None,
-                    le: le.map(|l| l.max(p.len())),
-                })
-                .collect();
-            cfg.prefix_lists.insert(name.clone(), PrefixList { entries });
-        }
-        if !communities.is_empty() {
-            cfg.community_lists.insert(
-                "CL".to_string(),
-                CommunityList { entries: communities.clone() },
-            );
-        }
-        let mut rm = RouteMap::default();
-        rm.entries.push(RouteMapEntry {
-            seq: 10,
-            action: Action::Permit,
-            matches: vec![MatchClause::PrefixList(pl_names[0].clone())],
-            sets: sets.clone(),
-        });
-        rm.entries.push(RouteMapEntry { seq: 20, action: Action::Deny, matches: vec![], sets: vec![] });
-        cfg.route_maps.insert("RM".to_string(), rm);
-
-        let mut bgp = BgpConfig::new(asn);
-        bgp.networks = networks;
-        for (i, iface) in cfg.interfaces.iter().enumerate() {
-            let mut n = Neighbor::new(iface.peer.clone(), asn + i as u32);
-            if i == 0 {
-                n.route_map_in = Some("RM".to_string());
-                n.weight = Some(42);
-                n.remove_private_as = true;
-            }
-            bgp.neighbors.push(n);
-        }
-        cfg.bgp = Some(bgp);
-        if has_isis {
-            cfg.isis = Some(IsisConfig { area: isis_area, level, protocol: IgpKind::Isis });
-        }
-        for (p, pref) in statics {
-            if let Some(first) = cfg.interfaces.first() {
-                cfg.static_routes.push(StaticRoute {
-                    prefix: p,
-                    next_hop: first.peer.clone(),
-                    preference: pref,
-                });
-            }
-        }
-        cfg
     }
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn emit_parse_roundtrip(cfg in arb_config()) {
+#[test]
+fn emit_parse_roundtrip() {
+    check("emit_parse_roundtrip", |g| {
+        let cfg = arb_config(g);
         let text = emit::emit_config(&cfg);
         let parsed = parse_config(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
-        prop_assert_eq!(parsed, cfg);
-    }
+        assert_eq!(parsed, cfg);
+    });
+}
 
-    #[test]
-    fn emit_is_stable(cfg in arb_config()) {
+#[test]
+fn emit_is_stable() {
+    check("emit_is_stable", |g| {
+        let cfg = arb_config(g);
         let text = emit::emit_config(&cfg);
         let parsed = parse_config(&text).unwrap();
-        prop_assert_eq!(emit::emit_config(&parsed), text);
-    }
+        assert_eq!(emit::emit_config(&parsed), text);
+    });
 }

@@ -44,69 +44,96 @@ impl IsisDb {
     /// the paper's per-prefix parallelism) and merges the conditioned
     /// results into one database. `k = None` disables more-than-k pruning.
     pub fn build(net: &NetworkModel, k: Option<u32>) -> Result<IsisDb, SimError> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         let dests: Vec<NodeId> = net.topology.nodes().filter(|n| net.runs_isis(*n)).collect();
         type DestResult = (NodeId, BddManager, Vec<(NodeId, Bdd, Vec<(Bdd, NodeId, u64)>)>);
-        let results: parking_lot::Mutex<Vec<DestResult>> = parking_lot::Mutex::new(Vec::new());
-        let error: parking_lot::Mutex<Option<SimError>> = parking_lot::Mutex::new(None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<DestResult>> = std::sync::Mutex::new(Vec::new());
+        let error: std::sync::Mutex<Option<SimError>> = std::sync::Mutex::new(None);
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
             .min(dests.len().max(1));
-        let mut stats = crate::propagate::PruneStats::default();
-        let stats_mutex = parking_lot::Mutex::new(&mut stats);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= dests.len() || error.lock().is_some() {
-                        break;
-                    }
-                    let dest = dests[i];
-                    let mut sim = Simulation::new_igp_for(net, k, &[dest]);
-                    if let Err(e) = sim.run() {
-                        *error.lock() = Some(e);
-                        break;
-                    }
-                    let lp = net.topology.loopback(dest);
-                    let mut rows = Vec::new();
-                    for u in net.topology.nodes() {
-                        if u == dest {
-                            continue;
+        let stats_mutex = std::sync::Mutex::new(crate::propagate::PruneStats::default());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        if failed.load(Ordering::Acquire) {
+                            break;
                         }
-                        let entries: Vec<(Bdd, NodeId, u64)> = sim
-                            .entries(u, lp)
-                            .iter()
-                            .map(|e| (e.cond, e.from_node.unwrap_or(dest), e.attrs.isis_weight))
-                            .collect();
-                        if entries.is_empty() {
-                            continue;
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= dests.len() {
+                            break;
                         }
-                        let conds: Vec<Bdd> = entries.iter().map(|(c, _, _)| *c).collect();
-                        let any = sim.mgr.or_all_within(conds, k);
-                        rows.push((u, any, entries));
-                    }
-                    {
-                        let mut st = stats_mutex.lock();
-                        st.delivered += sim.stats.delivered;
-                        st.dropped_policy += sim.stats.dropped_policy;
-                        st.dropped_over_k += sim.stats.dropped_over_k;
-                        st.dropped_impossible += sim.stats.dropped_impossible;
-                    }
-                    results.lock().push((dest, sim.into_mgr(), rows));
-                });
+                        let dest = dests[i];
+                        let mut sim = Simulation::new_igp_for(net, k, &[dest]);
+                        if let Err(e) = sim.run() {
+                            error
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .get_or_insert(e);
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                        let lp = net.topology.loopback(dest);
+                        let mut rows = Vec::new();
+                        for u in net.topology.nodes() {
+                            if u == dest {
+                                continue;
+                            }
+                            let entries: Vec<(Bdd, NodeId, u64)> = sim
+                                .entries(u, lp)
+                                .iter()
+                                .map(|e| (e.cond, e.from_node.unwrap_or(dest), e.attrs.isis_weight))
+                                .collect();
+                            if entries.is_empty() {
+                                continue;
+                            }
+                            let conds: Vec<Bdd> = entries.iter().map(|(c, _, _)| *c).collect();
+                            let any = sim.mgr.or_all_within(conds, k);
+                            rows.push((u, any, entries));
+                        }
+                        // A peer may have errored while this destination was
+                        // simulating; don't publish partial results past it.
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        {
+                            let mut st = stats_mutex.lock().unwrap_or_else(|p| p.into_inner());
+                            st.delivered += sim.stats.delivered;
+                            st.dropped_policy += sim.stats.dropped_policy;
+                            st.dropped_over_k += sim.stats.dropped_over_k;
+                            st.dropped_impossible += sim.stats.dropped_impossible;
+                        }
+                        results
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .push((dest, sim.into_mgr(), rows));
+                    })
+                })
+                .collect();
+            // Propagate the first worker panic with its original payload.
+            let mut panic_payload = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panic_payload.get_or_insert(p);
+                }
             }
-        })
-        .expect("isis worker panicked");
-        if let Some(e) = error.into_inner() {
+            if let Some(p) = panic_payload {
+                std::panic::resume_unwind(p);
+            }
+        });
+        if let Some(e) = error.into_inner().unwrap_or_else(|p| p.into_inner()) {
             return Err(e);
         }
-        drop(stats_mutex);
+        let stats = stats_mutex.into_inner().unwrap_or_else(|p| p.into_inner());
 
         let mut mgr = BddManager::new();
         let mut reach = HashMap::new();
         let mut hops = HashMap::new();
-        let mut results = results.into_inner();
+        let mut results = results.into_inner().unwrap_or_else(|p| p.into_inner());
         results.sort_by_key(|(d, _, _)| d.0);
         for (dest, src_mgr, rows) in results {
             for (u, any, entries) in rows {

@@ -392,68 +392,105 @@ impl Verifier {
 
     /// Full-network route-reachability sweep: simulates every prefix family
     /// at budget `k` and reports per-prefix timings, statistics and fragile
-    /// devices. Families are processed in parallel on `threads` threads.
+    /// devices. Families are processed in parallel on `threads` scoped
+    /// `std::thread`s (CPU-bound work, no async runtime).
+    ///
+    /// Determinism: a family's reports are pushed atomically (all or
+    /// nothing), a failed worker flips `failed` *before* publishing its
+    /// error so peers stop claiming and publishing, and the final list is
+    /// sorted by prefix — so the output is identical for any thread count
+    /// (see `tests/determinism.rs`).
     pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         let families = self.families();
-        let results = parking_lot::Mutex::new(Vec::new());
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let error = parking_lot::Mutex::new(None::<SimError>);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads.max(1) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= families.len() || error.lock().is_some() {
-                        break;
-                    }
-                    let fam = &families[i];
-                    let t0 = Instant::now();
-                    let mut sim =
-                        Simulation::new_bgp(&self.net, fam.clone(), Some(k), Some(&self.isis));
-                    if let Err(e) = sim.run() {
-                        *error.lock() = Some(e);
-                        break;
-                    }
-                    let sim_time = t0.elapsed();
-                    for (pi, p) in fam.iter().enumerate() {
-                        let q0 = Instant::now();
-                        let mut scope_nodes = Vec::new();
-                        let mut fragile = Vec::new();
-                        let mut max_len = 0usize;
-                        for n in self.net.topology.nodes() {
-                            let v = sim.reach_cond(n, *p);
-                            if v.is_false() {
-                                continue;
-                            }
-                            if sim.mgr.eval(v, &[]) {
-                                scope_nodes.push(n);
-                                let exact = sim.reach_cond_exact(n, *p);
-                                max_len = max_len.max(sim.mgr.size(exact));
-                                if sim.mgr.min_failures_to_falsify(v) <= k {
-                                    fragile.push(n);
+        let results = std::sync::Mutex::new(Vec::new());
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let error = std::sync::Mutex::new(None::<SimError>);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|_| {
+                    s.spawn(|| loop {
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= families.len() {
+                            break;
+                        }
+                        let fam = &families[i];
+                        let t0 = Instant::now();
+                        let mut sim =
+                            Simulation::new_bgp(&self.net, fam.clone(), Some(k), Some(&self.isis));
+                        if let Err(e) = sim.run() {
+                            // Keep the first error; later ones lose the race
+                            // but every worker still stops promptly.
+                            error.lock().unwrap_or_else(|p| p.into_inner()).get_or_insert(e);
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                        let sim_time = t0.elapsed();
+                        let mut family_reports = Vec::with_capacity(fam.len());
+                        for (pi, p) in fam.iter().enumerate() {
+                            let q0 = Instant::now();
+                            let mut scope_nodes = Vec::new();
+                            let mut fragile = Vec::new();
+                            let mut max_len = 0usize;
+                            for n in self.net.topology.nodes() {
+                                let v = sim.reach_cond(n, *p);
+                                if v.is_false() {
+                                    continue;
+                                }
+                                if sim.mgr.eval(v, &[]) {
+                                    scope_nodes.push(n);
+                                    let exact = sim.reach_cond_exact(n, *p);
+                                    max_len = max_len.max(sim.mgr.size(exact));
+                                    if sim.mgr.min_failures_to_falsify(v) <= k {
+                                        fragile.push(n);
+                                    }
                                 }
                             }
+                            family_reports.push(PrefixReport {
+                                prefix: *p,
+                                sim_time,
+                                query_time: q0.elapsed(),
+                                stats: sim.stats,
+                                max_cond_len: sim.max_cond_size,
+                                max_reach_formula_len: max_len,
+                                scope: scope_nodes,
+                                fragile,
+                                family_head: pi == 0,
+                            });
                         }
-                        let report = PrefixReport {
-                            prefix: *p,
-                            sim_time,
-                            query_time: q0.elapsed(),
-                            stats: sim.stats,
-                            max_cond_len: sim.max_cond_size,
-                            max_reach_formula_len: max_len,
-                            scope: scope_nodes,
-                            fragile,
-                            family_head: pi == 0,
-                        };
-                        results.lock().push(report);
-                    }
-                });
+                        // Re-check *after* the family's work: a peer may have
+                        // errored while we were simulating, and partial
+                        // output must not be published past that point.
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        results
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .extend(family_reports);
+                    })
+                })
+                .collect();
+            // Join explicitly and re-raise the first worker panic with its
+            // original payload (assert messages survive intact).
+            let mut panic_payload = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panic_payload.get_or_insert(p);
+                }
             }
-        })
-        .expect("worker panicked");
-        if let Some(e) = error.into_inner() {
+            if let Some(p) = panic_payload {
+                std::panic::resume_unwind(p);
+            }
+        });
+        if let Some(e) = error.into_inner().unwrap_or_else(|p| p.into_inner()) {
             return Err(e);
         }
-        let mut out = results.into_inner();
+        let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|r| r.prefix);
         Ok(out)
     }

@@ -1,57 +1,85 @@
 //! Property tests: the BDD engine and the CDCL solver must both agree with
 //! the brute-force formula evaluator on random small formulas.
+//!
+//! Runs on the in-tree seeded harness (`hoyan_rt::prop`); a failure prints
+//! the seed to replay with `HOYAN_TEST_SEED`.
 
 use hoyan_logic::{bdd::INF_FAILURES, BddManager, Cnf, Formula, Solver};
-use proptest::prelude::*;
+use hoyan_rt::prop::{check_cases, Gen};
 
 const NVARS: u32 = 6;
+const CASES: u32 = 128;
+const MAX_DEPTH: u32 = 4;
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Formula::Var),
-        any::<bool>().prop_map(Formula::Const),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Formula::not(f)),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::Or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::imp(a, b)),
-            (inner.clone(), inner).prop_map(|(a, b)| Formula::iff(a, b)),
-        ]
-    })
+/// A random formula over `NVARS` variables, at most `depth` connectives
+/// deep. Raw-word 0 maps to the first variant (`Var(0)`), so shrinking
+/// drives formulas toward small leaves.
+fn arb_formula(g: &mut Gen, depth: u32) -> Formula {
+    let variant = if depth == 0 {
+        g.range_u32(0..2)
+    } else {
+        g.range_u32(0..7)
+    };
+    match variant {
+        0 => Formula::Var(g.range_u32(0..NVARS)),
+        1 => Formula::Const(g.bool()),
+        2 => Formula::not(arb_formula(g, depth - 1)),
+        3 => {
+            let n = g.range_usize(0..4);
+            Formula::And((0..n).map(|_| arb_formula(g, depth - 1)).collect())
+        }
+        4 => {
+            let n = g.range_usize(0..4);
+            Formula::Or((0..n).map(|_| arb_formula(g, depth - 1)).collect())
+        }
+        5 => {
+            let a = arb_formula(g, depth - 1);
+            let b = arb_formula(g, depth - 1);
+            Formula::imp(a, b)
+        }
+        _ => {
+            let a = arb_formula(g, depth - 1);
+            let b = arb_formula(g, depth - 1);
+            Formula::iff(a, b)
+        }
+    }
 }
 
 fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..(1u32 << NVARS)).map(|bits| (0..NVARS).map(|v| bits & (1 << v) != 0).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bdd_agrees_with_eval(f in arb_formula()) {
+#[test]
+fn bdd_agrees_with_eval() {
+    check_cases(CASES, "bdd_agrees_with_eval", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         for a in assignments() {
-            prop_assert_eq!(mgr.eval(b, &a), f.eval(&a));
+            assert_eq!(mgr.eval(b, &a), f.eval(&a));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sat_agrees_with_brute_force(f in arb_formula()) {
+#[test]
+fn sat_agrees_with_brute_force() {
+    check_cases(CASES, "sat_agrees_with_brute_force", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let brute_sat = assignments().any(|a| f.eval(&a));
         let mut cnf = Cnf::new();
         cnf.assert_formula(&f);
         let result = Solver::from_cnf(&cnf).solve();
-        prop_assert_eq!(result.is_sat(), brute_sat);
+        assert_eq!(result.is_sat(), brute_sat);
         if let Some(model) = result.model() {
-            prop_assert!(f.eval(&model));
+            assert!(f.eval(&model));
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_failure_costs_agree_with_brute_force(f in arb_formula()) {
+#[test]
+fn min_failure_costs_agree_with_brute_force() {
+    check_cases(CASES, "min_failure_costs_agree_with_brute_force", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         // Brute force: cost = number of false vars among the NVARS.
@@ -65,26 +93,32 @@ proptest! {
                 best_falsify = Some(best_falsify.map_or(down, |c| c.min(down)));
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             mgr.min_failures_to_satisfy(b),
             best_sat.unwrap_or(INF_FAILURES)
         );
-        prop_assert_eq!(
+        assert_eq!(
             mgr.min_failures_to_falsify(b),
             best_falsify.unwrap_or(INF_FAILURES)
         );
-    }
+    });
+}
 
-    #[test]
-    fn count_models_agrees_with_brute_force(f in arb_formula()) {
+#[test]
+fn count_models_agrees_with_brute_force() {
+    check_cases(CASES, "count_models_agrees_with_brute_force", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         let brute = assignments().filter(|a| f.eval(a)).count() as u128;
-        prop_assert_eq!(mgr.count_models(b, NVARS), brute);
-    }
+        assert_eq!(mgr.count_models(b, NVARS), brute);
+    });
+}
 
-    #[test]
-    fn model_enumeration_matches_model_count(f in arb_formula()) {
+#[test]
+fn model_enumeration_matches_model_count() {
+    check_cases(CASES, "model_enumeration_matches_model_count", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         let brute = assignments().filter(|a| f.eval(a)).count();
@@ -95,27 +129,35 @@ proptest! {
         cnf.assert_formula(&f);
         let vars: Vec<u32> = (0..NVARS).collect();
         let models = Solver::from_cnf(&cnf).count_models(&vars, 1 << NVARS);
-        prop_assert_eq!(models.len(), brute);
-        prop_assert_eq!(mgr.count_models(b, NVARS) as usize, brute);
+        assert_eq!(models.len(), brute);
+        assert_eq!(mgr.count_models(b, NVARS) as usize, brute);
         // Every enumerated projection satisfies the formula.
         for m in &models {
-            prop_assert!(f.eval(m));
+            assert!(f.eval(m));
         }
-    }
+    });
+}
 
-    #[test]
-    fn restrict_matches_semantic_restriction(f in arb_formula(), v in 0..NVARS, val in any::<bool>()) {
+#[test]
+fn restrict_matches_semantic_restriction() {
+    check_cases(CASES, "restrict_matches_semantic_restriction", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
+        let v = g.range_u32(0..NVARS);
+        let val = g.bool();
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         let r = mgr.restrict(b, v, val);
         for mut a in assignments() {
             a[v as usize] = val;
-            prop_assert_eq!(mgr.eval(r, &a), f.eval(&a));
+            assert_eq!(mgr.eval(r, &a), f.eval(&a));
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_falsifying_failures_is_minimal_and_valid(f in arb_formula()) {
+#[test]
+fn min_falsifying_failures_is_minimal_and_valid() {
+    check_cases(CASES, "min_falsifying_failures_is_minimal_and_valid", |g| {
+        let f = arb_formula(g, MAX_DEPTH);
         let mut mgr = BddManager::new();
         let b = f.to_bdd(&mut mgr);
         if let Some(fails) = mgr.min_falsifying_failures(b) {
@@ -124,10 +166,10 @@ proptest! {
             for v in &fails {
                 a[*v as usize] = false;
             }
-            prop_assert!(!f.eval(&a));
-            prop_assert_eq!(fails.len() as u32, mgr.min_failures_to_falsify(b));
+            assert!(!f.eval(&a));
+            assert_eq!(fails.len() as u32, mgr.min_failures_to_falsify(b));
         } else {
-            prop_assert_eq!(mgr.min_failures_to_falsify(b), INF_FAILURES);
+            assert_eq!(mgr.min_failures_to_falsify(b), INF_FAILURES);
         }
-    }
+    });
 }

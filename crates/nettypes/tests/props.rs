@@ -1,43 +1,57 @@
 //! Property-based tests for the nettypes crate: the trie must agree with a
 //! naive linear scan, and prefix/AS-path algebra must satisfy its invariants.
+//!
+//! Runs on the in-tree seeded harness (`hoyan_rt::prop`); a failure prints
+//! the seed to replay with `HOYAN_TEST_SEED`.
 
 use hoyan_nettypes::{AsPath, Ipv4Addr, Ipv4Prefix, PrefixTrie};
-use proptest::prelude::*;
+use hoyan_rt::prop::{check, Gen};
 
-fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr(bits), len))
+fn arb_prefix(g: &mut Gen) -> Ipv4Prefix {
+    let bits = g.u32();
+    let len = g.range_u8_inclusive(0, 32);
+    Ipv4Prefix::new(Ipv4Addr(bits), len)
 }
 
-proptest! {
-    #[test]
-    fn prefix_display_roundtrip(p in arb_prefix()) {
+#[test]
+fn prefix_display_roundtrip() {
+    check("prefix_display_roundtrip", |g| {
+        let p = arb_prefix(g);
         let back: Ipv4Prefix = p.to_string().parse().unwrap();
-        prop_assert_eq!(p, back);
-    }
+        assert_eq!(p, back);
+    });
+}
 
-    #[test]
-    fn prefix_contains_is_reflexive_and_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
-        prop_assert!(a.contains(a));
+#[test]
+fn prefix_contains_is_reflexive_and_antisymmetric() {
+    check("prefix_contains_is_reflexive_and_antisymmetric", |g| {
+        let a = arb_prefix(g);
+        let b = arb_prefix(g);
+        assert!(a.contains(a));
         if a.contains(b) && b.contains(a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn children_partition_parent(p in arb_prefix()) {
+#[test]
+fn children_partition_parent() {
+    check("children_partition_parent", |g| {
+        let p = arb_prefix(g);
         if let Some((l, r)) = p.children() {
-            prop_assert!(p.contains(l) && p.contains(r));
-            prop_assert!(!l.contains(r) && !r.contains(l));
-            prop_assert_eq!(l.parent().unwrap(), p);
-            prop_assert_eq!(r.parent().unwrap(), p);
+            assert!(p.contains(l) && p.contains(r));
+            assert!(!l.contains(r) && !r.contains(l));
+            assert_eq!(l.parent().unwrap(), p);
+            assert_eq!(r.parent().unwrap(), p);
         }
-    }
+    });
+}
 
-    #[test]
-    fn trie_lpm_agrees_with_linear_scan(
-        entries in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..40),
-        addr_bits in any::<u32>(),
-    ) {
+#[test]
+fn trie_lpm_agrees_with_linear_scan() {
+    check("trie_lpm_agrees_with_linear_scan", |g| {
+        let entries = g.vec(0..40, |g| (arb_prefix(g), g.u16()));
+        let addr_bits = g.u32();
         let mut trie = PrefixTrie::new();
         let mut map = std::collections::HashMap::new();
         for (p, v) in &entries {
@@ -51,42 +65,50 @@ proptest! {
             .max_by_key(|(p, _)| p.len())
             .map(|(p, v)| (*p, *v));
         let got = trie.lpm(addr).map(|(p, v)| (p, *v));
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn trie_get_agrees_with_map(
-        entries in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..40),
-        probe in arb_prefix(),
-    ) {
+#[test]
+fn trie_get_agrees_with_map() {
+    check("trie_get_agrees_with_map", |g| {
+        let entries = g.vec(0..40, |g| (arb_prefix(g), g.u16()));
+        let probe = arb_prefix(g);
         let mut trie = PrefixTrie::new();
         let mut map = std::collections::HashMap::new();
         for (p, v) in &entries {
             trie.insert(*p, *v);
             map.insert(*p, *v);
         }
-        prop_assert_eq!(trie.len(), map.len());
-        prop_assert_eq!(trie.get(probe).copied(), map.get(&probe).copied());
-    }
+        assert_eq!(trie.len(), map.len());
+        assert_eq!(trie.get(probe).copied(), map.get(&probe).copied());
+    });
+}
 
-    #[test]
-    fn aspath_prepend_grows_by_one(asns in proptest::collection::vec(1u32..70000, 0..8), head in 1u32..70000) {
+#[test]
+fn aspath_prepend_grows_by_one() {
+    check("aspath_prepend_grows_by_one", |g| {
+        let asns = g.vec(0..8, |g| g.range_u32(1..70000));
+        let head = g.range_u32(1..70000);
         let p = AsPath::from_slice(&asns);
         let q = p.prepend(head);
-        prop_assert_eq!(q.len(), p.len() + 1);
-        prop_assert_eq!(q.asns()[0], head);
-        prop_assert_eq!(&q.asns()[1..], p.asns());
-    }
+        assert_eq!(q.len(), p.len() + 1);
+        assert_eq!(q.asns()[0], head);
+        assert_eq!(&q.asns()[1..], p.asns());
+    });
+}
 
-    #[test]
-    fn remove_private_all_removes_exactly_private(asns in proptest::collection::vec(1u32..70000, 0..12)) {
+#[test]
+fn remove_private_all_removes_exactly_private() {
+    check("remove_private_all_removes_exactly_private", |g| {
+        let asns = g.vec(0..12, |g| g.range_u32(1..70000));
         let p = AsPath::from_slice(&asns);
         let cleaned = p.remove_private_all();
-        prop_assert!(cleaned.asns().iter().all(|a| !hoyan_nettypes::is_private_as(*a)));
+        assert!(cleaned.asns().iter().all(|a| !hoyan_nettypes::is_private_as(*a)));
         // Leading-run removal never removes more than full removal keeps... i.e.
         // leading removal output is a suffix of the input and a superset of full removal.
         let leading = p.remove_private_leading();
-        prop_assert!(leading.len() >= cleaned.len());
-        prop_assert_eq!(&p.asns()[p.len() - leading.len()..], leading.asns());
-    }
+        assert!(leading.len() >= cleaned.len());
+        assert_eq!(&p.asns()[p.len() - leading.len()..], leading.asns());
+    });
 }

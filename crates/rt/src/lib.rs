@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # hoyan-rt
+//!
+//! The in-tree runtime-utility layer that keeps the workspace *hermetic*:
+//! everything Hoyan previously pulled from the registry (`rand`, `proptest`,
+//! `criterion`) is replaced by small, purpose-built, dependency-free
+//! infrastructure. A verifier whose value proposition is deterministic,
+//! reproducible exploration of the control plane must itself build and test
+//! byte-for-byte reproducibly in a clean room — no network, no registry, no
+//! vendored third-party code.
+//!
+//! - [`rng`] — SplitMix64 seeding + xoshiro256++ generation behind a
+//!   `StdRng` facade covering the subset of the `rand` API the workspace
+//!   uses (`seed_from_u64`, `gen_bool`, `gen_range`).
+//! - [`prop`] — a seeded property-testing harness: deterministic case
+//!   generation, failing-seed reporting (`HOYAN_TEST_SEED` replays any
+//!   counterexample exactly), and tape-based shrinking of integers, vectors
+//!   and everything derived from them.
+//! - [`bench`] — a warmup + median-of-N benchmark harness that prints
+//!   human-readable rows and emits `BENCH_<suite>.json` for tooling.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;

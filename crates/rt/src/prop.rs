@@ -1,0 +1,461 @@
+//! A seeded property-testing harness (the in-tree `proptest` replacement).
+//!
+//! ## Model
+//!
+//! A property is a closure `Fn(&mut Gen)` that draws arbitrary values from
+//! the [`Gen`] and panics (plain `assert!`/`assert_eq!`) when the property
+//! is violated. [`check`] runs it for a configurable number of cases, each
+//! with an independent deterministic seed.
+//!
+//! ## Reproducibility protocol
+//!
+//! Every case `i` of a run derives its seed as `base + i`; the default base
+//! is a fixed constant, so CI is fully deterministic. When a case fails the
+//! harness prints
+//!
+//! ```text
+//! [hoyan-prop] property 'trie_lpm' failed at case 17 (seed 0x484f59414e0011).
+//! [hoyan-prop] re-run with HOYAN_TEST_SEED=0x484f59414e0011 to replay it as case 0.
+//! ```
+//!
+//! and re-running with that environment variable reproduces the identical
+//! draw stream (and therefore the identical counterexample) as case 0.
+//! `HOYAN_TEST_CASES` overrides the case count.
+//!
+//! ## Shrinking
+//!
+//! Generation is *tape-based*: every raw `u64` a case draws is recorded.
+//! After a failure the harness minimizes the tape — truncating it, zeroing
+//! and halving entries — and replays the property on each candidate
+//! (missing entries read as 0). Because every generator maps smaller raw
+//! words to "smaller" values (shorter vectors, smaller integers, first enum
+//! variants), this shrinks any derived structure without per-type shrinkers.
+//! The shrink search is deterministic, so a replayed seed converges to the
+//! same minimal counterexample.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::Xoshiro256pp;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Fixed default seed base ("HOYAN" in ASCII, shifted) — CI runs are
+/// deterministic unless `HOYAN_TEST_SEED` overrides it.
+pub const DEFAULT_SEED: u64 = 0x484F_5941_4E00_0000;
+
+/// Bound on shrink-candidate executions per failure.
+const SHRINK_BUDGET: u32 = 2048;
+
+enum Mode {
+    /// Draw from the RNG, recording every raw word.
+    Record(Xoshiro256pp),
+    /// Replay a recorded (possibly mutated) tape; exhausted reads yield 0.
+    /// The payload is the read position.
+    Replay(usize),
+}
+
+/// The value source handed to properties. All draws bottom out in
+/// [`Gen::raw`] so the shrinker sees every decision the generator made.
+pub struct Gen {
+    mode: Mode,
+    tape: Vec<u64>,
+}
+
+impl Gen {
+    fn record(seed: u64) -> Gen {
+        Gen {
+            mode: Mode::Record(Xoshiro256pp::from_seed_u64(seed)),
+            tape: Vec::new(),
+        }
+    }
+
+    fn replay(tape: Vec<u64>) -> Gen {
+        Gen {
+            mode: Mode::Replay(0),
+            tape,
+        }
+    }
+
+    /// Words actually consumed (replay mode): the live prefix of the tape.
+    fn consumed(&self) -> usize {
+        match &self.mode {
+            Mode::Record(_) => self.tape.len(),
+            Mode::Replay(pos) => (*pos).min(self.tape.len()),
+        }
+    }
+
+    /// One raw 64-bit word. Every other draw derives from this.
+    pub fn raw(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Record(rng) => {
+                let v = rng.next_u64();
+                self.tape.push(v);
+                v
+            }
+            Mode::Replay(pos) => {
+                let v = self.tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// A uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.raw()
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.raw() as u32
+    }
+
+    /// A uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.raw() as u16
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.raw() as u8
+    }
+
+    /// A uniform `bool` (raw 0 shrinks to `false`).
+    pub fn bool(&mut self) -> bool {
+        self.raw() & 1 == 1
+    }
+
+    /// A uniform integer in `lo..hi` (raw 0 shrinks to `lo`). Panics on an
+    /// empty range.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Gen::range called with empty range {lo}..{hi}");
+        lo + self.raw() % (hi - lo)
+    }
+
+    /// [`Gen::range_u64`] for `usize` ranges.
+    pub fn range_usize(&mut self, r: std::ops::Range<usize>) -> usize {
+        self.range_u64(r.start as u64, r.end as u64) as usize
+    }
+
+    /// [`Gen::range_u64`] for `u32` ranges.
+    pub fn range_u32(&mut self, r: std::ops::Range<u32>) -> u32 {
+        self.range_u64(r.start as u64, r.end as u64) as u32
+    }
+
+    /// [`Gen::range_u64`] for `u8` ranges (inclusive variant is common for
+    /// prefix lengths, so this one takes explicit bounds).
+    pub fn range_u8_inclusive(&mut self, lo: u8, hi: u8) -> u8 {
+        self.range_u64(lo as u64, hi as u64 + 1) as u8
+    }
+
+    /// A uniform element of `items` (raw 0 shrinks to the first).
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Gen::choose on empty slice");
+        &items[self.range_usize(0..items.len())]
+    }
+
+    /// A vector of `len_range.start..len_range.end` elements, each produced
+    /// by `f`. Raw 0 for the length draw shrinks to the shortest vector.
+    pub fn vec<T>(
+        &mut self,
+        len_range: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.range_usize(len_range);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// An ASCII string: one char from `first`, then 0..=`max_rest` chars
+    /// from `rest` — covers the `[A-Z][A-Z0-9_]{0,n}`-style patterns the
+    /// config round-trip tests used.
+    pub fn ident(&mut self, first: &[u8], rest: &[u8], max_rest: usize) -> String {
+        let mut s = String::new();
+        s.push(*self.choose(first) as char);
+        let n = self.range_usize(0..max_rest + 1);
+        for _ in 0..n {
+            s.push(*self.choose(rest) as char);
+        }
+        s
+    }
+}
+
+/// Case-count / seed configuration, resolved from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Cases to run per property.
+    pub cases: u32,
+    /// Seed base; case `i` runs with seed `base + i`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reads `HOYAN_TEST_SEED` (decimal or `0x`-prefixed hex) and
+    /// `HOYAN_TEST_CASES`, falling back to the fixed defaults.
+    pub fn from_env(default_cases: u32) -> Config {
+        let seed = std::env::var("HOYAN_TEST_SEED")
+            .ok()
+            .and_then(|s| parse_u64(&s))
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("HOYAN_TEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_cases);
+        Config { cases, seed }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Runs `prop` for [`DEFAULT_CASES`] cases (see [`check_cases`]).
+pub fn check(name: &str, prop: impl Fn(&mut Gen)) {
+    check_cases(DEFAULT_CASES, name, prop)
+}
+
+/// Runs `prop` for `default_cases` cases (overridable via
+/// `HOYAN_TEST_CASES`), each with an independent seed derived from the base
+/// seed. On failure: shrinks the counterexample, prints the failing seed,
+/// and panics with the (shrunk) assertion message.
+pub fn check_cases(default_cases: u32, name: &str, prop: impl Fn(&mut Gen)) {
+    let config = Config::from_env(default_cases);
+    for case in 0..config.cases {
+        let seed = config.seed.wrapping_add(case as u64);
+        let mut g = Gen::record(seed);
+        let outcome = quiet_catch(|| prop(&mut g));
+        let Err(payload) = outcome else { continue };
+        // Shrink, then report. The shrink search is deterministic, so the
+        // printed seed replays to the same minimal counterexample.
+        let (tape, steps, payload) = shrink(&prop, g.tape, payload);
+        // `&*`, not `&`: a `&Box<dyn Any>` would coerce to `&dyn Any` by
+        // unsizing the Box itself, and the &str/String downcasts would miss.
+        let msg = payload_str(&*payload);
+        eprintln!(
+            "[hoyan-prop] property '{name}' failed at case {case} (seed {seed:#x}, \
+             {steps} shrink steps, tape {} words).",
+            tape.len()
+        );
+        eprintln!(
+            "[hoyan-prop] re-run with HOYAN_TEST_SEED={seed:#x} to replay it as case 0."
+        );
+        eprintln!("[hoyan-prop] counterexample: {msg}");
+        resume_unwind(payload);
+    }
+}
+
+/// Runs `f`, suppressing the default panic hook's stderr backtrace while it
+/// executes (shrinking replays failures hundreds of times; without this the
+/// output drowns the report). The hook is restored before returning.
+fn quiet_catch<R>(f: impl FnOnce() -> R) -> std::thread::Result<R> {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(prev);
+    out
+}
+
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Tape minimization: keeps mutating the failing tape while the property
+/// still fails, within [`SHRINK_BUDGET`] executions.
+fn shrink(
+    prop: &impl Fn(&mut Gen),
+    mut tape: Vec<u64>,
+    mut payload: Box<dyn std::any::Any + Send>,
+) -> (Vec<u64>, u32, Box<dyn std::any::Any + Send>) {
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0u32;
+    // Runs the property on a candidate tape; on (still-)failure returns the
+    // consumed prefix of the tape and the new panic payload.
+    let try_candidate =
+        |cand: Vec<u64>, budget: &mut u32| -> Option<(Vec<u64>, Box<dyn std::any::Any + Send>)> {
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+            let mut g = Gen::replay(cand);
+            match quiet_catch(|| prop(&mut g)) {
+                Err(p) => {
+                    let used = g.consumed();
+                    let mut t = g.tape;
+                    t.truncate(used);
+                    Some((t, p))
+                }
+                Ok(_) => None,
+            }
+        };
+
+    // Pass 1: truncation — find a short failing prefix (zeros pad the rest).
+    let mut keep = 0usize;
+    while keep < tape.len() && budget > 0 {
+        let mid = keep + (tape.len() - keep) / 2;
+        if mid >= tape.len() {
+            break;
+        }
+        match try_candidate(tape[..mid].to_vec(), &mut budget) {
+            Some((t, p)) => {
+                tape = t;
+                payload = p;
+                steps += 1;
+                keep = 0;
+            }
+            None => keep = mid + 1,
+        }
+    }
+
+    // Pass 2: per-word minimization. For each word, binary-search the
+    // smallest value that still fails (generators map smaller raw words to
+    // smaller derived values, so this minimizes integers, vector lengths and
+    // enum choices alike). Repeat until a fixpoint.
+    loop {
+        let mut improved = false;
+        let mut i = 0usize;
+        while i < tape.len() && budget > 0 {
+            let original = tape[i];
+            if original == 0 {
+                i += 1;
+                continue;
+            }
+            // The biggest jump first: does zero still fail?
+            let mut cand = tape.clone();
+            cand[i] = 0;
+            if let Some((t, p)) = try_candidate(cand, &mut budget) {
+                tape = t;
+                payload = p;
+                steps += 1;
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // Invariant: `hi` fails, `lo` passes. Converges to the boundary.
+            let mut lo = 0u64;
+            let mut hi = original;
+            while lo + 1 < hi && budget > 0 {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = tape.clone();
+                if i >= cand.len() {
+                    break;
+                }
+                cand[i] = mid;
+                match try_candidate(cand, &mut budget) {
+                    Some((t, p)) => {
+                        tape = t;
+                        payload = p;
+                        steps += 1;
+                        hi = mid;
+                    }
+                    None => lo = mid,
+                }
+            }
+            if i < tape.len() && tape[i] < original {
+                improved = true;
+            }
+            i += 1;
+        }
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+    (tape, steps, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check_cases(16, "always_true", |g| {
+            let _ = g.u64();
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn failing_property_panics_and_shrinks() {
+        // Property: all u32 < 1000. Fails for most draws; the shrunk
+        // counterexample must still violate it.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_cases(16, "small_u32", |g| {
+                let v = g.range_u32(0..1_000_000);
+                assert!(v < 1000, "value {v} too large");
+            });
+        }));
+        assert!(result.is_err());
+        let msg = payload_str(&*result.unwrap_err());
+        // The tape shrinker drives the value down to the smallest failing
+        // one, 1000 exactly.
+        assert!(msg.contains("value 1000"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn replay_with_seed_reproduces_stream() {
+        let mut a = Gen::record(99);
+        let drawn: Vec<u64> = (0..8).map(|_| a.raw()).collect();
+        let mut b = Gen::record(99);
+        let again: Vec<u64> = (0..8).map(|_| b.raw()).collect();
+        assert_eq!(drawn, again);
+    }
+
+    #[test]
+    fn vec_and_choose_shrink_toward_first_and_empty() {
+        let mut g = Gen::replay(vec![]);
+        // Exhausted tape reads zeros: shortest vec, first element.
+        let v = g.vec(0..5, |g| *g.choose(&[10, 20, 30]));
+        assert!(v.is_empty());
+        let c = *g.choose(&["a", "b"]);
+        assert_eq!(c, "a");
+    }
+
+    #[test]
+    fn ident_matches_pattern() {
+        let mut g = Gen::record(3);
+        for _ in 0..50 {
+            let s = g.ident(b"ABC", b"XYZ09_", 4);
+            assert!(s.len() >= 1 && s.len() <= 5);
+            assert!("ABC".contains(s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn config_defaults() {
+        // Honor a real env override (someone replaying a failure runs the
+        // whole suite with HOYAN_TEST_* set); assert the fallback otherwise.
+        let c = Config::from_env(7);
+        match std::env::var("HOYAN_TEST_CASES").ok().and_then(|s| s.parse().ok()) {
+            Some(n) => assert_eq!(c.cases, n),
+            None => assert_eq!(c.cases, 7),
+        }
+        match std::env::var("HOYAN_TEST_SEED").ok().and_then(|s| parse_u64(&s)) {
+            Some(s) => assert_eq!(c.seed, s),
+            None => assert_eq!(c.seed, DEFAULT_SEED),
+        }
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_u64("0xdeadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_u64("0XDEADBEEF"), Some(0xdead_beef));
+        assert_eq!(parse_u64("12345"), Some(12345));
+        assert_eq!(parse_u64(" 42 "), Some(42));
+        assert_eq!(parse_u64("zzz"), None);
+    }
+}

@@ -7,8 +7,7 @@
 
 use hoyan_config::apply_update;
 use hoyan_nettypes::Ipv4Prefix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hoyan_rt::rng::StdRng;
 
 use crate::wan::Wan;
 

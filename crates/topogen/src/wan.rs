@@ -19,8 +19,7 @@
 
 use hoyan_config::*;
 use hoyan_nettypes::{AsNum, Community, Ipv4Addr, Ipv4Prefix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hoyan_rt::rng::StdRng;
 
 /// The backbone AS number.
 pub const CORE_AS: AsNum = 64500;

@@ -1,0 +1,83 @@
+//! Golden-file check for topology generation: the emitted configuration
+//! texts of a seeded WAN are pinned byte-for-byte. Any change to the
+//! in-tree PRNG, the generator's draw order, or the config emitter that
+//! alters generated topologies shows up as a diff here, not as silent
+//! benchmark/experiment drift.
+//!
+//! To re-bless after an *intentional* generator change:
+//!
+//! ```text
+//! HOYAN_BLESS=1 cargo test -p hoyan-topogen --test golden_wan
+//! ```
+
+use hoyan_topogen::WanSpec;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/tiny_wan_seed42.txt"
+);
+
+fn render(seed: u64) -> String {
+    let wan = WanSpec::tiny(seed).build();
+    let mut out = String::new();
+    for (cfg, text) in wan.configs.iter().zip(&wan.texts) {
+        out.push_str(&format!("===== {} =====\n", cfg.hostname));
+        out.push_str(text);
+        if !text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// FNV-1a over the rendered snapshot — a cheap fixed-width fingerprint for
+/// the larger spec sizes where a full golden file would be unwieldy.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn tiny_wan_matches_golden_file() {
+    let got = render(42);
+    if std::env::var("HOYAN_BLESS").map(|v| v == "1").unwrap_or(false) {
+        std::fs::write(GOLDEN, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN} ({e}); run with HOYAN_BLESS=1 to create it")
+    });
+    assert!(
+        got == want,
+        "generated tiny WAN (seed 42) diverged from the golden snapshot.\n\
+         If the generator change is intentional, re-bless with:\n\
+         HOYAN_BLESS=1 cargo test -p hoyan-topogen --test golden_wan\n\
+         (got {} bytes, want {} bytes)",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn small_wan_fingerprint_is_stable() {
+    let wan = WanSpec::small(7).build();
+    let mut out = String::new();
+    for t in &wan.texts {
+        out.push_str(t);
+        out.push('\n');
+    }
+    // Pinned fingerprint of the seed-7 small WAN. A failure here means the
+    // generator's output changed; verify the change is intentional, then
+    // update the constant with the printed value.
+    const EXPECTED: u64 = 0xeedb_2845_89ca_ad72;
+    let h = fnv1a(&out);
+    assert!(
+        h == EXPECTED,
+        "small WAN (seed 7) fingerprint changed: got {h:#018x}, want {EXPECTED:#018x}.\n\
+         If the generator change is intentional, update EXPECTED."
+    );
+}

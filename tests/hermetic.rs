@@ -1,0 +1,193 @@
+//! Hermeticity guard: the workspace must build with **zero** registry
+//! dependencies. Every dependency declared in any manifest has to be either
+//! a `path = "..."` dependency or `workspace = true` resolving to a
+//! path-only entry in `[workspace.dependencies]`. A registry dependency
+//! (bare version string, `version = ...` without `path`, git, etc.) fails
+//! this test before it can fail `cargo build --offline` in CI.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The dependency-declaring sections we audit.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// One parsed dependency declaration.
+#[derive(Debug)]
+struct Dep {
+    name: String,
+    section: String,
+    has_path: bool,
+    is_workspace_ref: bool,
+}
+
+/// A minimal TOML reader for the subset Cargo manifests use: `[section]`
+/// headers, `key = "string"`, and `key = { inline, tables }`. It only needs
+/// to answer "does this dependency declare `path`" — not full TOML.
+fn parse_deps(text: &str) -> Vec<Dep> {
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().trim_matches('"').to_string();
+            continue;
+        }
+        let in_dep_section = DEP_SECTIONS.iter().any(|s| {
+            // `[dependencies]`, `[workspace.dependencies]`, and target-
+            // specific tables like `[target.'cfg(unix)'.dependencies]`.
+            section == *s || section.ends_with(&format!(".{s}"))
+        });
+        if !in_dep_section {
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let name = line[..eq].trim().trim_matches('"').to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multi-line inline tables: keep consuming until braces balance.
+        while value.starts_with('{')
+            && value.matches('{').count() > value.matches('}').count()
+        {
+            let Some(next) = lines.next() else { break };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let has_path = value.starts_with('{') && inline_table_has_key(&value, "path");
+        let is_workspace_ref = (value.starts_with('{')
+            && inline_table_has_key(&value, "workspace"))
+            || value == "true" && name.ends_with(".workspace");
+        deps.push(Dep {
+            name: name.trim_end_matches(".workspace").to_string(),
+            section: section.clone(),
+            has_path,
+            is_workspace_ref,
+        });
+    }
+    deps
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for Cargo.toml: none of ours embed '#' inside strings.
+    line.split('#').next().unwrap_or("")
+}
+
+fn inline_table_has_key(table: &str, key: &str) -> bool {
+    table
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .split(',')
+        .any(|kv| kv.split('=').next().map(|k| k.trim() == key).unwrap_or(false))
+}
+
+fn manifest_paths() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut paths = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates/ exists") {
+        let dir = entry.expect("readable dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            paths.push(manifest);
+        }
+    }
+    assert!(paths.len() >= 9, "expected the workspace's member manifests, got {paths:?}");
+    paths
+}
+
+#[test]
+fn all_dependencies_are_path_only() {
+    // Pass 1: collect [workspace.dependencies] so `workspace = true`
+    // references can be resolved to their definition.
+    let root_text = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml"),
+    )
+    .expect("workspace manifest");
+    let mut workspace_deps: BTreeMap<String, bool> = BTreeMap::new();
+    for d in parse_deps(&root_text) {
+        if d.section == "workspace.dependencies" {
+            workspace_deps.insert(d.name.clone(), d.has_path);
+        }
+    }
+    assert!(
+        !workspace_deps.is_empty(),
+        "workspace.dependencies should define the shared path deps"
+    );
+
+    // Pass 2: audit every manifest.
+    let mut violations = Vec::new();
+    for manifest in manifest_paths() {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        for d in parse_deps(&text) {
+            if d.section == "workspace.dependencies" {
+                if !d.has_path {
+                    violations.push(format!(
+                        "{}: workspace dep `{}` is not a path dependency",
+                        manifest.display(),
+                        d.name
+                    ));
+                }
+                continue;
+            }
+            let ok = d.has_path
+                || (d.is_workspace_ref
+                    && workspace_deps.get(&d.name).copied().unwrap_or(false));
+            if !ok {
+                violations.push(format!(
+                    "{}: [{}] `{}` is not path-only (registry or git dependency?)",
+                    manifest.display(),
+                    d.section,
+                    d.name
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn banned_registry_crates_are_gone() {
+    // The five crates the seed pulled from the registry must never return.
+    const BANNED: [&str; 5] = ["rand", "proptest", "criterion", "crossbeam", "parking_lot"];
+    for manifest in manifest_paths() {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        for d in parse_deps(&text) {
+            assert!(
+                !BANNED.contains(&d.name.as_str()),
+                "{}: banned registry crate `{}` reintroduced in [{}]",
+                manifest.display(),
+                d.name,
+                d.section
+            );
+        }
+    }
+}
+
+#[test]
+fn parser_flags_registry_style_deps() {
+    // Sanity-check the guard itself: it must catch the classic shapes.
+    let bad = r#"
+[dependencies]
+rand = "0.8"
+serde = { version = "1", features = ["derive"] }
+local = { path = "../local" }
+shared.workspace = true
+"#;
+    let deps = parse_deps(bad);
+    let find = |n: &str| deps.iter().find(|d| d.name == n).unwrap();
+    assert!(!find("rand").has_path && !find("rand").is_workspace_ref);
+    assert!(!find("serde").has_path);
+    assert!(find("local").has_path);
+    assert!(find("shared").is_workspace_ref);
+}

@@ -15,8 +15,7 @@ use hoyan::config::{parse_config, DeviceConfig};
 use hoyan::core::{NetworkModel, Simulation};
 use hoyan::device::VsbProfile;
 use hoyan::nettypes::{pfx, LinkId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hoyan_rt::rng::StdRng;
 
 fn random_net(seed: u64) -> Vec<DeviceConfig> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,9 +1,23 @@
 //! Integration: every Table 2 VSB class is detectable and localizable by
 //! the behavior model tuner on its dedicated scenario.
 
-use hoyan::device::VsbKind;
+use hoyan::config::Vendor;
+use hoyan::device::{VsbKind, VsbProfile};
 use hoyan::topogen::{all_scenarios, scenario};
 use hoyan::tuner::{ModelRegistry, Validator};
+
+/// Runs a scenario's check (control-plane or data-plane probe, whichever
+/// the scenario defines) and reports whether the model *diverged* from the
+/// ground-truth oracle.
+fn diverges(s: &hoyan::topogen::VsbScenario, registry: &ModelRegistry) -> bool {
+    let validator = Validator::new(s.configs.clone()).unwrap();
+    match &s.probe {
+        None => validator.check(registry, &s.family).unwrap().is_some(),
+        Some(p) => !validator
+            .check_probe(registry, &s.family, &p.src_device, p.dst)
+            .unwrap(),
+    }
+}
 
 #[test]
 fn every_vsb_scenario_mismatches_under_the_naive_model() {
@@ -62,6 +76,69 @@ fn ground_truth_model_is_clean_on_every_scenario() {
                 s.kind
             ),
         }
+    }
+}
+
+/// Both dialects of every Table-2 axis, wrong side: start from the fully
+/// correct registry and flip *only* the scenario's axis on the culprit's
+/// vendor back to vendor A's default. The model is now wrong about exactly
+/// one behavior switch — in the dialect direction the naive model never
+/// exercises — and the scenario must expose it.
+#[test]
+fn single_axis_regression_from_truth_is_detected_on_every_axis() {
+    let default_dialect = VsbProfile::ground_truth(Vendor::A);
+    for s in all_scenarios() {
+        let mut registry = ModelRegistry::ground_truth();
+        // Every scenario's culprit is a vendor-B device, and B differs from
+        // A on all eight axes, so this flip always changes the model.
+        registry.apply_patch(Vendor::B, s.kind, &default_dialect);
+        assert!(
+            diverges(&s, &registry),
+            "{:?}: regressing only this axis to the vendor-A dialect must be detected",
+            s.kind
+        );
+    }
+}
+
+/// Both dialects of every Table-2 axis, right side: start from the naive
+/// registry (all eight axes wrong for vendor B) and patch *only* the
+/// scenario's axis to the truth. Each scenario isolates its own axis, so
+/// correcting that single switch must make the scenario clean even though
+/// the other seven remain wrong.
+#[test]
+fn patching_only_the_scenario_axis_fixes_it_on_every_axis() {
+    let truth_b = VsbProfile::ground_truth(Vendor::B);
+    for s in all_scenarios() {
+        let mut registry = ModelRegistry::naive();
+        registry.apply_patch(Vendor::B, s.kind, &truth_b);
+        assert!(
+            !diverges(&s, &registry),
+            "{:?}: the scenario must isolate its axis — one correct patch makes it clean",
+            s.kind
+        );
+        assert_eq!(registry.patches(), &[(Vendor::B, s.kind)]);
+    }
+}
+
+/// The two dialect values per axis really are distinct model states: for
+/// every axis, vendor A's default and vendor B's behavior disagree, and a
+/// registry holding either value is clean against an oracle running the
+/// same value (tested via the ground-truth registry above) and dirty
+/// against the opposite one (tested via the naive registry).
+#[test]
+fn every_axis_has_two_distinct_dialects() {
+    let a = VsbProfile::ground_truth(Vendor::A);
+    let b = VsbProfile::ground_truth(Vendor::B);
+    let diff = a.diff(&b);
+    assert_eq!(diff.len(), VsbKind::ALL.len(), "A and B must disagree on all axes");
+    for kind in VsbKind::ALL {
+        assert!(diff.contains(&kind), "{kind:?} missing from the A/B dialect diff");
+        // Flipping one axis and flipping it back is the identity.
+        let mut m = a;
+        m.apply_patch(kind, &b);
+        assert_eq!(m.diff(&a), vec![kind]);
+        m.apply_patch(kind, &a);
+        assert_eq!(m, a);
     }
 }
 
