@@ -91,5 +91,8 @@ fn main() {
     let mut suite = BenchSuite::new("logic");
     bdd_ops(&mut suite);
     sat(&mut suite);
+    // Embed the counters accumulated over the run so the perf report
+    // explains itself (e.g. "slower because BDD nodes doubled").
+    suite.set_metrics_json(hoyan_obs::export_json());
     suite.finish();
 }

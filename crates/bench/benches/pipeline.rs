@@ -86,5 +86,8 @@ fn main() {
     isis(&mut suite);
     packet(&mut suite);
     racing(&mut suite);
+    // Embed the counters accumulated over the run so the perf report
+    // explains itself (e.g. "slower because BDD nodes doubled").
+    suite.set_metrics_json(hoyan_obs::export_json());
     suite.finish();
 }

@@ -45,6 +45,7 @@ impl IsisDb {
     /// results into one database. `k = None` disables more-than-k pruning.
     pub fn build(net: &NetworkModel, k: Option<u32>) -> Result<IsisDb, SimError> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let _span = hoyan_obs::span("isis.build");
         let dests: Vec<NodeId> = net.topology.nodes().filter(|n| net.runs_isis(*n)).collect();
         type DestResult = (NodeId, BddManager, Vec<(NodeId, Bdd, Vec<(Bdd, NodeId, u64)>)>);
         let results: std::sync::Mutex<Vec<DestResult>> = std::sync::Mutex::new(Vec::new());
@@ -68,6 +69,7 @@ impl IsisDb {
                             break;
                         }
                         let dest = dests[i];
+                        let _spf = hoyan_obs::span("isis.spf");
                         let mut sim = Simulation::new_igp_for(net, k, &[dest]);
                         if let Err(e) = sim.run() {
                             error
@@ -100,13 +102,11 @@ impl IsisDb {
                         if failed.load(Ordering::Acquire) {
                             break;
                         }
-                        {
-                            let mut st = stats_mutex.lock().unwrap_or_else(|p| p.into_inner());
-                            st.delivered += sim.stats.delivered;
-                            st.dropped_policy += sim.stats.dropped_policy;
-                            st.dropped_over_k += sim.stats.dropped_over_k;
-                            st.dropped_impossible += sim.stats.dropped_impossible;
-                        }
+                        hoyan_obs::metric!(counter "isis.spf_runs").inc();
+                        stats_mutex
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .merge(&sim.stats);
                         results
                             .lock()
                             .unwrap_or_else(|p| p.into_inner())

@@ -66,12 +66,25 @@ pub struct PruneStats {
     pub dropped_over_k: u64,
     /// Dropped because the condition is unsatisfiable ("Impossible").
     pub dropped_impossible: u64,
+    /// Peak topology-condition formula size (BDD nodes) observed while
+    /// propagating — the Figure 11 "largest formula during simulation"
+    /// metric, as opposed to the final reachability formula length.
+    pub max_formula_len: u64,
 }
 
 impl PruneStats {
     /// Total attempted emissions.
     pub fn total(&self) -> u64 {
         self.delivered + self.dropped_policy + self.dropped_over_k + self.dropped_impossible
+    }
+
+    /// Folds another run's stats into this one (counters add, peaks max).
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.delivered += other.delivered;
+        self.dropped_policy += other.dropped_policy;
+        self.dropped_over_k += other.dropped_over_k;
+        self.dropped_impossible += other.dropped_impossible;
+        self.max_formula_len = self.max_formula_len.max(other.max_formula_len);
     }
 }
 
@@ -400,6 +413,9 @@ impl<'n> Simulation<'n> {
         if size > self.max_cond_size {
             self.max_cond_size = size;
         }
+        if size as u64 > self.stats.max_formula_len {
+            self.stats.max_formula_len = size as u64;
+        }
     }
 
     /// Seeds origin routes and runs the propagation to fixpoint.
@@ -435,10 +451,27 @@ impl<'n> Simulation<'n> {
                 );
             }
             if steps > cap {
+                self.flush_metrics(steps);
                 return Err(SimError::NonConvergence);
             }
         }
+        self.flush_metrics(steps);
         Ok(())
+    }
+
+    // Fold this run's plain-integer tallies into the process-wide registry
+    // (once per run, so the worklist loop stays atomic-free).
+    fn flush_metrics(&self, steps: usize) {
+        hoyan_obs::metric!(counter "propagate.runs").inc();
+        hoyan_obs::metric!(counter "propagate.steps").add(steps as u64);
+        hoyan_obs::metric!(histogram "propagate.steps_per_run").observe(steps as u64);
+        hoyan_obs::metric!(counter "propagate.delivered").add(self.stats.delivered);
+        hoyan_obs::metric!(counter "propagate.dropped_policy").add(self.stats.dropped_policy);
+        hoyan_obs::metric!(counter "propagate.dropped_over_k").add(self.stats.dropped_over_k);
+        hoyan_obs::metric!(counter "propagate.dropped_impossible")
+            .add(self.stats.dropped_impossible);
+        hoyan_obs::metric!(gauge "propagate.max_formula_len")
+            .record_max(self.stats.max_formula_len);
     }
 
     fn seed(&mut self) {
@@ -635,6 +668,7 @@ impl<'n> Simulation<'n> {
         if let Some(&c) = self.session_conds.get(&key) {
             return c;
         }
+        hoyan_obs::metric!(counter "isis.conditioned_sessions").inc();
         let c = match self.isis_db {
             None => Bdd::TRUE,
             Some(db) => {

@@ -97,6 +97,11 @@ pub fn racing_check(net: &NetworkModel, prefix: Ipv4Prefix, limit: usize) -> Rac
 
     while let Some(idx) = queue.pop_front() {
         if routes.len() > MAX_ROUTES {
+            hoyan_obs::metric!(counter "racing.flood_capped").inc();
+            hoyan_obs::warn(&format!(
+                "racing check for {prefix} hit the {MAX_ROUTES}-route flood cap; \
+                 the ambiguity verdict may be incomplete"
+            ));
             break;
         }
         let r = routes[idx].clone();
@@ -214,11 +219,26 @@ pub fn racing_check(net: &NetworkModel, prefix: Ipv4Prefix, limit: usize) -> Rac
         };
     }
 
+    let _sp = hoyan_obs::span("racing.sat");
+    hoyan_obs::metric!(counter "racing.checks").inc();
     let mut cnf = Cnf::new();
     cnf.ensure_var(routes.len() as u32 - 1);
     cnf.assert_formula(&Formula::And(clauses));
     let vars: Vec<u32> = (0..routes.len() as u32).collect();
-    let models = Solver::from_cnf(&cnf).count_models(&vars, limit.max(2));
+    let mut solver = Solver::from_cnf(&cnf);
+    let models = solver.count_models(&vars, limit.max(2));
+    // Racing checks are usually near-instant (the selection logic is almost
+    // Horn); a conflict-heavy solve is the slow path operators should hear
+    // about instead of watching a silent stall.
+    const CONFLICT_BUDGET: u64 = 10_000;
+    if solver.total_conflicts > CONFLICT_BUDGET {
+        hoyan_obs::metric!(counter "racing.slow_path").inc();
+        hoyan_obs::warn(&format!(
+            "racing check for {prefix} fell back to a slow SAT search \
+             ({} conflicts, budget {CONFLICT_BUDGET})",
+            solver.total_conflicts
+        ));
+    }
     RacingReport {
         ambiguous: models.len() > 1,
         solutions: models.len(),

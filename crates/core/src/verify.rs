@@ -67,6 +67,9 @@ pub struct ReachReport {
     pub witness: Option<Vec<String>>,
     /// Size of the final reachability formula (Figure 13 metric).
     pub formula_len: usize,
+    /// Peak topology-condition formula size seen while the underlying
+    /// simulation propagated (Figure 11 metric).
+    pub max_formula_len: u64,
 }
 
 /// Result of comparing two devices for role equivalence.
@@ -109,6 +112,7 @@ pub struct Verifier {
     /// Conditioned IS-IS database (iBGP session conditions, IGP metrics).
     pub isis: IsisDb,
     known_prefixes: Vec<Ipv4Prefix>,
+    sweep_stats: std::sync::Mutex<PruneStats>,
 }
 
 impl Verifier {
@@ -135,7 +139,16 @@ impl Verifier {
             net,
             isis,
             known_prefixes: known.into_iter().collect(),
+            sweep_stats: std::sync::Mutex::new(PruneStats::default()),
         })
+    }
+
+    /// Aggregated pruning statistics across every family simulated by
+    /// [`Verifier::verify_all_routes`] so far, including the per-family
+    /// stats accumulated on worker threads (one contribution per family,
+    /// matching a single-threaded run).
+    pub fn sweep_stats(&self) -> PruneStats {
+        *self.sweep_stats.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// All prefixes known to the snapshot (networks, aggregates, statics).
@@ -185,6 +198,7 @@ impl Verifier {
     /// Runs the conditioned simulation for `prefix`'s family at failure
     /// budget `k`.
     pub fn simulate(&self, prefix: Ipv4Prefix, k: Option<u32>) -> Result<Simulation<'_>, SimError> {
+        let _sp = hoyan_obs::span("verify.sim");
         let family = self.family_of(prefix);
         let mut sim = Simulation::new_bgp(&self.net, family, k, Some(&self.isis));
         sim.run()?;
@@ -192,6 +206,8 @@ impl Verifier {
     }
 
     fn reach_report(&self, sim: &mut Simulation<'_>, node: NodeId, prefix: Ipv4Prefix, k: u32) -> ReachReport {
+        let _sp = hoyan_obs::span("verify.query");
+        hoyan_obs::metric!(counter "verify.queries").inc();
         let v = sim.reach_cond(node, prefix);
         let reachable_now = sim.mgr.eval(v, &[]);
         let min_failures = sim.mgr.min_failures_to_falsify(v);
@@ -214,6 +230,7 @@ impl Verifier {
             resilient: min_failures > k,
             witness,
             formula_len: sim.mgr.size(v),
+            max_formula_len: sim.stats.max_formula_len,
         }
     }
 
@@ -280,6 +297,7 @@ impl Verifier {
             resilient: min_failures > k,
             witness,
             formula_len: sim.mgr.size(v),
+            max_formula_len: sim.stats.max_formula_len,
         })
     }
 
@@ -402,7 +420,12 @@ impl Verifier {
     /// (see `tests/determinism.rs`).
     pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let _sweep = hoyan_obs::span("verify.sweep");
         let families = self.families();
+        // Fan-out occupancy: thread-count-dependent by nature, so a gauge
+        // (the determinism contract covers counters/histograms only).
+        hoyan_obs::metric!(gauge "verify.fanout_threads").record_max(threads.max(1) as u64);
+        hoyan_obs::metric!(gauge "verify.fanout_families").record_max(families.len() as u64);
         let results = std::sync::Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -419,7 +442,9 @@ impl Verifier {
                             break;
                         }
                         let fam = &families[i];
+                        let _fam_span = hoyan_obs::span("verify.family");
                         let t0 = Instant::now();
+                        let sim_span = hoyan_obs::span("verify.sim");
                         let mut sim =
                             Simulation::new_bgp(&self.net, fam.clone(), Some(k), Some(&self.isis));
                         if let Err(e) = sim.run() {
@@ -429,9 +454,11 @@ impl Verifier {
                             failed.store(true, Ordering::Release);
                             break;
                         }
+                        drop(sim_span);
                         let sim_time = t0.elapsed();
                         let mut family_reports = Vec::with_capacity(fam.len());
                         for (pi, p) in fam.iter().enumerate() {
+                            let _q_span = hoyan_obs::span("verify.query");
                             let q0 = Instant::now();
                             let mut scope_nodes = Vec::new();
                             let mut fragile = Vec::new();
@@ -468,6 +495,16 @@ impl Verifier {
                         if failed.load(Ordering::Acquire) {
                             break;
                         }
+                        // Worker-thread prune stats previously died with the
+                        // sim here; fold each family's into the verifier-wide
+                        // aggregate (one contribution per family, matching a
+                        // single-threaded run).
+                        self.sweep_stats
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .merge(&sim.stats);
+                        hoyan_obs::metric!(counter "verify.families").inc();
+                        hoyan_obs::metric!(counter "verify.prefixes").add(fam.len() as u64);
                         results
                             .lock()
                             .unwrap_or_else(|p| p.into_inner())
@@ -492,6 +529,11 @@ impl Verifier {
         }
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|r| r.prefix);
+        let agg = self.sweep_stats();
+        hoyan_obs::metric!(gauge "verify.sweep_delivered").set(agg.delivered);
+        hoyan_obs::metric!(gauge "verify.sweep_dropped")
+            .set(agg.dropped_policy + agg.dropped_over_k + agg.dropped_impossible);
+        hoyan_obs::metric!(gauge "verify.sweep_max_formula_len").record_max(agg.max_formula_len);
         Ok(out)
     }
 }

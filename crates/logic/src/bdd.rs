@@ -67,6 +67,25 @@ pub struct BddManager {
     falsify_cost: HashMap<Bdd, u32>,
     /// Lifetime count of and/not operations (diagnostics).
     pub ops: u64,
+    unique_hits: u64,
+    unique_misses: u64,
+    and_cache_hits: u64,
+    and_cache_misses: u64,
+}
+
+impl Drop for BddManager {
+    // Per-manager tallies are plain integers (hot paths stay atomic-free)
+    // and fold into the process-wide registry once, here.
+    fn drop(&mut self) {
+        hoyan_obs::metric!(counter "bdd.managers").inc();
+        hoyan_obs::metric!(counter "bdd.ops").add(self.ops);
+        hoyan_obs::metric!(counter "bdd.unique_hits").add(self.unique_hits);
+        hoyan_obs::metric!(counter "bdd.unique_misses").add(self.unique_misses);
+        hoyan_obs::metric!(counter "bdd.and_cache_hits").add(self.and_cache_hits);
+        hoyan_obs::metric!(counter "bdd.and_cache_misses").add(self.and_cache_misses);
+        hoyan_obs::metric!(counter "bdd.nodes_created").add(self.nodes.len() as u64 - 2);
+        hoyan_obs::metric!(gauge "bdd.peak_nodes").record_max(self.nodes.len() as u64);
+    }
 }
 
 impl Default for BddManager {
@@ -91,6 +110,10 @@ impl BddManager {
             sat_cost: HashMap::new(),
             falsify_cost: HashMap::new(),
             ops: 0,
+            unique_hits: 0,
+            unique_misses: 0,
+            and_cache_hits: 0,
+            and_cache_misses: 0,
         }
     }
 
@@ -104,8 +127,10 @@ impl BddManager {
             return lo;
         }
         if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            self.unique_hits += 1;
             return n;
         }
+        self.unique_misses += 1;
         let id = Bdd(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
@@ -160,8 +185,10 @@ impl BddManager {
         }
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&r) = self.and_cache.get(&key) {
+            self.and_cache_hits += 1;
             return r;
         }
+        self.and_cache_misses += 1;
         let na = self.nodes[a.0 as usize];
         let nb = self.nodes[b.0 as usize];
         let (var, alo, ahi, blo, bhi) = if na.var == nb.var {

@@ -81,6 +81,22 @@ pub struct Solver {
     conflicts: u64,
     /// Statistics: total conflicts seen over the solver's lifetime.
     pub total_conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    restarts: u64,
+    solves: u64,
+}
+
+impl Drop for Solver {
+    // Per-solver tallies are plain integers (the CDCL loop stays
+    // atomic-free) and fold into the process-wide registry once, here.
+    fn drop(&mut self) {
+        hoyan_obs::metric!(counter "sat.solves").add(self.solves);
+        hoyan_obs::metric!(counter "sat.conflicts").add(self.total_conflicts);
+        hoyan_obs::metric!(counter "sat.decisions").add(self.decisions);
+        hoyan_obs::metric!(counter "sat.propagations").add(self.propagations);
+        hoyan_obs::metric!(counter "sat.restarts").add(self.restarts);
+    }
 }
 
 impl Solver {
@@ -110,6 +126,10 @@ impl Solver {
             unsat: false,
             conflicts: 0,
             total_conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            restarts: 0,
+            solves: 0,
         }
     }
 
@@ -189,6 +209,7 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
+            self.propagations += 1;
             let false_lit = p.negate();
             let mut ws = std::mem::take(&mut self.watches[false_lit.0 as usize]);
             let mut i = 0;
@@ -348,6 +369,7 @@ impl Solver {
 
     /// Decides satisfiability, returning a total model when SAT.
     pub fn solve(&mut self) -> SatResult {
+        self.solves += 1;
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -380,11 +402,13 @@ impl Solver {
                 }
                 if self.conflicts >= conflict_budget {
                     self.conflicts = 0;
+                    self.restarts += 1;
                     restart_count += 1;
                     conflict_budget = 64 * Self::luby(restart_count);
                     self.cancel_until(0);
                 }
             } else if let Some(decision) = self.decide() {
+                self.decisions += 1;
                 self.trail_lim.push(self.trail.len());
                 self.enqueue(decision, NO_REASON);
             } else {

@@ -1,0 +1,243 @@
+//! Sinks: the deterministic-schema JSON export and the human-readable
+//! span-tree/metrics table.
+//!
+//! JSON schema (version [`SCHEMA_VERSION`]); every map is emitted in
+//! lexicographic key order, so two exports with equal metric values are
+//! byte-identical:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "counters": {"bdd.ops": 12034, "...": 0},
+//!   "gauges": {"bdd.peak_nodes": 4096},
+//!   "histograms": {"propagate.steps_per_run":
+//!       {"bounds": [1, 2, 4], "counts": [0, 1, 2, 0], "sum": 9, "count": 3}},
+//!   "spans": {"verify.sweep/verify.family":
+//!       {"count": 4, "total_ns": 1200, "max_ns": 400}}
+//! }
+//! ```
+//!
+//! Counters and histograms are deterministic for a fixed workload (they
+//! count work, not time); gauges may reflect runtime configuration (e.g.
+//! thread counts) and spans carry wall-clock nanoseconds, so consumers that
+//! diff runs should compare the `counters` and `histograms` sections.
+
+use std::fmt::Write as _;
+
+/// Version stamped into the `schema` field of the JSON export.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_u64_list(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Serializes the full registry (counters, gauges, histograms, spans) as
+/// deterministic JSON.
+pub fn export_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
+
+    out.push_str("  \"counters\": {");
+    let counters = crate::counter_values();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    \"{}\": {v}",
+            if i > 0 { "," } else { "" },
+            escape(name)
+        );
+    }
+    out.push_str(if counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"gauges\": {");
+    let gauges = crate::gauge_values();
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    \"{}\": {v}",
+            if i > 0 { "," } else { "" },
+            escape(name)
+        );
+    }
+    out.push_str(if gauges.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"histograms\": {");
+    let histograms = crate::histogram_values();
+    for (i, (name, h)) in histograms.iter().enumerate() {
+        let _ = write!(out, "{}\n    \"{}\": {{\"bounds\": ", if i > 0 { "," } else { "" }, escape(name));
+        write_u64_list(&mut out, &h.bounds);
+        out.push_str(", \"counts\": ");
+        write_u64_list(&mut out, &h.counts);
+        let _ = write!(out, ", \"sum\": {}, \"count\": {}}}", h.sum, h.count);
+    }
+    out.push_str(if histograms.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"spans\": {");
+    let spans = crate::span_values();
+    for (i, (path, a)) in spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+            if i > 0 { "," } else { "" },
+            escape(path),
+            a.count,
+            a.total_ns,
+            a.max_ns
+        );
+    }
+    out.push_str(if spans.is_empty() { "}\n" } else { "\n  }\n" });
+
+    out.push_str("}\n");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders the span tree and all metrics as a human-readable table (the
+/// CLI's `--stats` output).
+pub fn render_table() -> String {
+    let mut out = String::new();
+
+    let spans = crate::span_values();
+    if !spans.is_empty() {
+        out.push_str("spans (total / max / count):\n");
+        // BTreeMap order is depth-first over `/`-joined paths already.
+        for (path, a) in &spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<32} {:>10}  {:>10}  x{}",
+                "",
+                leaf,
+                fmt_ns(a.total_ns),
+                fmt_ns(a.max_ns),
+                a.count,
+                indent = depth * 2
+            );
+        }
+    }
+
+    let counters = crate::counter_values();
+    if counters.iter().any(|(_, v)| *v > 0) {
+        out.push_str("counters:\n");
+        for (name, v) in &counters {
+            if *v > 0 {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+    }
+
+    let gauges = crate::gauge_values();
+    if gauges.iter().any(|(_, v)| *v > 0) {
+        out.push_str("gauges:\n");
+        for (name, v) in &gauges {
+            if *v > 0 {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+    }
+
+    let histograms = crate::histogram_values();
+    if histograms.iter().any(|(_, h)| h.count > 0) {
+        out.push_str("histograms (bucket<=bound: count):\n");
+        for (name, h) in &histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = write!(out, "  {:<40} n={} sum={} ", name, h.count, h.sum);
+            let mut first = true;
+            for (i, c) in h.counts.iter().enumerate() {
+                if *c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(' ');
+                }
+                first = false;
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = write!(out, "<={b}:{c}");
+                    }
+                    None => {
+                        let _ = write!(out, ">{}:{c}", h.bounds.last().copied().unwrap_or(0));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_balanced_and_sorted() {
+        crate::counter("test.export.b").add(2);
+        crate::counter("test.export.a").inc();
+        crate::gauge("test.export.g").set(5);
+        crate::histogram("test.export.h", &[1, 10]).observe(3);
+        let j = export_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"schema\": 1"));
+        let a = j.find("test.export.a").unwrap();
+        let b = j.find("test.export.b").unwrap();
+        assert!(a < b, "counters must be sorted");
+        assert!(j.contains("\"bounds\": [1, 10]"));
+        assert!(j.contains("\"counts\": [0, 1, 0]"));
+    }
+
+    #[test]
+    fn table_renders_nonzero_metrics() {
+        crate::counter("test.table.hits").add(7);
+        let t = render_table();
+        assert!(t.contains("test.table.hits"));
+        assert!(t.contains('7'));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(12_300), "12.30us");
+        assert_eq!(fmt_ns(12_300_000), "12.30ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.00s");
+    }
+}

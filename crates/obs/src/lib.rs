@@ -1,0 +1,52 @@
+//! Hermetic observability for the hoyan stack: tracing spans plus a
+//! process-wide metrics registry, with deterministic JSON and table sinks.
+//! Std-only — no external dependencies, per the workspace hermetic policy.
+//!
+//! # Naming scheme
+//!
+//! Metric and span names are dot-separated `subsystem.metric` identifiers,
+//! where the subsystem matches the instrumented module: `propagate.*`,
+//! `isis.*`, `verify.*`, `bdd.*`, `sat.*`, `racing.*`, `tuner.*`, `obs.*`.
+//! Span paths join nested span names with `/` (e.g.
+//! `verify.sweep/verify.family/verify.sim`).
+//!
+//! # Overhead when disabled
+//!
+//! - Spans are off until [`set_enabled`] is called; a disabled open/close
+//!   pair costs one relaxed atomic load.
+//! - Counters/gauges/histograms are always live, but each record is a single
+//!   relaxed atomic RMW on a cached `&'static` handle (see [`metric!`]), so
+//!   instrumentation stays compiled into release binaries. Hot inner loops
+//!   (BDD/SAT) keep plain per-instance integers and flush them into the
+//!   registry once, on drop or at end-of-run.
+//!
+//! # Determinism
+//!
+//! Exports iterate `BTreeMap`s, so [`export_json`] is byte-stable for equal
+//! metric values. Counters and histograms count *work* and are deterministic
+//! across thread counts for a fixed workload; gauges may depend on runtime
+//! configuration and spans carry wall-clock time, so run-to-run comparisons
+//! should diff the `counters`/`histograms` sections only.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod spans;
+
+pub use export::{export_json, render_table, SCHEMA_VERSION};
+pub use metrics::{
+    counter, counter_values, gauge, gauge_values, histogram, histogram_values,
+    register_default_metrics, reset_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
+    EXP2_BUCKETS,
+};
+pub use spans::{
+    enabled, flush_thread, quiet, reset_spans, set_enabled, set_quiet, span, span_values, warn,
+    SpanAgg, SpanGuard,
+};
+
+/// Zeroes every metric and clears the span aggregate.
+pub fn reset() {
+    reset_metrics();
+    reset_spans();
+}

@@ -1,0 +1,227 @@
+//! Lightweight tracing spans.
+//!
+//! A span is a named, nested region of wall-clock time opened with
+//! [`span`] and closed when the returned guard drops. Each thread records
+//! its spans into a thread-local buffer; when a thread's outermost span
+//! closes (or on an explicit [`flush_thread`]), the buffer is merged into a
+//! process-wide aggregate keyed by the span *path* — the `/`-joined chain of
+//! enclosing span names — so the scoped worker threads of a parallel sweep
+//! all fold into one tree.
+//!
+//! Spans are **disabled by default**: until [`set_enabled`] is called the
+//! guard is a no-op and the cost of an open/close pair is one relaxed atomic
+//! load. Enabled spans cost two `Instant` reads plus a thread-local map
+//! update; the global mutex is only touched at outermost-span close.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Turns span recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Suppresses [`warn`] output (the CLI's `--quiet`). Warnings are still
+/// counted in the `obs.warnings` counter.
+pub fn set_quiet(on: bool) {
+    QUIET.store(on, Ordering::Relaxed);
+}
+
+/// Whether warnings are suppressed.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emits a one-line operator-facing degradation warning to stderr (unless
+/// [`set_quiet`] suppressed it) and counts it in `obs.warnings`.
+pub fn warn(msg: &str) {
+    crate::counter("obs.warnings").inc();
+    if !quiet() {
+        eprintln!("hoyan: warning: {msg}");
+    }
+}
+
+/// Aggregate timing of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closes.
+    pub total_ns: u64,
+    /// Slowest single close, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    fn merge(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    stack: Vec<(&'static str, Instant)>,
+    agg: BTreeMap<String, SpanAgg>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+fn global() -> &'static Mutex<BTreeMap<String, SpanAgg>> {
+    static GLOBAL: Mutex<BTreeMap<String, SpanAgg>> = Mutex::new(BTreeMap::new());
+    &GLOBAL
+}
+
+/// Opens a span; it closes (and is recorded) when the guard drops. Guards
+/// must nest LIFO — hold them in plain stack variables.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    COLLECTOR.with(|c| c.borrow_mut().stack.push((name, Instant::now())));
+    SpanGuard { active: true }
+}
+
+/// Closes its span on drop. Created by [`span`].
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        COLLECTOR.with(|c| {
+            let mut c = c.borrow_mut();
+            let Some((name, start)) = c.stack.pop() else {
+                return; // unbalanced guard (spans disabled mid-flight)
+            };
+            let ns = start.elapsed().as_nanos() as u64;
+            let mut path = String::new();
+            for (n, _) in &c.stack {
+                path.push_str(n);
+                path.push('/');
+            }
+            path.push_str(name);
+            let e = c.agg.entry(path).or_default();
+            e.count += 1;
+            e.total_ns += ns;
+            e.max_ns = e.max_ns.max(ns);
+            if c.stack.is_empty() {
+                flush_collector(&mut c);
+            }
+        });
+    }
+}
+
+fn flush_collector(c: &mut Collector) {
+    if c.agg.is_empty() {
+        return;
+    }
+    let mut g = global().lock().unwrap_or_else(|p| p.into_inner());
+    for (path, agg) in std::mem::take(&mut c.agg) {
+        g.entry(path).or_default().merge(&agg);
+    }
+}
+
+/// Merges this thread's buffered spans into the global aggregate. Called
+/// automatically when a thread's outermost span closes; worker threads that
+/// exit while a caller still holds an open span should call this explicitly.
+pub fn flush_thread() {
+    COLLECTOR.with(|c| flush_collector(&mut c.borrow_mut()));
+}
+
+/// The global span aggregate, keyed by `/`-joined span path.
+pub fn span_values() -> BTreeMap<String, SpanAgg> {
+    flush_thread();
+    global().lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Clears the global span aggregate (test/bench scoping; this thread's
+/// buffer is flushed and discarded too).
+pub fn reset_spans() {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.agg.clear();
+    });
+    global().lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the process-global aggregate, so they run under one
+    // lock to avoid cross-test interference.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _s = serial();
+        set_enabled(false);
+        reset_spans();
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        assert!(span_values().is_empty());
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_counts() {
+        let _s = serial();
+        set_enabled(true);
+        reset_spans();
+        {
+            let _a = span("outer");
+            for _ in 0..3 {
+                let _b = span("inner");
+            }
+        }
+        set_enabled(false);
+        let v = span_values();
+        assert_eq!(v.keys().collect::<Vec<_>>(), vec!["outer", "outer/inner"]);
+        assert_eq!(v["outer"].count, 1);
+        assert_eq!(v["outer/inner"].count, 3);
+        assert!(v["outer"].total_ns >= v["outer/inner"].total_ns);
+        assert!(v["outer/inner"].max_ns <= v["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn worker_threads_merge_into_one_tree() {
+        let _s = serial();
+        set_enabled(true);
+        reset_spans();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = span("work");
+                    let _i = span("step");
+                });
+            }
+        });
+        set_enabled(false);
+        let v = span_values();
+        assert_eq!(v["work"].count, 4);
+        assert_eq!(v["work/step"].count, 4);
+    }
+}

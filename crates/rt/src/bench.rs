@@ -52,6 +52,7 @@ pub struct BenchResult {
 pub struct BenchSuite {
     suite: String,
     results: Vec<BenchResult>,
+    metrics_json: Option<String>,
     /// Target wall time for one sample; the warmup phase picks an iteration
     /// count to hit it.
     pub sample_target: Duration,
@@ -68,6 +69,7 @@ impl BenchSuite {
         BenchSuite {
             suite: suite.to_string(),
             results: Vec::new(),
+            metrics_json: None,
             sample_target: Duration::from_millis(if quick { 5 } else { 25 }),
             samples: if quick { 5 } else { 15 },
             warmup: Duration::from_millis(if quick { 20 } else { 200 }),
@@ -133,6 +135,15 @@ impl BenchSuite {
         &self.results
     }
 
+    /// Attaches a pre-serialized JSON value (e.g. `hoyan_obs::export_json()`)
+    /// to be embedded verbatim as the report's `"metrics"` field, so perf
+    /// numbers carry the counters that explain them. The string must be
+    /// valid JSON; it is not escaped or validated here (this keeps the
+    /// harness independent of the observability crate).
+    pub fn set_metrics_json(&mut self, json: String) {
+        self.metrics_json = Some(json);
+    }
+
     /// Serializes the suite report as JSON (hand-rolled: the format above).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -153,7 +164,14 @@ impl BenchSuite {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        match &self.metrics_json {
+            None => out.push_str("  ]\n}\n"),
+            Some(m) => {
+                out.push_str("  ],\n  \"metrics\": ");
+                out.push_str(m.trim_end());
+                out.push_str("\n}\n");
+            }
+        }
         out
     }
 
@@ -224,6 +242,17 @@ mod tests {
         assert!(j.contains("\"name\": \"a/b\""));
         assert!(j.contains("\"median_ns\""));
         // Valid-enough JSON: balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_json_is_embedded_verbatim() {
+        let mut s = quick_suite("m");
+        s.bench("a/b", || 1 + 1);
+        s.set_metrics_json("{\"schema\": 1}\n".to_string());
+        let j = s.to_json();
+        assert!(j.contains("\"metrics\": {\"schema\": 1}"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

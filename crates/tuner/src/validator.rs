@@ -154,9 +154,15 @@ impl Validator {
         registry: &ModelRegistry,
         family: &[Ipv4Prefix],
     ) -> Result<Option<Mismatch>, SimError> {
+        let _sp = hoyan_obs::span("tuner.check");
+        hoyan_obs::metric!(counter "tuner.checks").inc();
         let oracle = self.oracle_ext_rib(family)?;
         let model = self.model_ext_rib(registry, family)?;
-        Ok(self.first_divergence(&oracle, &model, family))
+        let m = self.first_divergence(&oracle, &model, family);
+        if m.is_some() {
+            hoyan_obs::metric!(counter "tuner.mismatches").inc();
+        }
+        Ok(m)
     }
 
     fn first_divergence(
@@ -205,6 +211,7 @@ impl Validator {
         mismatch: &Mismatch,
         family: &[Ipv4Prefix],
     ) -> Result<Option<Localization>, SimError> {
+        let _sp = hoyan_obs::span("tuner.localize");
         let mut suspects = Vec::new();
         if let Some(s) = mismatch.divergent_sender {
             suspects.push(s);
@@ -247,6 +254,7 @@ impl Validator {
                 if candidate.profile(vendor) == registry.profile(vendor) {
                     continue; // patch is a no-op
                 }
+                hoyan_obs::metric!(counter "tuner.localization_candidates").inc();
                 let model = self.model_ext_rib(&candidate, family)?;
                 let cfg = &self.configs[suspect.0 as usize];
                 let loc = Localization {

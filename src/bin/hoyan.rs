@@ -14,6 +14,10 @@
 //! hoyan tune   <dir>
 //! ```
 //!
+//! Global flags (any subcommand): `--stats` prints a span-tree/metrics
+//! table, `--stats-json PATH` writes the metrics registry as deterministic
+//! JSON, and `--quiet` suppresses degradation warnings on stderr.
+//!
 //! A configuration directory holds one `<hostname>.cfg` per device in the
 //! dialect of `hoyan::config` (see `hoyan gen` for samples).
 
@@ -28,13 +32,51 @@ use hoyan::topogen::WanSpec;
 use hoyan::tuner::{ModelRegistry, Validator};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags, valid on every subcommand; stripped before dispatch so
+    // positional arguments keep their places.
+    let stats = take_flag(&mut args, "--stats");
+    let stats_json = take_value_flag(&mut args, "--stats-json");
+    hoyan::obs::set_quiet(take_flag(&mut args, "--quiet"));
+    if stats || stats_json.is_some() {
+        hoyan::obs::set_enabled(true);
+        // Pin the export schema: all standard metrics present (zeroed) even
+        // when this subcommand never exercises their subsystem.
+        hoyan::obs::register_default_metrics();
+    }
+    let outcome = run(&args);
+    // Sinks run even when the command failed: the stats explain the failure.
+    if stats {
+        print!("{}", hoyan::obs::render_table());
+    }
+    if let Some(path) = stats_json {
+        if let Err(e) = std::fs::write(&path, hoyan::obs::export_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        None
     }
 }
 
@@ -232,7 +274,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let dir = args.get(1).ok_or("sweep needs a config directory")?;
             let k = get_k(args)?;
             let v = verifier_for(dir, k)?;
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let threads = match flag(args, "--threads") {
+                None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+                Some(t) => t.parse().map_err(|_| format!("bad --threads `{t}`"))?,
+            };
             let t0 = std::time::Instant::now();
             let reports = v.verify_all_routes(k, threads).map_err(|e| e.to_string())?;
             println!(
@@ -333,9 +378,14 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan racing <dir> --prefix P\n\
                  \x20 hoyan routers <dir> --prefix P --device D\n\
                  \x20 hoyan equiv  <dir> --a D1 --b D2\n\
-                 \x20 hoyan sweep  <dir> [--k K]\n\
+                 \x20 hoyan sweep  <dir> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
-                 \x20 hoyan tune   <dir>"
+                 \x20 hoyan tune   <dir>\n\
+                 \n\
+                 global flags (any subcommand):\n\
+                 \x20 --stats            print a span-tree/metrics table after the command\n\
+                 \x20 --stats-json PATH  write the metrics registry as deterministic JSON\n\
+                 \x20 --quiet            suppress degradation warnings on stderr"
             );
             Ok(())
         }

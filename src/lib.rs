@@ -22,6 +22,8 @@
 //!   for the performance comparisons.
 //! - [`topogen`] — seeded generators for WAN topologies, configurations and
 //!   fault/error-injection workloads.
+//! - [`obs`] — hermetic tracing spans and the process-wide metrics registry
+//!   behind the CLI's `--stats`/`--stats-json` output.
 //!
 //! ## Quickstart
 //!
@@ -49,5 +51,6 @@ pub use hoyan_core as core;
 pub use hoyan_device as device;
 pub use hoyan_logic as logic;
 pub use hoyan_nettypes as nettypes;
+pub use hoyan_obs as obs;
 pub use hoyan_topogen as topogen;
 pub use hoyan_tuner as tuner;

@@ -119,6 +119,53 @@ fn audit_rejects_ip_conflict() {
 }
 
 #[test]
+fn stats_json_export_has_required_keys() {
+    let dir = tempdir("stats");
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let json_path = dir.join("stats.json");
+    let out = hoyan()
+        .args([
+            "sweep",
+            dir.to_str().unwrap(),
+            "--k",
+            "1",
+            "--stats",
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --stats prints the human-readable table after the command output.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("spans (total / max / count):"), "{stdout}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    // Parses well enough: balanced structure and every required top-level
+    // key of the schema present.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    for key in ["\"schema\"", "\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // Counters from every instrumented subsystem are present (zeroed when
+    // the subcommand didn't exercise them).
+    for sub in ["propagate.", "isis.", "verify.", "bdd.", "sat.", "tuner."] {
+        assert!(json.contains(&format!("\"{sub}")), "missing {sub}* in:\n{json}");
+    }
+    // The sweep actually recorded work and span timings.
+    assert!(!json.contains("\"propagate.runs\": 0"), "{json}");
+    assert!(json.contains("\"verify.sweep\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn malformed_config_reports_file_and_line() {
     let dir = tempdir("bad");
     std::fs::write(dir.join("X.cfg"), "hostname X\nbogus command here\n").unwrap();

@@ -98,7 +98,7 @@ fn manifest_paths() -> Vec<PathBuf> {
             paths.push(manifest);
         }
     }
-    assert!(paths.len() >= 9, "expected the workspace's member manifests, got {paths:?}");
+    assert!(paths.len() >= 12, "expected the workspace's member manifests, got {paths:?}");
     paths
 }
 

@@ -1,0 +1,72 @@
+//! Determinism of the `--stats-json` export: for a fixed seeded workload,
+//! the `counters` and `histograms` sections must be byte-identical across
+//! repeated runs and across thread counts (they count *work*, which does not
+//! depend on scheduling). Gauges and spans are exempt by contract — gauges
+//! may reflect runtime configuration (e.g. `verify.fanout_threads`) and
+//! spans carry wall-clock time.
+//!
+//! Each CLI invocation is a fresh process, so the process-wide registry
+//! starts empty every time — no cross-run state to control for.
+
+use std::process::Command;
+
+fn hoyan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hoyan"))
+}
+
+/// The `"counters"` and `"histograms"` sections of the export, verbatim.
+/// The exporter emits sections in a fixed order (counters, gauges,
+/// histograms, spans), so slicing between the section keys is exact.
+fn deterministic_sections(json: &str) -> String {
+    let slice = |from: &str, to: &str| {
+        let start = json.find(from).unwrap_or_else(|| panic!("no {from} in:\n{json}"));
+        let end = json.find(to).unwrap_or_else(|| panic!("no {to} in:\n{json}"));
+        &json[start..end]
+    };
+    let mut out = String::new();
+    out.push_str(slice("\"counters\"", "\"gauges\""));
+    out.push_str(slice("\"histograms\"", "\"spans\""));
+    out
+}
+
+fn sweep_stats_json(dir: &std::path::Path, threads: &str, tag: &str) -> String {
+    let json_path = dir.join(format!("stats-{tag}.json"));
+    let out = hoyan()
+        .args([
+            "sweep",
+            dir.to_str().unwrap(),
+            "--k",
+            "1",
+            "--threads",
+            threads,
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::read_to_string(&json_path).unwrap()
+}
+
+#[test]
+fn counters_are_identical_across_runs_and_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("hoyan-obs-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let baseline = deterministic_sections(&sweep_stats_json(&dir, "1", "t1"));
+    assert!(baseline.contains("\"propagate.runs\""), "{baseline}");
+    for (threads, tag) in [("1", "t1-again"), ("2", "t2"), ("4", "t4")] {
+        let got = deterministic_sections(&sweep_stats_json(&dir, threads, tag));
+        assert_eq!(
+            baseline, got,
+            "counters/histograms must not depend on scheduling (threads={threads})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
