@@ -4,7 +4,12 @@
 //!
 //! Usage: `experiments <id>|all [--quick]`
 //! where `<id>` ∈ {fig7, fig8-13, fig14, fig15, fig16, table2, table3,
-//! table4, table5, formulas}.
+//! table4, table5, formulas, incremental}.
+//!
+//! `incremental` is not a paper figure: it measures the snapshot/delta
+//! pipeline (fresh full sweep vs `Verifier::reverify` against a cached
+//! baseline) at several perturbation sizes and writes
+//! `BENCH_incremental.json`.
 //!
 //! Absolute numbers will differ from the paper (different hardware and a
 //! synthetic WAN); the *shapes* — who wins, by how much, where the cost
@@ -14,10 +19,12 @@ use std::time::{Duration, Instant};
 
 use hoyan_baselines::{BatfishLike, MinesweeperLike, PlanktonLike};
 use hoyan_bench::{fmt_dur, Cdf};
+use hoyan_config::ConfigSnapshot;
 use hoyan_core::{packet_reach, NetworkModel, Verifier};
 use hoyan_device::{Packet, VsbProfile};
 use hoyan_nettypes::{Ipv4Prefix, NodeId};
-use hoyan_topogen::{UpdatePlan, Wan, WanSpec};
+use hoyan_rt::bench::BenchSuite;
+use hoyan_topogen::{PerturbationPlan, UpdatePlan, Wan, WanSpec};
 use hoyan_tuner::{ModelRegistry, Validator};
 
 fn main() {
@@ -55,6 +62,9 @@ fn main() {
     }
     if run("formulas") {
         formulas();
+    }
+    if run("incremental") {
+        incremental(quick);
     }
 }
 
@@ -554,6 +564,76 @@ fn table45(name: &str, spec: WanSpec, quick: bool) {
     );
     println!(" [paper small: Hoyan 3-14s; Minesweeper 1555-7430s; Batfish 28s->24h; Plankton 50s->24h]");
     println!(" [paper medium: Hoyan 14-176s; all alternatives hours to >24h]");
+    println!();
+}
+
+// ------------------------------------------------------- Incremental sweep
+
+/// Incremental re-verification: fresh full sweep vs `reverify` against a
+/// cached baseline, for growing perturbation counts. Both cells include the
+/// post-change model + IS-IS build (any real pipeline pays it); the delta
+/// cell additionally skips the clean families. Emits `BENCH_incremental.json`.
+fn incremental(quick: bool) {
+    let spec = if quick {
+        WanSpec::tiny(42)
+    } else {
+        // ≥40 devices: the scale where family selectivity starts to matter.
+        WanSpec {
+            seed: 42,
+            regions: 3,
+            pes_per_region: 4,
+            mans_per_region: 2,
+            prefixes_per_pe: 2,
+            extra_core_links: 2,
+        }
+    };
+    let wan = spec.build();
+    println!(
+        "=== Incremental re-verification ({} devices, {} customer prefixes) ===",
+        wan.device_count(),
+        wan.customer_prefixes.len()
+    );
+    let k = 1u32;
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+    let baseline = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3))
+        .expect("baseline verifier");
+    let t0 = Instant::now();
+    let (_, cache) = baseline
+        .verify_all_routes_cached(k, threads)
+        .expect("baseline sweep");
+    println!(" baseline sweep ({} families): {}", cache.len(), fmt_dur(t0.elapsed()));
+    let snap_a = ConfigSnapshot::new(wan.configs.clone());
+
+    let mut suite = BenchSuite::new("incremental");
+    let sizes: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let samples = if quick { 2 } else { 5 };
+    for &n in sizes {
+        // Origin-local perturbations (new announcements, static-preference
+        // retunes): the workload where the dependency index pays off.
+        let plan = PerturbationPlan::generate_local(&wan, 9000 + n as u64, n);
+        let edited = plan.apply(&wan.configs);
+        let delta = snap_a.diff(&ConfigSnapshot::new(edited.clone()));
+        let probe = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3))
+            .expect("verifier");
+        let outcome = probe.reverify(&delta, &cache, k, threads).expect("reverify");
+        println!(
+            " {n} perturbation(s): {} family(ies) recomputed, {} reused",
+            outcome.recomputed, outcome.reused
+        );
+        suite.bench_with_samples(&format!("fresh/{n}"), samples, &mut || {
+            Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3))
+                .expect("verifier")
+                .verify_all_routes(k, threads)
+                .expect("sweep")
+        });
+        suite.bench_with_samples(&format!("reverify/{n}"), samples, &mut || {
+            Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3))
+                .expect("verifier")
+                .reverify(&delta, &cache, k, threads)
+                .expect("reverify")
+        });
+    }
+    suite.finish();
     println!();
 }
 

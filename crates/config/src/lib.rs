@@ -20,12 +20,21 @@
 //!
 //! Topology is derived from the configs themselves: two devices are linked
 //! when each has an interface whose `peer` names the other.
+//!
+//! [`diff`] adds the snapshot stage of the incremental pipeline:
+//! [`ConfigSnapshot`] (parsed IR + stable per-device content hashes) and
+//! [`SnapshotDelta`] (added/removed/modified devices and links, with
+//! change-kind classification).
 
+pub mod diff;
 pub mod emit;
 pub mod ir;
 pub mod parse;
 pub mod update;
 
+pub use diff::{
+    content_hash, declared_peers, ConfigSnapshot, DeviceRef, ModifiedDevice, SnapshotDelta,
+};
 pub use ir::{
     AclEntry, AclProto, Action, Aggregate, BgpConfig, CommunityList, DeviceConfig,
     IgpKind, InterfaceConfig, IsisConfig, IsisLevel, MatchClause, Neighbor, PrefixList, PrefixListEntry,

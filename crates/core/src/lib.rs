@@ -21,6 +21,7 @@ pub mod network;
 pub mod packet;
 pub mod propagate;
 pub mod racing;
+pub mod snapshot;
 pub mod topology;
 pub mod verify;
 
@@ -28,7 +29,15 @@ pub use fib::{fib_rules_for, is_gateway, FibAction, FibRule};
 pub use isis::{IsisDb, IsisHop};
 pub use network::{BgpSession, NetworkModel};
 pub use packet::{packet_reach, packet_reach_ecmp, EcmpMode, PacketWalk};
-pub use propagate::{Entry, Mode, Proto, PruneStats, RibView, SimError, Simulation, LOCAL_WEIGHT};
+pub use propagate::{
+    DepTrace, Entry, Mode, Proto, PruneStats, RibView, SimError, Simulation, LOCAL_WEIGHT,
+};
 pub use racing::{racing_check, RacingReport};
+pub use snapshot::{
+    classify_family, CachedFamily, CachedPrefixReport, CompiledNetwork, DirtyReason, FamilyCache,
+    FamilyDeps,
+};
 pub use topology::{Topology, TopologyError};
-pub use verify::{EquivalenceReport, PrefixReport, ReachReport, Verifier, VerifierError};
+pub use verify::{
+    EquivalenceReport, PrefixReport, ReachReport, ReverifyOutcome, Verifier, VerifierError,
+};

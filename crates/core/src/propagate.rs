@@ -88,6 +88,29 @@ impl PruneStats {
     }
 }
 
+/// The dependency trace of a simulation: which devices and links its
+/// propagation touched. Recorded on the producer side ([`Simulation`]
+/// fills it during `seed`/`deliver`/`emit`), consumed by the incremental
+/// verifier's dirty rules (`crate::snapshot`): a configuration change on a
+/// device no family ever touched cannot alter that family's fixpoint.
+///
+/// The sets are over-approximations of influence *at the simulated failure
+/// budget `k`*: a larger budget can route messages through devices this
+/// trace never saw, so traces must only be reused at the budget they were
+/// recorded at.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DepTrace {
+    /// Nodes that seeded a local entry (origin announcements, statics via
+    /// redistribution).
+    pub origin_nodes: std::collections::BTreeSet<u32>,
+    /// Every node that participated: seeded an entry, sent a message, or
+    /// was offered one (counted even when ingress dropped it — the
+    /// receiver's config decided the drop).
+    pub touched_nodes: std::collections::BTreeSet<u32>,
+    /// Links that carried (or conditioned) an emitted message.
+    pub touched_links: std::collections::BTreeSet<u32>,
+}
+
 /// Simulation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
@@ -235,6 +258,9 @@ pub struct Simulation<'n> {
     /// Largest condition (BDD node count) seen on any message or rule —
     /// the Figure 11 metric.
     pub max_cond_size: usize,
+    /// Devices and links this simulation's propagation touched (the
+    /// dependency index of the incremental pipeline).
+    pub deps: DepTrace,
 }
 
 impl<'n> Simulation<'n> {
@@ -331,6 +357,7 @@ impl<'n> Simulation<'n> {
             isis_db,
             stats: PruneStats::default(),
             max_cond_size: 0,
+            deps: DepTrace::default(),
         }
     }
 
@@ -499,6 +526,8 @@ impl<'n> Simulation<'n> {
                         proto: Proto::Isis,
                         path: vec![n],
                     };
+                    self.deps.origin_nodes.insert(n.0);
+                    self.deps.touched_nodes.insert(n.0);
                     self.insert_entry(n, entry);
                     self.mark_dirty(n, prefix);
                 }
@@ -545,6 +574,8 @@ impl<'n> Simulation<'n> {
                                 proto: Proto::Bgp,
                                 path: vec![n],
                             };
+                            self.deps.origin_nodes.insert(n.0);
+                            self.deps.touched_nodes.insert(n.0);
                             self.insert_entry(n, entry);
                             self.mark_dirty(n, p);
                         }
@@ -1135,6 +1166,9 @@ impl<'n> Simulation<'n> {
             }
         }
         self.note_cond(cond);
+        if let Some(link) = ch.link {
+            self.deps.touched_links.insert(link.0);
+        }
         let mut path = e.path.clone();
         path.push(ch.peer);
         let key = MsgKey {
@@ -1165,6 +1199,11 @@ impl<'n> Simulation<'n> {
         path: &[NodeId],
         ibgp_hops: u32,
     ) -> Option<u64> {
+        // Both endpoints join the dependency trace *before* any drop
+        // decision: the receiver's config is consulted below, so a change
+        // to it can flip the outcome even when this delivery is dropped.
+        self.deps.touched_nodes.insert(from.0);
+        self.deps.touched_nodes.insert(to.0);
         // A node relaying a route it already relayed = loop.
         if path[..path.len() - 1].contains(&to) {
             self.stats.dropped_policy += 1;

@@ -8,9 +8,10 @@
 //! [`Verifier::verify_all_routes`] fans out across threads (CPU-bound work
 //! on scoped threads, per the networking guides — no async runtime).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hoyan_config::{DeviceConfig, Vendor};
+use hoyan_config::{DeviceConfig, SnapshotDelta, Vendor};
 use hoyan_device::{Packet, VsbProfile};
 use hoyan_nettypes::{Ipv4Prefix, NodeId};
 
@@ -19,6 +20,10 @@ use crate::network::NetworkModel;
 use crate::packet::packet_reach;
 use crate::propagate::{PruneStats, SimError, Simulation};
 use crate::racing::{racing_check, RacingReport};
+use crate::snapshot::{
+    classify_family, CachedFamily, CachedPrefixReport, CompiledNetwork, DirtyReason, FamilyCache,
+    FamilyDeps,
+};
 use crate::topology::TopologyError;
 
 /// Construction failure.
@@ -107,12 +112,18 @@ pub struct PrefixReport {
 
 /// The configuration verifier.
 pub struct Verifier {
-    /// The network model under verification.
-    pub net: NetworkModel,
+    /// The network model under verification (shared with the
+    /// [`CompiledNetwork`] it was built from).
+    pub net: Arc<NetworkModel>,
     /// Conditioned IS-IS database (iBGP session conditions, IGP metrics).
-    pub isis: IsisDb,
+    pub isis: Arc<IsisDb>,
+    isis_k: Option<u32>,
     known_prefixes: Vec<Ipv4Prefix>,
     sweep_stats: std::sync::Mutex<PruneStats>,
+    /// Dependency traces from *unbounded-budget* runs (role-equivalence
+    /// simulations). Budgeted sweep traces are deliberately kept out: a
+    /// trace at budget `k` can miss devices an unbounded run reaches.
+    equiv_deps: std::sync::Mutex<std::collections::HashMap<Vec<Ipv4Prefix>, FamilyDeps>>,
 }
 
 impl Verifier {
@@ -125,22 +136,41 @@ impl Verifier {
         profile: impl Fn(Vendor) -> VsbProfile,
         isis_k: Option<u32>,
     ) -> Result<Verifier, VerifierError> {
-        let net = NetworkModel::from_configs(configs, profile)?;
-        let isis = IsisDb::build(&net, isis_k)?;
+        Ok(Verifier::from_compiled(CompiledNetwork::build(
+            configs, profile, isis_k,
+        )?))
+    }
+
+    /// Wraps an already-compiled network (the model and IS-IS database are
+    /// shared, not rebuilt — the point of the snapshot → compiled-network
+    /// pipeline).
+    pub fn from_compiled(compiled: CompiledNetwork) -> Verifier {
         let mut known = std::collections::BTreeSet::new();
-        for dev in &net.devices {
+        for dev in &compiled.net.devices {
             if let Some(bgp) = dev.config.bgp.as_ref() {
                 known.extend(bgp.networks.iter().copied());
                 known.extend(bgp.aggregates.iter().map(|a| a.prefix));
             }
             known.extend(dev.config.static_routes.iter().map(|s| s.prefix));
         }
-        Ok(Verifier {
-            net,
-            isis,
+        Verifier {
+            net: compiled.net,
+            isis: compiled.isis,
+            isis_k: compiled.isis_k,
             known_prefixes: known.into_iter().collect(),
             sweep_stats: std::sync::Mutex::new(PruneStats::default()),
-        })
+            equiv_deps: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// A cheap handle to the verifier's compiled network (two `Arc`
+    /// clones); other verifiers or queries can share it.
+    pub fn compiled(&self) -> CompiledNetwork {
+        CompiledNetwork {
+            net: Arc::clone(&self.net),
+            isis: Arc::clone(&self.isis),
+            isis_k: self.isis_k,
+        }
     }
 
     /// Aggregated pruning statistics across every family simulated by
@@ -303,12 +333,38 @@ impl Verifier {
 
     /// Role equivalence (§7.2): do two devices receive the same routes and
     /// build the same RIBs (attribute-wise) for every known prefix?
+    ///
+    /// Families whose propagation touched neither device cannot distinguish
+    /// them (both RIBs are empty for every prefix in the family), so they
+    /// are skipped when a previous *unbounded* run recorded the family's
+    /// dependency trace. The cache self-primes: each simulated family's
+    /// trace is recorded, so repeated equivalence checks over the same
+    /// snapshot converge to simulating only the families that matter.
     pub fn role_equivalence(&self, a: &str, b: &str) -> Result<EquivalenceReport, SimError> {
         let na = self.net.topology.node(a).expect("unknown device");
         let nb = self.net.topology.node(b).expect("unknown device");
+        let an = self.net.topology.name(na);
+        let bn = self.net.topology.name(nb);
         for fam in self.families() {
+            let skip = {
+                let deps = self.equiv_deps.lock().unwrap_or_else(|p| p.into_inner());
+                deps.get(&fam).is_some_and(|d| {
+                    !d.touched_devices.contains(an) && !d.touched_devices.contains(bn)
+                })
+            };
+            if skip {
+                hoyan_obs::metric!(counter "verify.equiv_families_skipped").inc();
+                continue;
+            }
             let mut sim = Simulation::new_bgp(&self.net, fam.clone(), None, Some(&self.isis));
             sim.run()?;
+            self.equiv_deps
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(
+                    fam.clone(),
+                    FamilyDeps::from_trace(&sim.deps, &self.net.topology),
+                );
             for p in fam {
                 // Equivalent roles receive the same updates with the same
                 // attributes over the same kinds of sessions.
@@ -408,20 +464,25 @@ impl Verifier {
             .collect())
     }
 
-    /// Full-network route-reachability sweep: simulates every prefix family
-    /// at budget `k` and reports per-prefix timings, statistics and fragile
-    /// devices. Families are processed in parallel on `threads` scoped
-    /// `std::thread`s (CPU-bound work, no async runtime).
+    /// Simulates the given prefix families at budget `k` on `threads` scoped
+    /// `std::thread`s (CPU-bound work, no async runtime) and returns each
+    /// family's reports plus the dependency trace its propagation recorded.
+    /// Results come back ordered by family index, so callers see the same
+    /// sequence for any thread count.
     ///
     /// Determinism: a family's reports are pushed atomically (all or
     /// nothing), a failed worker flips `failed` *before* publishing its
     /// error so peers stop claiming and publishing, and the final list is
-    /// sorted by prefix — so the output is identical for any thread count
-    /// (see `tests/determinism.rs`).
-    pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
+    /// sorted by family index — so the output is identical for any thread
+    /// count (see `tests/determinism.rs`).
+    fn sweep_families(
+        &self,
+        families: &[Vec<Ipv4Prefix>],
+        k: u32,
+        threads: usize,
+    ) -> Result<Vec<FamilySweep>, SimError> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         let _sweep = hoyan_obs::span("verify.sweep");
-        let families = self.families();
         // Fan-out occupancy: thread-count-dependent by nature, so a gauge
         // (the determinism contract covers counters/histograms only).
         hoyan_obs::metric!(gauge "verify.fanout_threads").record_max(threads.max(1) as u64);
@@ -508,7 +569,11 @@ impl Verifier {
                         results
                             .lock()
                             .unwrap_or_else(|p| p.into_inner())
-                            .extend(family_reports);
+                            .push(FamilySweep {
+                                index: i,
+                                reports: family_reports,
+                                deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
+                            });
                     })
                 })
                 .collect();
@@ -528,12 +593,190 @@ impl Verifier {
             return Err(e);
         }
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
-        out.sort_by_key(|r| r.prefix);
+        out.sort_by_key(|f| f.index);
+        Ok(out)
+    }
+
+    /// Publishes the sweep-wide gauges from the aggregate prune stats.
+    fn flush_sweep_gauges(&self) {
         let agg = self.sweep_stats();
         hoyan_obs::metric!(gauge "verify.sweep_delivered").set(agg.delivered);
         hoyan_obs::metric!(gauge "verify.sweep_dropped")
             .set(agg.dropped_policy + agg.dropped_over_k + agg.dropped_impossible);
         hoyan_obs::metric!(gauge "verify.sweep_max_formula_len").record_max(agg.max_formula_len);
+    }
+
+    /// Full-network route-reachability sweep: simulates every prefix family
+    /// at budget `k` and reports per-prefix timings, statistics and fragile
+    /// devices. Families are processed in parallel on `threads` scoped
+    /// threads; output is sorted by prefix and identical for any thread
+    /// count (see `tests/determinism.rs`).
+    pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
+        let families = self.families();
+        let swept = self.sweep_families(&families, k, threads)?;
+        let mut out: Vec<PrefixReport> = swept.into_iter().flat_map(|f| f.reports).collect();
+        out.sort_by_key(|r| r.prefix);
+        self.flush_sweep_gauges();
         Ok(out)
     }
+
+    /// Like [`Verifier::verify_all_routes`], but also returns a
+    /// [`FamilyCache`] mapping every simulated family to its reports and the
+    /// dependency trace recorded during propagation — the baseline for
+    /// [`Verifier::reverify`].
+    pub fn verify_all_routes_cached(
+        &self,
+        k: u32,
+        threads: usize,
+    ) -> Result<(Vec<PrefixReport>, FamilyCache), SimError> {
+        let families = self.families();
+        let swept = self.sweep_families(&families, k, threads)?;
+        let mut cache = FamilyCache::new(k);
+        let mut out = Vec::new();
+        for f in swept {
+            cache.insert(CachedFamily {
+                prefixes: families[f.index].clone(),
+                reports: f
+                    .reports
+                    .iter()
+                    .map(|r| CachedPrefixReport::from_report(r, &self.net.topology))
+                    .collect(),
+                deps: f.deps,
+            });
+            out.extend(f.reports);
+        }
+        out.sort_by_key(|r| r.prefix);
+        self.flush_sweep_gauges();
+        Ok((out, cache))
+    }
+
+    /// Classifies every family of *this* (post-change) verifier against a
+    /// baseline cache and delta: `None` means the cached reports are still
+    /// valid, `Some(reason)` means the family must be re-simulated. Pure
+    /// bookkeeping — no simulation runs.
+    pub fn classify_families(
+        &self,
+        delta: &SnapshotDelta,
+        cache: &FamilyCache,
+        k: u32,
+    ) -> Vec<(Vec<Ipv4Prefix>, Option<DirtyReason>)> {
+        self.families()
+            .into_iter()
+            .map(|fam| {
+                let reason = if cache.k != k {
+                    Some(DirtyReason::BudgetChanged)
+                } else {
+                    match cache.get(&fam) {
+                        None => Some(DirtyReason::NotCached),
+                        Some(cf) => classify_family(&fam, &cf.deps, delta),
+                    }
+                };
+                (fam, reason)
+            })
+            .collect()
+    }
+
+    /// Incremental sweep: re-simulates only the families the delta dirtied
+    /// and replays cached reports for the rest. The merged report list is
+    /// byte-identical (modulo wall-clock timings) to a from-scratch
+    /// [`Verifier::verify_all_routes`] of the post-change snapshot; the
+    /// returned cache is the new baseline for the next delta.
+    pub fn reverify(
+        &self,
+        delta: &SnapshotDelta,
+        cache: &FamilyCache,
+        k: u32,
+        threads: usize,
+    ) -> Result<ReverifyOutcome, SimError> {
+        let _sp = hoyan_obs::span("verify.reverify");
+        let mut classifications = self.classify_families(delta, cache, k);
+        let mut reports: Vec<PrefixReport> = Vec::new();
+        let mut new_cache = FamilyCache::new(k);
+        for (fam, reason) in classifications.iter_mut() {
+            if reason.is_some() {
+                continue;
+            }
+            // Clean family: replay the cached reports against the new
+            // topology (node ids may have been renumbered). A hostname that
+            // no longer resolves demotes the family to dirty.
+            let cf = cache.get(fam).expect("clean family must be cached");
+            let replayed: Option<Vec<PrefixReport>> = cf
+                .reports
+                .iter()
+                .map(|r| r.replay(&self.net.topology))
+                .collect();
+            match replayed {
+                Some(rs) => {
+                    // Fold the family's stats into the sweep aggregate so
+                    // `sweep_stats` matches a from-scratch sweep (one
+                    // contribution per family, via its head report).
+                    if let Some(head) = rs.iter().find(|r| r.family_head) {
+                        self.sweep_stats
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .merge(&head.stats);
+                    }
+                    reports.extend(rs);
+                    new_cache.insert(cf.clone());
+                }
+                None => *reason = Some(DirtyReason::ReplayFailed),
+            }
+        }
+        let dirty: Vec<Vec<Ipv4Prefix>> = classifications
+            .iter()
+            .filter(|(_, r)| r.is_some())
+            .map(|(f, _)| f.clone())
+            .collect();
+        let reused = classifications.len() - dirty.len();
+        hoyan_obs::metric!(counter "verify.families_reused").add(reused as u64);
+        hoyan_obs::metric!(counter "verify.families_recomputed").add(dirty.len() as u64);
+        let swept = self.sweep_families(&dirty, k, threads)?;
+        for f in swept {
+            new_cache.insert(CachedFamily {
+                prefixes: dirty[f.index].clone(),
+                reports: f
+                    .reports
+                    .iter()
+                    .map(|r| CachedPrefixReport::from_report(r, &self.net.topology))
+                    .collect(),
+                deps: f.deps,
+            });
+            reports.extend(f.reports);
+        }
+        reports.sort_by_key(|r| r.prefix);
+        self.flush_sweep_gauges();
+        Ok(ReverifyOutcome {
+            reports,
+            cache: new_cache,
+            recomputed: dirty.len(),
+            reused,
+            classifications,
+        })
+    }
+}
+
+/// One family's output from a parallel sweep.
+struct FamilySweep {
+    /// Index into the family list handed to `sweep_families`.
+    index: usize,
+    /// Per-prefix reports, in family order (head first).
+    reports: Vec<PrefixReport>,
+    /// Devices and links the family's propagation touched.
+    deps: FamilyDeps,
+}
+
+/// Result of an incremental [`Verifier::reverify`] sweep.
+pub struct ReverifyOutcome {
+    /// Merged per-prefix reports, sorted by prefix — same shape as
+    /// [`Verifier::verify_all_routes`] output.
+    pub reports: Vec<PrefixReport>,
+    /// The refreshed cache (replayed clean families + re-simulated dirty
+    /// ones), the baseline for the next delta.
+    pub cache: FamilyCache,
+    /// Number of families re-simulated.
+    pub recomputed: usize,
+    /// Number of families replayed from the cache.
+    pub reused: usize,
+    /// Per-family classification (`None` = clean/replayed).
+    pub classifications: Vec<(Vec<Ipv4Prefix>, Option<DirtyReason>)>,
 }

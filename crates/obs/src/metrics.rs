@@ -247,7 +247,10 @@ pub fn register_default_metrics() {
         "tuner.checks",
         "tuner.localization_candidates",
         "tuner.mismatches",
+        "verify.equiv_families_skipped",
         "verify.families",
+        "verify.families_recomputed",
+        "verify.families_reused",
         "verify.prefixes",
         "verify.queries",
     ];

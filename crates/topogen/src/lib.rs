@@ -17,9 +17,11 @@
 //! per-device edits.
 
 pub mod errors;
+pub mod perturb;
 pub mod vsb_scenarios;
 pub mod wan;
 
 pub use errors::{ErrorClass, InjectedUpdate, UpdatePlan};
+pub use perturb::{Perturbation, PerturbationPlan};
 pub use vsb_scenarios::{all_scenarios, scenario, Probe, VsbScenario};
 pub use wan::{Wan, WanSpec};

@@ -1,0 +1,283 @@
+//! Seeded single-change perturbations of a generated WAN.
+//!
+//! The incremental pipeline (`hoyan diff` / `Verifier::reverify`) is
+//! exercised against realistic operator edits: announce a new prefix at a
+//! DC edge, retune a PE's pinning-static preference, change a MAN's
+//! ISP-ingress local-pref, or retune a core link metric. Each
+//! [`Perturbation`] carries a self-contained payload (hostnames + values),
+//! so applying a plan is deterministic and independent of the RNG that
+//! chose it — the property tests replay plans against both the fresh and
+//! the incremental sweep.
+
+use hoyan_config::{DeviceConfig, SetClause};
+use hoyan_nettypes::{Ipv4Addr, Ipv4Prefix};
+use hoyan_rt::rng::StdRng;
+
+use crate::wan::Wan;
+
+/// One operator edit, with everything needed to apply it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Perturbation {
+    /// A DC edge announces one more prefix (creates a brand-new family).
+    AddOrigin {
+        /// DC edge hostname.
+        dc: String,
+        /// The newly announced prefix (outside the generator's ranges).
+        prefix: Ipv4Prefix,
+    },
+    /// A PE's pinning static gets a new preference (origin-only change:
+    /// dirties just the families overlapping the static's prefix).
+    StaticPreference {
+        /// PE hostname.
+        pe: String,
+        /// The pinned prefix.
+        prefix: Ipv4Prefix,
+        /// The new preference value.
+        preference: u32,
+    },
+    /// A MAN's ISP-ingress route-map sets a different local-pref (policy
+    /// change: dirties every family whose propagation touches the MAN).
+    PolicyLocalPref {
+        /// MAN hostname.
+        man: String,
+        /// The new local-pref.
+        local_pref: u32,
+    },
+    /// A core link's IS-IS metric changes on both ends (IGP-affecting:
+    /// dirties everything — iBGP session conditions ride on the IGP).
+    LinkMetric {
+        /// One end.
+        a: String,
+        /// The other end.
+        b: String,
+        /// The new metric.
+        metric: u32,
+    },
+}
+
+impl std::fmt::Display for Perturbation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Perturbation::AddOrigin { dc, prefix } => {
+                write!(f, "add-origin {prefix} at {dc}")
+            }
+            Perturbation::StaticPreference {
+                pe,
+                prefix,
+                preference,
+            } => write!(f, "static-preference {prefix} -> {preference} at {pe}"),
+            Perturbation::PolicyLocalPref { man, local_pref } => {
+                write!(f, "policy-local-pref -> {local_pref} at {man}")
+            }
+            Perturbation::LinkMetric { a, b, metric } => {
+                write!(f, "link-metric {a}-{b} -> {metric}")
+            }
+        }
+    }
+}
+
+/// A deterministic list of perturbations for one WAN.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PerturbationPlan {
+    /// The edits, in application order.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl PerturbationPlan {
+    /// Draws `n` perturbations of mixed kinds, deterministic in `seed`.
+    pub fn generate(wan: &Wan, seed: u64, n: usize) -> PerturbationPlan {
+        Self::generate_kinds(wan, seed, n, &[0, 1, 2, 3])
+    }
+
+    /// Draws `n` perturbations that leave the IGP and all policies alone
+    /// (origin edits only) — the workload where incremental re-verification
+    /// shines.
+    pub fn generate_local(wan: &Wan, seed: u64, n: usize) -> PerturbationPlan {
+        Self::generate_kinds(wan, seed, n, &[0, 1])
+    }
+
+    fn generate_kinds(wan: &Wan, seed: u64, n: usize, kinds: &[u8]) -> PerturbationPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pes: Vec<(Ipv4Prefix, String)> = wan
+            .prefix_origin
+            .iter()
+            .filter(|(p, _, pe)| {
+                // Only the pinned (first) prefix of each PE has a static.
+                wan.config(pe)
+                    .map(|c| c.static_routes.iter().any(|s| s.prefix == *p))
+                    .unwrap_or(false)
+            })
+            .map(|(p, _, pe)| (*p, pe.clone()))
+            .collect();
+        let dcs: Vec<String> = wan
+            .prefix_origin
+            .iter()
+            .map(|(_, dc, _)| dc.clone())
+            .collect();
+        let mans: Vec<String> = wan
+            .hostnames()
+            .into_iter()
+            .filter(|h| h.starts_with("MAN"))
+            .map(str::to_string)
+            .collect();
+        let core_pairs: Vec<(String, String)> = wan
+            .hostnames()
+            .into_iter()
+            .filter(|h| h.starts_with("CR") && h.ends_with("x0"))
+            .map(|h| (h.to_string(), h.replace("x0", "x1")))
+            .collect();
+        let mut perturbations = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let p = match kind {
+                0 if !dcs.is_empty() => {
+                    let dc = dcs[rng.gen_range(0..dcs.len())].clone();
+                    // 10.240/16 and up is outside the generator's customer
+                    // (10.0/16-ish) and external (198.18/24) ranges, so each
+                    // added origin is a fresh non-overlapping family.
+                    let prefix =
+                        Ipv4Prefix::new(Ipv4Addr::new(10, 240u8.wrapping_add(i as u8), 0, 0), 24);
+                    Perturbation::AddOrigin { dc, prefix }
+                }
+                1 if !pes.is_empty() => {
+                    let (prefix, pe) = pes[rng.gen_range(0..pes.len())].clone();
+                    // Generated statics all have preference 1; 2..=20 always
+                    // differs yet still beats the PE's eBGP preference 255.
+                    let preference: u32 = rng.gen_range(2..21);
+                    Perturbation::StaticPreference {
+                        pe,
+                        prefix,
+                        preference,
+                    }
+                }
+                2 if !mans.is_empty() => {
+                    let man = mans[rng.gen_range(0..mans.len())].clone();
+                    let local_pref: u32 = rng.gen_range(50..300);
+                    Perturbation::PolicyLocalPref { man, local_pref }
+                }
+                _ if !core_pairs.is_empty() => {
+                    let (a, b) = core_pairs[rng.gen_range(0..core_pairs.len())].clone();
+                    let metric: u32 = rng.gen_range(5..60);
+                    Perturbation::LinkMetric { a, b, metric }
+                }
+                _ => continue,
+            };
+            perturbations.push(p);
+        }
+        PerturbationPlan { perturbations }
+    }
+
+    /// Applies the plan to a configuration snapshot, returning the edited
+    /// copy. Unknown hostnames are ignored (the plan was drawn from the
+    /// same WAN, so they only arise in hand-built tests).
+    pub fn apply(&self, configs: &[DeviceConfig]) -> Vec<DeviceConfig> {
+        let mut out: Vec<DeviceConfig> = configs.to_vec();
+        let find = |out: &mut Vec<DeviceConfig>, name: &str| -> Option<usize> {
+            out.iter().position(|c| c.hostname == name)
+        };
+        for p in &self.perturbations {
+            match p {
+                Perturbation::AddOrigin { dc, prefix } => {
+                    if let Some(i) = find(&mut out, dc) {
+                        if let Some(bgp) = out[i].bgp.as_mut() {
+                            if !bgp.networks.contains(prefix) {
+                                bgp.networks.push(*prefix);
+                            }
+                        }
+                    }
+                }
+                Perturbation::StaticPreference {
+                    pe,
+                    prefix,
+                    preference,
+                } => {
+                    if let Some(i) = find(&mut out, pe) {
+                        for s in out[i].static_routes.iter_mut() {
+                            if s.prefix == *prefix {
+                                s.preference = *preference;
+                            }
+                        }
+                    }
+                }
+                Perturbation::PolicyLocalPref { man, local_pref } => {
+                    if let Some(i) = find(&mut out, man) {
+                        if let Some(rm) = out[i].route_maps.get_mut("RM_ISP_IN") {
+                            for e in rm.entries.iter_mut() {
+                                for s in e.sets.iter_mut() {
+                                    if let SetClause::LocalPref(v) = s {
+                                        *v = *local_pref;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Perturbation::LinkMetric { a, b, metric } => {
+                    for (me, peer) in [(a, b), (b, a)] {
+                        if let Some(i) = find(&mut out, me) {
+                            for itf in out[i].interfaces.iter_mut() {
+                                if itf.peer == *peer {
+                                    itf.link_metric = *metric;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wan::WanSpec;
+
+    #[test]
+    fn deterministic_in_seed_and_applies() {
+        let wan = WanSpec::tiny(11).build();
+        let a = PerturbationPlan::generate(&wan, 3, 4);
+        let b = PerturbationPlan::generate(&wan, 3, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.perturbations.len(), 4);
+        let edited = a.apply(&wan.configs);
+        assert_eq!(edited.len(), wan.configs.len());
+        // At least one device must actually differ.
+        assert_ne!(edited, wan.configs);
+    }
+
+    #[test]
+    fn local_plans_leave_igp_and_policy_alone() {
+        let wan = WanSpec::tiny(11).build();
+        let plan = PerturbationPlan::generate_local(&wan, 9, 6);
+        for p in &plan.perturbations {
+            assert!(matches!(
+                p,
+                Perturbation::AddOrigin { .. } | Perturbation::StaticPreference { .. }
+            ));
+        }
+        let edited = plan.apply(&wan.configs);
+        for (old, new) in wan.configs.iter().zip(&edited) {
+            assert_eq!(old.interfaces, new.interfaces);
+            assert_eq!(old.route_maps, new.route_maps);
+        }
+    }
+
+    #[test]
+    fn static_preference_hits_the_pinned_static() {
+        let wan = WanSpec::tiny(2).build();
+        let pe = wan.config("PE0x0").unwrap();
+        let prefix = pe.static_routes[0].prefix;
+        let plan = PerturbationPlan {
+            perturbations: vec![Perturbation::StaticPreference {
+                pe: "PE0x0".to_string(),
+                prefix,
+                preference: 7,
+            }],
+        };
+        let edited = plan.apply(&wan.configs);
+        let pe2 = edited.iter().find(|c| c.hostname == "PE0x0").unwrap();
+        assert_eq!(pe2.static_routes[0].preference, 7);
+    }
+}

@@ -9,10 +9,17 @@
 //! hoyan racing <dir> --prefix 10.0.0.0/24
 //! hoyan routers <dir> --prefix 10.0.0.0/24 --device CR1x0
 //! hoyan equiv  <dir> --a CR0x0 --b CR0x1
-//! hoyan sweep  <dir> [--k 1]
+//! hoyan sweep  <dir> [--k 1] [--baseline <dirA>]
+//! hoyan diff   <dirA> <dirB> [--k 1]
 //! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
 //! hoyan tune   <dir>
 //! ```
+//!
+//! `diff` prints the snapshot delta between two directories and classifies
+//! every prefix family as dirty (must re-simulate) or clean (cached reports
+//! still valid). `sweep --baseline` runs the incremental pipeline: sweep
+//! the baseline once, then re-verify only the dirty families — output is
+//! identical to a from-scratch sweep of the target directory.
 //!
 //! Global flags (any subcommand): `--stats` prints a span-tree/metrics
 //! table, `--stats-json PATH` writes the metrics registry as deterministic
@@ -24,7 +31,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use hoyan::config::{parse_config, DeviceConfig};
+use hoyan::config::{parse_config, ConfigSnapshot, DeviceConfig};
 use hoyan::core::Verifier;
 use hoyan::device::{Packet, VsbProfile};
 use hoyan::nettypes::Ipv4Prefix;
@@ -112,10 +119,24 @@ fn load_dir(dir: &str) -> Result<Vec<DeviceConfig>, String> {
     if paths.is_empty() {
         return Err(format!("no .cfg files in {dir}"));
     }
+    // A bulk snapshot typically has more than one problem; aborting on the
+    // first bad file hides the rest, so collect everything and report once.
+    let mut errors = Vec::new();
     for p in paths {
-        let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
-        let cfg = parse_config(&text).map_err(|e| format!("{}: {e}", p.display()))?;
-        configs.push(cfg);
+        match std::fs::read_to_string(&p) {
+            Err(e) => errors.push(format!("{}: {e}", p.display())),
+            Ok(text) => match parse_config(&text) {
+                Err(e) => errors.push(format!("{}: {e}", p.display())),
+                Ok(cfg) => configs.push(cfg),
+            },
+        }
+    }
+    if !errors.is_empty() {
+        return Err(format!(
+            "{} bad config file(s) in {dir}:\n{}",
+            errors.len(),
+            errors.join("\n")
+        ));
     }
     Ok(configs)
 }
@@ -134,6 +155,54 @@ fn get_k(args: &[String]) -> Result<u32, String> {
     match flag(args, "--k") {
         None => Ok(1),
         Some(v) => v.parse().map_err(|_| format!("bad --k `{v}`")),
+    }
+}
+
+fn get_threads(args: &[String]) -> Result<usize, String> {
+    match flag(args, "--threads") {
+        None => Ok(std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)),
+        Some(t) => t.parse().map_err(|_| format!("bad --threads `{t}`")),
+    }
+}
+
+fn print_delta(delta: &hoyan::config::SnapshotDelta, snap_b: &ConfigSnapshot) {
+    println!(
+        "delta: {} device(s) changed, {} link(s) added, {} link(s) removed{}",
+        delta.device_count(),
+        delta.links_added.len(),
+        delta.links_removed.len(),
+        if delta.igp_affecting {
+            " [IGP-affecting]"
+        } else {
+            ""
+        }
+    );
+    for d in &delta.added {
+        let h = snap_b.device_hash(&d.hostname).unwrap_or(0);
+        println!("  + {} (hash {h:016x})", d.hostname);
+    }
+    for d in &delta.removed {
+        println!("  - {}", d.hostname);
+    }
+    for m in &delta.modified {
+        let h = snap_b.device_hash(&m.hostname).unwrap_or(0);
+        println!("  ~ {} [{}] (hash {h:016x})", m.hostname, m.kinds());
+    }
+    for (a, b) in &delta.links_added {
+        println!("  + link {a}-{b}");
+    }
+    for (a, b) in &delta.links_removed {
+        println!("  - link {a}-{b}");
+    }
+}
+
+fn fam_label(fam: &[Ipv4Prefix]) -> String {
+    match fam.len() {
+        0 => "<empty>".to_string(),
+        1 => fam[0].to_string(),
+        n => format!("{} (+{} more)", fam[0], n - 1),
     }
 }
 
@@ -273,18 +342,54 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => {
             let dir = args.get(1).ok_or("sweep needs a config directory")?;
             let k = get_k(args)?;
-            let v = verifier_for(dir, k)?;
-            let threads = match flag(args, "--threads") {
-                None => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
-                Some(t) => t.parse().map_err(|_| format!("bad --threads `{t}`"))?,
-            };
+            let threads = get_threads(args)?;
             let t0 = std::time::Instant::now();
-            let reports = v.verify_all_routes(k, threads).map_err(|e| e.to_string())?;
-            println!(
-                "swept {} prefixes at k={k} in {:?}",
-                reports.len(),
-                t0.elapsed()
-            );
+            let (v, reports) = match flag(args, "--baseline") {
+                None => {
+                    let v = verifier_for(dir, k)?;
+                    let reports = v.verify_all_routes(k, threads).map_err(|e| e.to_string())?;
+                    println!(
+                        "swept {} prefixes at k={k} in {:?}",
+                        reports.len(),
+                        t0.elapsed()
+                    );
+                    (v, reports)
+                }
+                Some(base_dir) => {
+                    // Incremental path: sweep the baseline once (building the
+                    // dependency-indexed cache), diff, then re-simulate only
+                    // the dirty families of the target directory.
+                    let base_snap = ConfigSnapshot::new(load_dir(&base_dir)?);
+                    let new_snap = ConfigSnapshot::new(load_dir(dir)?);
+                    let delta = base_snap.diff(&new_snap);
+                    let v_base = Verifier::new(
+                        base_snap.into_devices(),
+                        VsbProfile::ground_truth,
+                        Some(k.max(3)),
+                    )
+                    .map_err(|e| format!("baseline model construction failed: {e}"))?;
+                    let (_, cache) = v_base
+                        .verify_all_routes_cached(k, threads)
+                        .map_err(|e| e.to_string())?;
+                    let v = Verifier::new(
+                        new_snap.into_devices(),
+                        VsbProfile::ground_truth,
+                        Some(k.max(3)),
+                    )
+                    .map_err(|e| format!("model construction failed: {e}"))?;
+                    let outcome = v
+                        .reverify(&delta, &cache, k, threads)
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "incremental sweep of {} prefixes at k={k} in {:?}: {} family(ies) recomputed, {} reused",
+                        outcome.reports.len(),
+                        t0.elapsed(),
+                        outcome.recomputed,
+                        outcome.reused
+                    );
+                    (v, outcome.reports)
+                }
+            };
             for r in reports.iter().filter(|r| !r.fragile.is_empty()) {
                 let names: Vec<&str> = r
                     .fragile
@@ -292,6 +397,50 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map(|n| v.net.topology.name(*n))
                     .collect();
                 println!("  {}: not {k}-failure resilient at {:?}", r.prefix, names);
+            }
+            Ok(())
+        }
+        "diff" => {
+            let dir_a = args.get(1).ok_or("diff needs <dirA> <dirB>")?;
+            let dir_b = args.get(2).ok_or("diff needs <dirA> <dirB>")?;
+            let k = get_k(args)?;
+            let threads = get_threads(args)?;
+            let snap_a = ConfigSnapshot::new(load_dir(dir_a)?);
+            let snap_b = ConfigSnapshot::new(load_dir(dir_b)?);
+            let delta = snap_a.diff(&snap_b);
+            print_delta(&delta, &snap_b);
+            if delta.is_empty() {
+                println!("families: all clean (no config changes)");
+                return Ok(());
+            }
+            let v_a = Verifier::new(
+                snap_a.into_devices(),
+                VsbProfile::ground_truth,
+                Some(k.max(3)),
+            )
+            .map_err(|e| format!("model construction failed for {dir_a}: {e}"))?;
+            let (_, cache) = v_a
+                .verify_all_routes_cached(k, threads)
+                .map_err(|e| e.to_string())?;
+            let v_b = Verifier::new(
+                snap_b.into_devices(),
+                VsbProfile::ground_truth,
+                Some(k.max(3)),
+            )
+            .map_err(|e| format!("model construction failed for {dir_b}: {e}"))?;
+            let classes = v_b.classify_families(&delta, &cache, k);
+            let dirty = classes.iter().filter(|(_, r)| r.is_some()).count();
+            println!(
+                "families: {} total, {} dirty, {} clean",
+                classes.len(),
+                dirty,
+                classes.len() - dirty
+            );
+            for (fam, reason) in &classes {
+                match reason {
+                    Some(r) => println!("  DIRTY {}: {r}", fam_label(fam)),
+                    None => println!("  clean {}", fam_label(fam)),
+                }
             }
             Ok(())
         }
@@ -378,7 +527,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan racing <dir> --prefix P\n\
                  \x20 hoyan routers <dir> --prefix P --device D\n\
                  \x20 hoyan equiv  <dir> --a D1 --b D2\n\
-                 \x20 hoyan sweep  <dir> [--k K] [--threads N]\n\
+                 \x20 hoyan sweep  <dir> [--k K] [--threads N] [--baseline <dirA>]\n\
+                 \x20 hoyan diff   <dirA> <dirB> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
                  \x20 hoyan tune   <dir>\n\
                  \n\

@@ -178,3 +178,115 @@ fn malformed_config_reports_file_and_line() {
     assert!(err.contains("X.cfg") && err.contains("line 2"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn all_malformed_configs_are_reported_at_once() {
+    let dir = tempdir("bad-many");
+    std::fs::write(dir.join("GOOD.cfg"), "hostname GOOD\n").unwrap();
+    std::fs::write(dir.join("X.cfg"), "hostname X\nbogus command here\n").unwrap();
+    std::fs::write(dir.join("Y.cfg"), "hostname Y\ninterface eth0\n  bogus-stmt\n").unwrap();
+    let out = hoyan()
+        .args(["scope", dir.to_str().unwrap(), "--prefix", "10.0.0.0/24"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    // One failing run must surface *every* bad file, not just the first.
+    assert!(err.contains("X.cfg") && err.contains("line 2"), "{err}");
+    assert!(err.contains("Y.cfg") && err.contains("line 3"), "{err}");
+    assert!(err.contains("2 bad config file"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Makes a `dirA`/`dirB` pair: a generated tiny WAN and a copy with one
+/// PE static-preference edit.
+fn diff_pair(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let a = tempdir(&format!("{tag}-a"));
+    let b = tempdir(&format!("{tag}-b"));
+    let out = hoyan()
+        .args(["gen", a.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    for entry in std::fs::read_dir(&a).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::copy(&p, b.join(p.file_name().unwrap())).unwrap();
+    }
+    let victim = b.join("PE0x0.cfg");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    let edited = text.replace("preference 1", "preference 9");
+    assert_ne!(edited, text, "tiny WAN PE0x0 must carry a pinning static");
+    std::fs::write(&victim, edited).unwrap();
+    (a, b)
+}
+
+#[test]
+fn diff_classifies_families() {
+    let (a, b) = diff_pair("diff");
+    let out = hoyan()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap(), "--k", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("~ PE0x0"), "{stdout}");
+    assert!(stdout.contains("origins"), "{stdout}");
+    assert!(stdout.contains("DIRTY"), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+    // A one-static edit must not dirty everything on the tiny WAN.
+    assert!(stdout.contains("1 dirty"), "{stdout}");
+
+    // Identical directories: no families classified, delta empty.
+    let out = hoyan()
+        .args(["diff", a.to_str().unwrap(), a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("all clean"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
+fn incremental_sweep_matches_fresh_sweep_output() {
+    let (a, b) = diff_pair("basesweep");
+    let fresh = hoyan()
+        .args(["sweep", b.to_str().unwrap(), "--k", "1", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(fresh.status.success(), "{}", String::from_utf8_lossy(&fresh.stderr));
+    let json_path = a.join("incr-stats.json");
+    let incr = hoyan()
+        .args([
+            "sweep",
+            b.to_str().unwrap(),
+            "--baseline",
+            a.to_str().unwrap(),
+            "--k",
+            "1",
+            "--threads",
+            "2",
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(incr.status.success(), "{}", String::from_utf8_lossy(&incr.stderr));
+    let fresh_out = String::from_utf8_lossy(&fresh.stdout);
+    let incr_out = String::from_utf8_lossy(&incr.stdout);
+    assert!(incr_out.contains("recomputed"), "{incr_out}");
+    // Everything below the summary line (the per-prefix fragility findings)
+    // must be identical between the fresh and incremental sweeps.
+    let body = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(body(&fresh_out), body(&incr_out));
+    // The pinned metrics schema carries the new counters, with real values.
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    for key in ["\"verify.families_recomputed\"", "\"verify.families_reused\""] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert!(!json.contains("\"verify.families_reused\": 0"), "{json}");
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}

@@ -1,0 +1,211 @@
+//! Incremental re-verification correctness: `Verifier::reverify` against a
+//! dependency-indexed family cache must be *indistinguishable* (modulo
+//! wall-clock timings) from a from-scratch `verify_all_routes` of the
+//! post-change snapshot, for random single- and multi-edit perturbations of
+//! a seeded topogen WAN, at any thread count. A separate test pins the
+//! selectivity claim: a one-device origin change on a ≥40-router WAN
+//! recomputes fewer than 30% of the families.
+
+use hoyan::config::ConfigSnapshot;
+use hoyan::core::{PrefixReport, Verifier};
+use hoyan::device::VsbProfile;
+use hoyan::topogen::{Perturbation, PerturbationPlan, WanSpec};
+use hoyan_rt::prop;
+
+/// Everything in a [`PrefixReport`] except the wall-clock timings, which
+/// legitimately vary run to run.
+fn stable_view(r: &PrefixReport) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        r.prefix,
+        r.stats,
+        r.max_cond_len,
+        r.max_reach_formula_len,
+        &r.scope,
+        &r.fragile,
+        r.family_head,
+    )
+}
+
+fn assert_reports_equal(a: &[PrefixReport], b: &[PrefixReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: report counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            stable_view(x),
+            stable_view(y),
+            "{what}: report for {} differs",
+            x.prefix
+        );
+    }
+}
+
+const K: u32 = 1;
+
+/// Runs one baseline→perturbed cycle and checks the incremental sweep
+/// against the fresh one, for both a serial and a parallel thread count.
+fn check_roundtrip(wan_seed: u64, plan_seed: u64, edits: usize) {
+    let wan = WanSpec::tiny(wan_seed).build();
+    let plan = PerturbationPlan::generate(&wan, plan_seed, edits);
+    let edited = plan.apply(&wan.configs);
+
+    let snap_a = ConfigSnapshot::new(wan.configs.clone());
+    let snap_b = ConfigSnapshot::new(edited.clone());
+    let delta = snap_a.diff(&snap_b);
+
+    let v_a = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
+    let (_, cache) = v_a.verify_all_routes_cached(K, 2).unwrap();
+
+    let fresh = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3))
+        .unwrap()
+        .verify_all_routes(K, 2)
+        .unwrap();
+
+    for threads in [1usize, 3] {
+        let v_b = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+        let outcome = v_b.reverify(&delta, &cache, K, threads).unwrap();
+        assert_eq!(
+            outcome.recomputed + outcome.reused,
+            outcome.classifications.len(),
+            "classification bookkeeping (plan {plan:?})"
+        );
+        assert_reports_equal(
+            &fresh,
+            &outcome.reports,
+            &format!("fresh vs reverify@{threads} threads (plan {plan:?})"),
+        );
+    }
+}
+
+#[test]
+fn reverify_matches_fresh_sweep_on_random_perturbations() {
+    prop::check_cases(12, "reverify_matches_fresh_sweep", |g| {
+        let wan_seed = g.range_usize(0..1000) as u64;
+        let plan_seed = g.u64();
+        let edits = g.range_usize(1..3);
+        check_roundtrip(wan_seed, plan_seed, edits);
+    });
+}
+
+#[test]
+fn reverify_handles_empty_delta() {
+    let wan = WanSpec::tiny(5).build();
+    let snap = ConfigSnapshot::new(wan.configs.clone());
+    let delta = snap.diff(&snap);
+    assert!(delta.is_empty());
+    let v = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let (fresh, cache) = v.verify_all_routes_cached(K, 2).unwrap();
+    let v2 = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
+    let outcome = v2.reverify(&delta, &cache, K, 2).unwrap();
+    assert_eq!(outcome.recomputed, 0, "no family may be dirtied");
+    assert_eq!(outcome.reused, cache.len());
+    assert_reports_equal(&fresh, &outcome.reports, "identical snapshot replay");
+}
+
+#[test]
+fn budget_change_dirties_everything() {
+    let wan = WanSpec::tiny(5).build();
+    let snap = ConfigSnapshot::new(wan.configs.clone());
+    let delta = snap.diff(&snap);
+    let v = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let (_, cache) = v.verify_all_routes_cached(K, 2).unwrap();
+    let v2 = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
+    let outcome = v2.reverify(&delta, &cache, 2, 2).unwrap();
+    assert_eq!(outcome.reused, 0, "a budget change must invalidate the cache");
+    let fresh = Verifier::new(
+        WanSpec::tiny(5).build().configs,
+        VsbProfile::ground_truth,
+        Some(3),
+    )
+    .unwrap()
+    .verify_all_routes(2, 2)
+    .unwrap();
+    assert_reports_equal(&fresh, &outcome.reports, "budget-changed reverify");
+}
+
+/// Role equivalence skips families that cannot distinguish the two devices:
+/// the first call over a snapshot primes the unbounded dependency cache,
+/// and subsequent calls skip untouched families — with identical verdicts.
+#[test]
+fn role_equivalence_skips_indistinguishable_families() {
+    // Three regions. For the pair ISP0x0/ISP2x0 the first divergence sits at
+    // the region-0 external family, *after* the region-1 customer family —
+    // which reaches no ISP at all (every MAN egress-filters it). Once the
+    // first call has primed that family's unbounded dependency trace, the
+    // repeat check must skip it: it cannot distinguish the two ISPs.
+    let spec = WanSpec {
+        seed: 7,
+        regions: 3,
+        pes_per_region: 1,
+        mans_per_region: 1,
+        prefixes_per_pe: 1,
+        extra_core_links: 1,
+    };
+    let wan = spec.build();
+    let v = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
+    let skipped = hoyan::obs::counter("verify.equiv_families_skipped");
+    let first = v.role_equivalence("ISP0x0", "ISP2x0").unwrap();
+    let after_first = skipped.get();
+    let second = v.role_equivalence("ISP0x0", "ISP2x0").unwrap();
+    assert_eq!(first.equivalent, second.equivalent);
+    assert_eq!(first.first_difference, second.first_difference);
+    assert!(
+        skipped.get() > after_first,
+        "repeat equivalence checks must skip cached untouched families"
+    );
+    // The core pair is touched by everything; its checks must still agree
+    // with themselves after the cache warmed up.
+    let (a, b) = wan.equiv_pairs[0].clone();
+    let x = v.role_equivalence(&a, &b).unwrap();
+    let y = v.role_equivalence(&a, &b).unwrap();
+    assert_eq!(x.equivalent, y.equivalent);
+}
+
+/// The ISSUE acceptance bar: on a ≥40-router WAN, a single-device origin
+/// change recomputes <30% of the families and reproduces the fresh sweep
+/// byte-identically.
+#[test]
+fn one_device_change_recomputes_under_30_percent() {
+    let spec = WanSpec {
+        seed: 42,
+        regions: 3,
+        pes_per_region: 4,
+        mans_per_region: 2,
+        prefixes_per_pe: 2,
+        extra_core_links: 2,
+    };
+    let wan = spec.build();
+    assert!(wan.device_count() >= 40, "need a ≥40-router WAN");
+
+    let pe = wan.config("PE1x2").unwrap();
+    let prefix = pe.static_routes[0].prefix;
+    let plan = PerturbationPlan {
+        perturbations: vec![Perturbation::StaticPreference {
+            pe: "PE1x2".to_string(),
+            prefix,
+            preference: 5,
+        }],
+    };
+    let edited = plan.apply(&wan.configs);
+    let snap_a = ConfigSnapshot::new(wan.configs.clone());
+    let snap_b = ConfigSnapshot::new(edited.clone());
+    let delta = snap_a.diff(&snap_b);
+
+    let v_a = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
+    let (_, cache) = v_a.verify_all_routes_cached(K, 4).unwrap();
+
+    let v_b = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let outcome = v_b.reverify(&delta, &cache, K, 4).unwrap();
+    let total = outcome.recomputed + outcome.reused;
+    assert!(total > 0);
+    assert!(
+        (outcome.recomputed as f64) < 0.30 * total as f64,
+        "recomputed {}/{} families — not incremental enough",
+        outcome.recomputed,
+        total
+    );
+
+    let fresh = Verifier::new(edited, VsbProfile::ground_truth, Some(3))
+        .unwrap()
+        .verify_all_routes(K, 4)
+        .unwrap();
+    assert_reports_equal(&fresh, &outcome.reports, "selectivity run");
+}
