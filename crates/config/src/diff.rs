@@ -169,6 +169,11 @@ pub struct DeviceRef {
     pub hostname: String,
     /// Every peer the device declares (interfaces + BGP neighbors).
     pub peers: BTreeSet<String>,
+    /// Every prefix the device can originate (networks, aggregates,
+    /// statics). An added device announcing an already-known prefix leaves
+    /// the family's cache key unchanged, so peer intersection alone cannot
+    /// catch it — the dirty rules overlap this set with family prefixes.
+    pub origin_prefixes: BTreeSet<Ipv4Prefix>,
     /// Whether the device has an IGP (IS-IS/OSPF) block.
     pub runs_igp: bool,
 }
@@ -178,6 +183,7 @@ impl DeviceRef {
         DeviceRef {
             hostname: cfg.hostname.clone(),
             peers: declared_peers(cfg),
+            origin_prefixes: origin_fingerprints(cfg).into_keys().collect(),
             runs_igp: cfg.isis.is_some(),
         }
     }
@@ -434,12 +440,15 @@ mod tests {
             acl_in: None,
             acl_out: None,
         });
-        devs.push(cfg("hostname C\ninterface e0\n peer A\nrouter bgp 3\n neighbor A remote-as 1\n"));
+        devs.push(cfg(
+            "hostname C\ninterface e0\n peer A\nrouter bgp 3\n network 10.3.0.0/24\n neighbor A remote-as 1\n",
+        ));
         let b = ConfigSnapshot::new(devs);
         let d = a.diff(&b);
         assert_eq!(d.added.len(), 1);
         assert_eq!(d.added[0].hostname, "C");
         assert!(d.added[0].peers.contains("A"));
+        assert!(d.added[0].origin_prefixes.contains(&"10.3.0.0/24".parse().unwrap()));
         assert_eq!(d.links_added, vec![("A".to_string(), "C".to_string())]);
         // And the reverse direction: C disappears.
         let r = b.diff(&a);

@@ -178,13 +178,18 @@ pub struct FamilyCache {
     /// The failure budget the cache was built at. Traces and reports are
     /// budget-specific; `reverify` refuses to reuse across budgets.
     pub k: u32,
+    /// The IS-IS precomputation budget the baseline verifier was built at.
+    /// Session conditions are conditioned on it, so reports from a cache
+    /// built at a different `isis_k` are not comparable — `reverify`
+    /// refuses to reuse across IS-IS budgets too.
+    pub isis_k: Option<u32>,
     families: HashMap<Vec<Ipv4Prefix>, CachedFamily>,
 }
 
 impl FamilyCache {
-    /// An empty cache for budget `k`.
-    pub fn new(k: u32) -> FamilyCache {
-        FamilyCache { k, families: HashMap::new() }
+    /// An empty cache for sweep budget `k` and IS-IS budget `isis_k`.
+    pub fn new(k: u32, isis_k: Option<u32>) -> FamilyCache {
+        FamilyCache { k, isis_k, families: HashMap::new() }
     }
 
     /// Inserts a family (keyed by its prefix set).
@@ -211,7 +216,8 @@ impl FamilyCache {
 /// Why a family must be re-simulated.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DirtyReason {
-    /// The requested budget differs from the cache's.
+    /// The requested sweep budget `k` or the verifier's IS-IS budget
+    /// `isis_k` differs from the cache's.
     BudgetChanged,
     /// The family (this exact prefix set) is not in the cache — new
     /// prefixes, or an overlap-closure composition change.
@@ -262,7 +268,11 @@ impl std::fmt::Display for DirtyReason {
 /// device's declared-peer set with the touched set; the route reaching the
 /// new session must come *from* a touched device), and (c) origin changes
 /// (seeding reads origin config before any propagation — caught by
-/// overlapping the origin-prefix delta with the family's prefixes).
+/// overlapping the origin-prefix delta with the family's prefixes; for an
+/// added or removed device, its whole origin set *is* the delta, and the
+/// overlap must be checked even when no touched device is involved: an
+/// added device announcing an already-known prefix leaves the family's
+/// cache key unchanged while seeding a new origin).
 pub fn classify_family(
     prefixes: &[Ipv4Prefix],
     deps: &FamilyDeps,
@@ -272,14 +282,25 @@ pub fn classify_family(
         return Some(DirtyReason::IgpChanged);
     }
     let touched = |h: &String| deps.touched_devices.contains(h);
+    let overlaps_family = |origins: &BTreeSet<Ipv4Prefix>| {
+        prefixes
+            .iter()
+            .any(|p| origins.iter().any(|q| p.contains(*q) || q.contains(*p)))
+    };
     for d in &delta.removed {
         if touched(&d.hostname) {
             return Some(DirtyReason::DeviceRemoved(d.hostname.clone()));
+        }
+        if overlaps_family(&d.origin_prefixes) {
+            return Some(DirtyReason::OriginChanged(d.hostname.clone()));
         }
     }
     for d in &delta.added {
         if d.peers.iter().any(touched) {
             return Some(DirtyReason::DeviceAdded(d.hostname.clone()));
+        }
+        if overlaps_family(&d.origin_prefixes) {
+            return Some(DirtyReason::OriginChanged(d.hostname.clone()));
         }
     }
     for m in &delta.modified {
@@ -372,6 +393,41 @@ mod tests {
             Some(DirtyReason::DeviceAdded(z)) if z == "Z"
         ));
         assert_eq!(classify_family(&fam, &deps(&["B"]), &delta), None);
+    }
+
+    #[test]
+    fn added_origin_device_dirties_overlapping_families() {
+        // Z appears announcing a prefix the family already contains, and
+        // attaches (via pre-provisioned mutual config on C) only to a device
+        // the family never touched. The cache key is unchanged and the peer
+        // rule sees nothing — only the origin-overlap rule catches it.
+        let a = cfgs(&[
+            "hostname A\nrouter bgp 1\n network 10.0.0.0/24\n",
+            "hostname C\ninterface e0\n peer Z\nrouter bgp 3\n neighbor Z remote-as 9\n",
+        ]);
+        let mut after = a.clone();
+        after.push(
+            hoyan_config::parse_config(
+                "hostname Z\ninterface e0\n peer C\nrouter bgp 9\n network 10.0.0.0/24\n neighbor C remote-as 3\n",
+            )
+            .unwrap(),
+        );
+        let delta = ConfigSnapshot::new(a.clone()).diff(&ConfigSnapshot::new(after.clone()));
+        let fam: Vec<Ipv4Prefix> = vec!["10.0.0.0/24".parse().unwrap()];
+        assert!(matches!(
+            classify_family(&fam, &deps(&["A"]), &delta),
+            Some(DirtyReason::OriginChanged(z)) if z == "Z"
+        ));
+        // A family Z's origins cannot overlap stays clean.
+        let other: Vec<Ipv4Prefix> = vec!["192.0.2.0/24".parse().unwrap()];
+        assert_eq!(classify_family(&other, &deps(&["A"]), &delta), None);
+        // And removing Z again dirties the overlapping family even when the
+        // cached trace somehow missed it.
+        let rev = ConfigSnapshot::new(after).diff(&ConfigSnapshot::new(a));
+        assert!(matches!(
+            classify_family(&fam, &deps(&["A"]), &rev),
+            Some(DirtyReason::OriginChanged(z)) if z == "Z"
+        ));
     }
 
     #[test]

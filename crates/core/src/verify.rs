@@ -631,7 +631,7 @@ impl Verifier {
     ) -> Result<(Vec<PrefixReport>, FamilyCache), SimError> {
         let families = self.families();
         let swept = self.sweep_families(&families, k, threads)?;
-        let mut cache = FamilyCache::new(k);
+        let mut cache = FamilyCache::new(k, self.isis_k);
         let mut out = Vec::new();
         for f in swept {
             cache.insert(CachedFamily {
@@ -663,7 +663,9 @@ impl Verifier {
         self.families()
             .into_iter()
             .map(|fam| {
-                let reason = if cache.k != k {
+                // Reports depend on both budgets: the sweep's `k` and the
+                // `isis_k` the baseline IS-IS database was conditioned at.
+                let reason = if cache.k != k || cache.isis_k != self.isis_k {
                     Some(DirtyReason::BudgetChanged)
                 } else {
                     match cache.get(&fam) {
@@ -691,7 +693,7 @@ impl Verifier {
         let _sp = hoyan_obs::span("verify.reverify");
         let mut classifications = self.classify_families(delta, cache, k);
         let mut reports: Vec<PrefixReport> = Vec::new();
-        let mut new_cache = FamilyCache::new(k);
+        let mut new_cache = FamilyCache::new(k, self.isis_k);
         for (fam, reason) in classifications.iter_mut() {
             if reason.is_some() {
                 continue;

@@ -126,20 +126,36 @@ impl PerturbationPlan {
             .filter(|h| h.starts_with("CR") && h.ends_with("x0"))
             .map(|h| (h.to_string(), h.replace("x0", "x1")))
             .collect();
+        // AddOrigin prefixes are laid out in 10.240/12 (second octet
+        // 240..=255, edit index spread over the third octet), which caps a
+        // plan at 4096 edits before it would wrap back into the customer
+        // range.
+        assert!(n <= 4096, "perturbation plans cap at 4096 edits");
         let mut perturbations = Vec::with_capacity(n);
         for i in 0..n {
-            let kind = kinds[rng.gen_range(0..kinds.len())];
-            let p = match kind {
-                0 if !dcs.is_empty() => {
+            // Each kind guards its own candidate list and skips the draw
+            // when it is empty — an unavailable kind must never be silently
+            // rewritten into another (a LinkMetric stand-in would break
+            // `generate_local`'s leaves-the-IGP-alone contract).
+            let p = match kinds[rng.gen_range(0..kinds.len())] {
+                0 => {
+                    if dcs.is_empty() {
+                        continue;
+                    }
                     let dc = dcs[rng.gen_range(0..dcs.len())].clone();
-                    // 10.240/16 and up is outside the generator's customer
+                    // 10.240/12 is outside the generator's customer
                     // (10.0/16-ish) and external (198.18/24) ranges, so each
                     // added origin is a fresh non-overlapping family.
-                    let prefix =
-                        Ipv4Prefix::new(Ipv4Addr::new(10, 240u8.wrapping_add(i as u8), 0, 0), 24);
+                    let prefix = Ipv4Prefix::new(
+                        Ipv4Addr::new(10, 240 + (i / 256) as u8, (i % 256) as u8, 0),
+                        24,
+                    );
                     Perturbation::AddOrigin { dc, prefix }
                 }
-                1 if !pes.is_empty() => {
+                1 => {
+                    if pes.is_empty() {
+                        continue;
+                    }
                     let (prefix, pe) = pes[rng.gen_range(0..pes.len())].clone();
                     // Generated statics all have preference 1; 2..=20 always
                     // differs yet still beats the PE's eBGP preference 255.
@@ -150,17 +166,22 @@ impl PerturbationPlan {
                         preference,
                     }
                 }
-                2 if !mans.is_empty() => {
+                2 => {
+                    if mans.is_empty() {
+                        continue;
+                    }
                     let man = mans[rng.gen_range(0..mans.len())].clone();
                     let local_pref: u32 = rng.gen_range(50..300);
                     Perturbation::PolicyLocalPref { man, local_pref }
                 }
-                _ if !core_pairs.is_empty() => {
+                _ => {
+                    if core_pairs.is_empty() {
+                        continue;
+                    }
                     let (a, b) = core_pairs[rng.gen_range(0..core_pairs.len())].clone();
                     let metric: u32 = rng.gen_range(5..60);
                     Perturbation::LinkMetric { a, b, metric }
                 }
-                _ => continue,
             };
             perturbations.push(p);
         }
@@ -261,6 +282,31 @@ mod tests {
         for (old, new) in wan.configs.iter().zip(&edited) {
             assert_eq!(old.interfaces, new.interfaces);
             assert_eq!(old.route_maps, new.route_maps);
+        }
+    }
+
+    #[test]
+    fn empty_candidate_kinds_skip_instead_of_falling_through() {
+        // Strip every pinning static so kind 1 (StaticPreference) has no
+        // candidates: those draws must be skipped, never rewritten into
+        // another kind (a LinkMetric stand-in would violate generate_local's
+        // leaves-the-IGP-alone contract).
+        let mut wan = WanSpec::tiny(11).build();
+        for c in wan.configs.iter_mut() {
+            c.static_routes.clear();
+        }
+        let plan = PerturbationPlan::generate_local(&wan, 9, 40);
+        assert!(!plan.perturbations.is_empty());
+        let band: Ipv4Prefix = "10.240.0.0/12".parse().unwrap();
+        let customer: Ipv4Prefix = "10.0.0.0/12".parse().unwrap();
+        for p in &plan.perturbations {
+            let Perturbation::AddOrigin { prefix, .. } = p else {
+                panic!("empty-candidate draw leaked a non-local edit: {p}");
+            };
+            // Large plans must stay inside 10.240/12, clear of the
+            // generator's customer range — no second-octet wraparound.
+            assert!(band.contains(*prefix), "{prefix} escaped 10.240/12");
+            assert!(!customer.contains(*prefix), "{prefix} collides with customer range");
         }
     }
 

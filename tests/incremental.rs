@@ -121,6 +121,26 @@ fn budget_change_dirties_everything() {
     assert_reports_equal(&fresh, &outcome.reports, "budget-changed reverify");
 }
 
+#[test]
+fn isis_budget_change_dirties_everything() {
+    // Same sweep budget k, but the target verifier's IS-IS database is
+    // conditioned at a different isis_k: cached reports come from a
+    // differently-conditioned baseline and must not be replayed.
+    let wan = WanSpec::tiny(5).build();
+    let snap = ConfigSnapshot::new(wan.configs.clone());
+    let delta = snap.diff(&snap);
+    let v = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let (_, cache) = v.verify_all_routes_cached(K, 2).unwrap();
+    let v2 = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(2)).unwrap();
+    let outcome = v2.reverify(&delta, &cache, K, 2).unwrap();
+    assert_eq!(outcome.reused, 0, "an isis_k change must invalidate the cache");
+    let fresh = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(2))
+        .unwrap()
+        .verify_all_routes(K, 2)
+        .unwrap();
+    assert_reports_equal(&fresh, &outcome.reports, "isis-budget-changed reverify");
+}
+
 /// Role equivalence skips families that cannot distinguish the two devices:
 /// the first call over a snapshot primes the unbounded dependency cache,
 /// and subsequent calls skip untouched families — with identical verdicts.
