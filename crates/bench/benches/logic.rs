@@ -43,6 +43,34 @@ fn bdd_ops(s: &mut BenchSuite) {
             black_box(m.min_failures_to_falsify(black_box(acc)))
         });
     }
+    s.bench("bdd/ite_xor_ladder_24", || {
+        // Pure ITE workload with no ∧/∨ shortcut: xor chains touch the
+        // kernel's general three-operand path and the unified cache.
+        let mut m = BddManager::new();
+        let mut acc = hoyan_logic::Bdd::FALSE;
+        for i in 0..24 {
+            let v = m.var(i);
+            acc = m.xor(acc, v);
+        }
+        black_box(m.size(acc))
+    });
+    s.bench("bdd/gc_churn_rooted_union", || {
+        // Build-and-discard churn with one rooted union: the collector must
+        // keep reclaiming the per-iteration garbage while the root survives.
+        let mut m = BddManager::new();
+        m.set_gc_watermark(512);
+        let mut root = hoyan_logic::Bdd::FALSE;
+        for i in 0..64u32 {
+            let x = m.var(i % 24);
+            let y = m.var((i * 7 + 3) % 24);
+            let path = m.and(x, y);
+            root = m.or(root, path);
+            if m.should_gc() {
+                m.gc([root]);
+            }
+        }
+        black_box(m.live_node_count())
+    });
 }
 
 fn sat(s: &mut BenchSuite) {

@@ -212,7 +212,14 @@ struct MsgKey {
     entry: u64,
 }
 
-type DesiredMsg = (Bdd, RouteAttrs, Option<NodeId>, Ipv4Prefix, Vec<NodeId>, u32);
+type DesiredMsg = (
+    Bdd,
+    RouteAttrs,
+    Option<NodeId>,
+    Ipv4Prefix,
+    Vec<NodeId>,
+    u32,
+);
 
 #[derive(Clone, Debug)]
 struct SentMsg {
@@ -273,6 +280,21 @@ impl<'n> Simulation<'n> {
         k: Option<u32>,
         isis: Option<&'n IsisDb>,
     ) -> Self {
+        Self::new_bgp_in(BddManager::new(), net, prefixes, k, isis)
+    }
+
+    /// Like [`Self::new_bgp`], but building conditions in a caller-supplied
+    /// manager — typically a [`BddManager::recycle`]d arena from a previous
+    /// family, so verifier workers keep one warm arena instead of
+    /// reallocating tables per prefix family. The manager must be fresh or
+    /// recycled (the simulation assumes it owns every node).
+    pub fn new_bgp_in(
+        mgr: BddManager,
+        net: &'n NetworkModel,
+        prefixes: Vec<Ipv4Prefix>,
+        k: Option<u32>,
+        isis: Option<&'n IsisDb>,
+    ) -> Self {
         let channels = (0..net.topology.node_count() as u32)
             .map(|i| {
                 net.sessions_of(NodeId(i))
@@ -288,7 +310,7 @@ impl<'n> Simulation<'n> {
                     .collect()
             })
             .collect();
-        Self::new_inner(net, prefixes, k, Mode::Bgp, channels, isis)
+        Self::new_inner(mgr, net, prefixes, k, Mode::Bgp, channels, isis)
     }
 
     /// An IS-IS path-vector simulation over all router loopbacks.
@@ -322,10 +344,19 @@ impl<'n> Simulation<'n> {
                     .collect()
             })
             .collect();
-        Self::new_inner(net, prefixes, k, Mode::Igp, channels, None)
+        Self::new_inner(
+            BddManager::new(),
+            net,
+            prefixes,
+            k,
+            Mode::Igp,
+            channels,
+            None,
+        )
     }
 
     fn new_inner(
+        mgr: BddManager,
         net: &'n NetworkModel,
         prefixes: Vec<Ipv4Prefix>,
         k: Option<u32>,
@@ -335,13 +366,15 @@ impl<'n> Simulation<'n> {
     ) -> Self {
         let n = net.topology.node_count();
         let igp_dist = if mode == Mode::Bgp {
-            (0..n).map(|i| net.igp_distances(NodeId(i as u32))).collect()
+            (0..n)
+                .map(|i| net.igp_distances(NodeId(i as u32)))
+                .collect()
         } else {
             Vec::new()
         };
         Simulation {
             net,
-            mgr: BddManager::new(),
+            mgr,
             mode,
             k,
             prefixes,
@@ -380,15 +413,8 @@ impl<'n> Simulation<'n> {
         self.sent
             .iter()
             .flat_map(|((from, _prefix), msgs)| {
-                msgs.values().map(|m| {
-                    (
-                        NodeId(*from),
-                        m.receiver,
-                        m.prefix,
-                        m.attrs.clone(),
-                        m.cond,
-                    )
-                })
+                msgs.values()
+                    .map(|m| (NodeId(*from), m.receiver, m.prefix, m.attrs.clone(), m.cond))
             })
             .collect()
     }
@@ -448,12 +474,11 @@ impl<'n> Simulation<'n> {
     /// Seeds origin routes and runs the propagation to fixpoint.
     pub fn run(&mut self) -> Result<(), SimError> {
         self.seed();
-        let cap = 500usize
-            * self.net.topology.node_count().max(1)
-            * self.prefixes.len().max(1);
+        let cap = 500usize * self.net.topology.node_count().max(1) * self.prefixes.len().max(1);
         let debug = std::env::var_os("HOYAN_SIM_DEBUG").is_some();
         let mut steps = 0usize;
         while let Some((u, prefix)) = self.dirty.pop_front() {
+            self.maybe_gc();
             self.in_dirty.remove(&(u, prefix));
             self.process_node_prefix(NodeId(u), prefix);
             steps += 1;
@@ -484,6 +509,32 @@ impl<'n> Simulation<'n> {
         }
         self.flush_metrics(steps);
         Ok(())
+    }
+
+    /// GC safe point, hit between worklist steps: no transient conditions
+    /// are live there, so every meaningful handle is reachable from the
+    /// RIBs, the in-flight messages, or the iBGP session-condition cache.
+    /// Those are the roots the `Simulation` registers with the manager;
+    /// anything else (retracted entries, superseded messages, accumulator
+    /// intermediates) is garbage. The watermark check is O(1), and the
+    /// trigger depends only on this family's own allocation history, so
+    /// collections — and the reports — are identical at any thread count.
+    fn maybe_gc(&mut self) {
+        if !self.mgr.should_gc() {
+            return;
+        }
+        let roots: Vec<Bdd> = self
+            .ribs
+            .values()
+            .flat_map(|entries| entries.iter().map(|e| e.cond))
+            .chain(
+                self.sent
+                    .values()
+                    .flat_map(|msgs| msgs.values().map(|m| m.cond)),
+            )
+            .chain(self.session_conds.values().copied())
+            .collect();
+        self.mgr.gc(roots);
     }
 
     // Fold this run's plain-integer tallies into the process-wide registry
@@ -546,10 +597,8 @@ impl<'n> Simulation<'n> {
                             attrs.weight = LOCAL_WEIGHT;
                             seeds.push(attrs);
                         }
-                        let redistributes_static = bgp
-                            .redistribute
-                            .iter()
-                            .any(|r| *r == RedistSource::Static);
+                        let redistributes_static =
+                            bgp.redistribute.iter().any(|r| *r == RedistSource::Static);
                         if redistributes_static
                             && dev.config.static_routes.iter().any(|s| s.prefix == p)
                             && dev.redistribution_admits(p)
@@ -717,7 +766,11 @@ impl<'n> Simulation<'n> {
     /// Aggregation state at `node` for `agg_prefix`: the trigger condition
     /// (all contributing simulated prefixes present, §5.3) and the list of
     /// contributing prefixes.
-    fn aggregate_trigger(&mut self, node: NodeId, agg_prefix: Ipv4Prefix) -> (Bdd, Vec<Ipv4Prefix>) {
+    fn aggregate_trigger(
+        &mut self,
+        node: NodeId,
+        agg_prefix: Ipv4Prefix,
+    ) -> (Bdd, Vec<Ipv4Prefix>) {
         let mut contributors = Vec::new();
         let mut trigger = Bdd::TRUE;
         let prefixes = self.prefixes.clone();
@@ -886,11 +939,7 @@ impl<'n> Simulation<'n> {
     /// (reachability is then resilient; exact break distances beyond the
     /// budget are outside the simulation's contract anyway, §5.6).
     pub fn reach_cond(&mut self, node: NodeId, prefix: Ipv4Prefix) -> Bdd {
-        let conds: Vec<Bdd> = self
-            .rib(node, prefix)
-            .into_iter()
-            .map(|v| v.cond)
-            .collect();
+        let conds: Vec<Bdd> = self.rib(node, prefix).into_iter().map(|v| v.cond).collect();
         let k = self.k;
         self.mgr.or_all_within(conds, k)
     }
@@ -899,11 +948,7 @@ impl<'n> Simulation<'n> {
     /// formula itself is the object of study (the Figure 13 length metric),
     /// not just its within-budget verdict.
     pub fn reach_cond_exact(&mut self, node: NodeId, prefix: Ipv4Prefix) -> Bdd {
-        let conds: Vec<Bdd> = self
-            .rib(node, prefix)
-            .into_iter()
-            .map(|v| v.cond)
-            .collect();
+        let conds: Vec<Bdd> = self.rib(node, prefix).into_iter().map(|v| v.cond).collect();
         self.mgr.or_all(conds)
     }
 
@@ -921,11 +966,7 @@ impl<'n> Simulation<'n> {
 
         // Desired message set for this prefix.
         let mut desired: HashMap<MsgKey, DesiredMsg> = HashMap::new();
-        let entries: Vec<Entry> = self
-            .ribs
-            .get(&(u.0, prefix))
-            .cloned()
-            .unwrap_or_default();
+        let entries: Vec<Entry> = self.ribs.get(&(u.0, prefix)).cloned().unwrap_or_default();
         if !entries.is_empty() {
             // Cumulative is-best chain over effective conditions, with the
             // §5.6 pruning applied *inside* the chain: the moment the
@@ -1018,8 +1059,15 @@ impl<'n> Simulation<'n> {
                         let channel_kind = self.channel_kind_of(u, key.channel);
                         let (path_o, hops_o) = (old.path.clone(), old.ibgp_hops);
                         let receiver_entry = self.deliver(
-                            u, receiver, channel_kind, prefix, &attrs, cond, next_hop,
-                            &path_o, hops_o,
+                            u,
+                            receiver,
+                            channel_kind,
+                            prefix,
+                            &attrs,
+                            cond,
+                            next_hop,
+                            &path_o,
+                            hops_o,
                         );
                         if let Some(m) = self
                             .sent
@@ -1219,11 +1267,7 @@ impl<'n> Simulation<'n> {
                 };
                 // Find the receiver's neighbor block for the sender.
                 let from_name = self.net.topology.name(from);
-                let Some(neighbor) = dev
-                    .config
-                    .bgp
-                    .as_ref()
-                    .and_then(|b| b.neighbor(from_name))
+                let Some(neighbor) = dev.config.bgp.as_ref().and_then(|b| b.neighbor(from_name))
                 else {
                     self.stats.dropped_policy += 1;
                     return None;
@@ -1246,9 +1290,9 @@ impl<'n> Simulation<'n> {
             }
         };
         let igp_metric = match (self.mode, next_hop) {
-            (Mode::Bgp, Some(nh)) if nh != to => self.igp_dist[to.0 as usize]
-                [nh.0 as usize]
-                .unwrap_or(0),
+            (Mode::Bgp, Some(nh)) if nh != to => {
+                self.igp_dist[to.0 as usize][nh.0 as usize].unwrap_or(0)
+            }
             _ => 0,
         };
         let learned_from = if matches!(kind, ChannelKind::Igp) {

@@ -7,6 +7,18 @@
 //! The cache invalidation rules live in [`classify_family`]; see
 //! DESIGN.md's "Snapshot & delta pipeline" section for the soundness
 //! argument.
+//!
+//! ## Cache entries hold no BDD handles
+//!
+//! Both the fresh and the incremental sweep run families on workers that
+//! keep one warm `BddManager` arena each, recycled between families (see
+//! `Verifier::sweep_families`). A [`CachedPrefixReport`] therefore stores
+//! only plain data — hostnames, counts, formula *lengths* — never `Bdd`
+//! handles: a handle is only meaningful inside the arena segment that
+//! allocated it, and that segment is reset as soon as the family finishes.
+//! `replay` reconstructs reports purely from this plain data, which is what
+//! makes cached families safe to reuse across verifier instances and
+//! processes.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -75,7 +87,11 @@ impl FamilyDeps {
         let link = |id: &u32| {
             let (a, b) = topo.link_ends(LinkId(*id));
             let (a, b) = (topo.name(a).to_string(), topo.name(b).to_string());
-            if a < b { (a, b) } else { (b, a) }
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
         };
         FamilyDeps {
             origin_devices: trace.origin_nodes.iter().map(name).collect(),
@@ -112,9 +128,8 @@ pub struct CachedPrefixReport {
 impl CachedPrefixReport {
     /// Converts a fresh report into cache form.
     pub fn from_report(r: &PrefixReport, topo: &Topology) -> CachedPrefixReport {
-        let names = |ns: &[hoyan_nettypes::NodeId]| {
-            ns.iter().map(|n| topo.name(*n).to_string()).collect()
-        };
+        let names =
+            |ns: &[hoyan_nettypes::NodeId]| ns.iter().map(|n| topo.name(*n).to_string()).collect();
         CachedPrefixReport {
             prefix: r.prefix,
             stats: r.stats,
@@ -189,7 +204,11 @@ pub struct FamilyCache {
 impl FamilyCache {
     /// An empty cache for sweep budget `k` and IS-IS budget `isis_k`.
     pub fn new(k: u32, isis_k: Option<u32>) -> FamilyCache {
-        FamilyCache { k, isis_k, families: HashMap::new() }
+        FamilyCache {
+            k,
+            isis_k,
+            families: HashMap::new(),
+        }
     }
 
     /// Inserts a family (keyed by its prefix set).
@@ -336,7 +355,10 @@ mod tests {
     }
 
     fn cfgs(texts: &[&str]) -> Vec<DeviceConfig> {
-        texts.iter().map(|t| hoyan_config::parse_config(t).unwrap()).collect()
+        texts
+            .iter()
+            .map(|t| hoyan_config::parse_config(t).unwrap())
+            .collect()
     }
 
     #[test]
@@ -364,7 +386,12 @@ mod tests {
     fn origin_overlap_rule() {
         let a = cfgs(&["hostname A\nrouter bgp 1\n network 10.0.0.0/24\n"]);
         let mut after = a.clone();
-        after[0].bgp.as_mut().unwrap().networks.push("10.1.0.0/24".parse().unwrap());
+        after[0]
+            .bgp
+            .as_mut()
+            .unwrap()
+            .networks
+            .push("10.1.0.0/24".parse().unwrap());
         let delta = ConfigSnapshot::new(a).diff(&ConfigSnapshot::new(after));
         let d = deps(&[]); // A not touched by either family under test
         let overlapping: Vec<Ipv4Prefix> = vec!["10.1.0.0/16".parse().unwrap()];
@@ -440,6 +467,9 @@ mod tests {
         after[0].interfaces[0].link_metric = 99;
         let delta = ConfigSnapshot::new(a).diff(&ConfigSnapshot::new(after));
         let fam: Vec<Ipv4Prefix> = vec!["10.0.0.0/24".parse().unwrap()];
-        assert_eq!(classify_family(&fam, &deps(&[]), &delta), Some(DirtyReason::IgpChanged));
+        assert_eq!(
+            classify_family(&fam, &deps(&[]), &delta),
+            Some(DirtyReason::IgpChanged)
+        );
     }
 }

@@ -25,6 +25,7 @@ use crate::snapshot::{
     FamilyDeps,
 };
 use crate::topology::TopologyError;
+use hoyan_logic::BddManager;
 
 /// Construction failure.
 #[derive(Debug)]
@@ -235,7 +236,13 @@ impl Verifier {
         Ok(sim)
     }
 
-    fn reach_report(&self, sim: &mut Simulation<'_>, node: NodeId, prefix: Ipv4Prefix, k: u32) -> ReachReport {
+    fn reach_report(
+        &self,
+        sim: &mut Simulation<'_>,
+        node: NodeId,
+        prefix: Ipv4Prefix,
+        k: u32,
+    ) -> ReachReport {
         let _sp = hoyan_obs::span("verify.query");
         hoyan_obs::metric!(counter "verify.queries").inc();
         let v = sim.reach_cond(node, prefix);
@@ -494,86 +501,107 @@ impl Verifier {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads.max(1))
                 .map(|_| {
-                    s.spawn(|| loop {
-                        if failed.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= families.len() {
-                            break;
-                        }
-                        let fam = &families[i];
-                        let _fam_span = hoyan_obs::span("verify.family");
-                        let t0 = Instant::now();
-                        let sim_span = hoyan_obs::span("verify.sim");
-                        let mut sim =
-                            Simulation::new_bgp(&self.net, fam.clone(), Some(k), Some(&self.isis));
-                        if let Err(e) = sim.run() {
-                            // Keep the first error; later ones lose the race
-                            // but every worker still stops promptly.
-                            error.lock().unwrap_or_else(|p| p.into_inner()).get_or_insert(e);
-                            failed.store(true, Ordering::Release);
-                            break;
-                        }
-                        drop(sim_span);
-                        let sim_time = t0.elapsed();
-                        let mut family_reports = Vec::with_capacity(fam.len());
-                        for (pi, p) in fam.iter().enumerate() {
-                            let _q_span = hoyan_obs::span("verify.query");
-                            let q0 = Instant::now();
-                            let mut scope_nodes = Vec::new();
-                            let mut fragile = Vec::new();
-                            let mut max_len = 0usize;
-                            for n in self.net.topology.nodes() {
-                                let v = sim.reach_cond(n, *p);
-                                if v.is_false() {
-                                    continue;
-                                }
-                                if sim.mgr.eval(v, &[]) {
-                                    scope_nodes.push(n);
-                                    let exact = sim.reach_cond_exact(n, *p);
-                                    max_len = max_len.max(sim.mgr.size(exact));
-                                    if sim.mgr.min_failures_to_falsify(v) <= k {
-                                        fragile.push(n);
+                    s.spawn(|| {
+                        // One warm BDD arena per worker, recycled between
+                        // families: node/table allocations survive, handles
+                        // and tallies do not (each family still accounts —
+                        // and collects — as if it owned a fresh manager, so
+                        // counters stay identical at any thread count).
+                        let mut arena = BddManager::new();
+                        loop {
+                            if failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= families.len() {
+                                break;
+                            }
+                            let fam = &families[i];
+                            let _fam_span = hoyan_obs::span("verify.family");
+                            let t0 = Instant::now();
+                            let sim_span = hoyan_obs::span("verify.sim");
+                            let mut sim = Simulation::new_bgp_in(
+                                std::mem::take(&mut arena),
+                                &self.net,
+                                fam.clone(),
+                                Some(k),
+                                Some(&self.isis),
+                            );
+                            if let Err(e) = sim.run() {
+                                // Keep the first error; later ones lose the race
+                                // but every worker still stops promptly.
+                                error
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .get_or_insert(e);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                            drop(sim_span);
+                            let sim_time = t0.elapsed();
+                            let mut family_reports = Vec::with_capacity(fam.len());
+                            for (pi, p) in fam.iter().enumerate() {
+                                let _q_span = hoyan_obs::span("verify.query");
+                                let q0 = Instant::now();
+                                let mut scope_nodes = Vec::new();
+                                let mut fragile = Vec::new();
+                                let mut max_len = 0usize;
+                                for n in self.net.topology.nodes() {
+                                    let v = sim.reach_cond(n, *p);
+                                    if v.is_false() {
+                                        continue;
+                                    }
+                                    if sim.mgr.eval(v, &[]) {
+                                        scope_nodes.push(n);
+                                        let exact = sim.reach_cond_exact(n, *p);
+                                        max_len = max_len.max(sim.mgr.size(exact));
+                                        if sim.mgr.min_failures_to_falsify(v) <= k {
+                                            fragile.push(n);
+                                        }
                                     }
                                 }
+                                family_reports.push(PrefixReport {
+                                    prefix: *p,
+                                    sim_time,
+                                    query_time: q0.elapsed(),
+                                    stats: sim.stats,
+                                    max_cond_len: sim.max_cond_size,
+                                    max_reach_formula_len: max_len,
+                                    scope: scope_nodes,
+                                    fragile,
+                                    family_head: pi == 0,
+                                });
                             }
-                            family_reports.push(PrefixReport {
-                                prefix: *p,
-                                sim_time,
-                                query_time: q0.elapsed(),
-                                stats: sim.stats,
-                                max_cond_len: sim.max_cond_size,
-                                max_reach_formula_len: max_len,
-                                scope: scope_nodes,
-                                fragile,
-                                family_head: pi == 0,
-                            });
+                            // Re-check *after* the family's work: a peer may have
+                            // errored while we were simulating, and partial
+                            // output must not be published past that point.
+                            if failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // Worker-thread prune stats previously died with the
+                            // sim here; fold each family's into the verifier-wide
+                            // aggregate (one contribution per family, matching a
+                            // single-threaded run).
+                            self.sweep_stats
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .merge(&sim.stats);
+                            hoyan_obs::metric!(counter "verify.families").inc();
+                            hoyan_obs::metric!(counter "verify.prefixes").add(fam.len() as u64);
+                            results
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push(FamilySweep {
+                                    index: i,
+                                    reports: family_reports,
+                                    deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
+                                });
+                            // Reclaim the arena for the next family. Recycle
+                            // flushes this family's tallies exactly like the
+                            // Drop on the error paths would.
+                            arena = sim.into_mgr();
+                            arena.recycle();
                         }
-                        // Re-check *after* the family's work: a peer may have
-                        // errored while we were simulating, and partial
-                        // output must not be published past that point.
-                        if failed.load(Ordering::Acquire) {
-                            break;
-                        }
-                        // Worker-thread prune stats previously died with the
-                        // sim here; fold each family's into the verifier-wide
-                        // aggregate (one contribution per family, matching a
-                        // single-threaded run).
-                        self.sweep_stats
-                            .lock()
-                            .unwrap_or_else(|p| p.into_inner())
-                            .merge(&sim.stats);
-                        hoyan_obs::metric!(counter "verify.families").inc();
-                        hoyan_obs::metric!(counter "verify.prefixes").add(fam.len() as u64);
-                        results
-                            .lock()
-                            .unwrap_or_else(|p| p.into_inner())
-                            .push(FamilySweep {
-                                index: i,
-                                reports: family_reports,
-                                deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
-                            });
                     })
                 })
                 .collect();

@@ -14,8 +14,46 @@
 //!   causes unreachability" query of §5.4).
 //!
 //! Variable index `i` means "link *i* is alive".
+//!
+//! # The ITE kernel
+//!
+//! Every connective is one call into a single explicit-stack
+//! [`BddManager::ite`] apply kernel with one unified operation cache.
+//! `if-then-else` is universal for Boolean connectives:
+//!
+//! ```text
+//! ¬a      = ite(a, F, T)         a ∧ b  = ite(a, b, F)
+//! a ∨ b   = ite(a, T, b)         a ∧ ¬b = ite(b, F, a)
+//! a → b   = ite(a, b, T)         a ⊕ b  = ite(a, ¬b, b)
+//! ```
+//!
+//! so a disjunction is a *single* traversal instead of the De Morgan
+//! triple-negation it used to be, and one `(f, g, h)` cache replaces the
+//! separate and/not caches. The kernel never recurses: deep chain-shaped
+//! conditions (long serial paths) are processed on a heap-allocated task
+//! stack, as are all the other traversals (`import`, `restrict`,
+//! `count_models`, the failure-cost walks).
+//!
+//! # Garbage collection and arena reuse
+//!
+//! Long simulations churn conditions: retracted RIB entries, superseded
+//! message conditions and accumulator intermediates leave dead nodes behind.
+//! [`BddManager::gc`] mark-and-sweeps the arena from a caller-supplied root
+//! set: dead slots go on a free list for reuse by [`mk`](BddManager::var),
+//! the unique table is rebuilt from live nodes, and operation/cost memos are
+//! dropped. Handles are **stable across collection** — nodes are never
+//! moved, so every `Bdd` reachable from a root keeps meaning the same
+//! function; any handle *not* reachable from a root is invalidated.
+//! Owners (see `Simulation` in `hoyan-core`) poll
+//! [`should_gc`](BddManager::should_gc) — a live-node watermark that doubles
+//! after each collection — at safe points where they can enumerate every
+//! live handle.
+//!
+//! [`BddManager::recycle`] resets a manager to its freshly-created state
+//! while keeping the arena and table allocations, so verifier workers reuse
+//! one manager across prefix families instead of reallocating per family.
 
-use std::collections::HashMap;
+use hoyan_rt::hash::{FxHashMap, FxHashSet};
 
 /// A BDD node reference. `Bdd(0)` is FALSE, `Bdd(1)` is TRUE.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -53,6 +91,19 @@ struct Node {
 /// Cost used for "infinitely many failures" (unsatisfiable / unfalsifiable).
 pub const INF_FAILURES: u32 = u32::MAX;
 
+/// Live-node count at which [`BddManager::should_gc`] first trips. After a
+/// collection the watermark grows to twice the surviving live set (never
+/// below this default), so collection work stays amortized O(1) per
+/// allocation even when the live set keeps growing.
+const DEFAULT_GC_WATERMARK: usize = 4096;
+
+/// One frame of the explicit-stack ITE machine: either a subproblem still
+/// to solve, or a reduction waiting for its two cofactor results.
+enum IteFrame {
+    Solve(Bdd, Bdd, Bdd),
+    Reduce { key: (Bdd, Bdd, Bdd), var: u32 },
+}
+
 /// The arena and operation caches for a family of BDDs.
 ///
 /// All [`Bdd`] handles are only meaningful relative to the manager that
@@ -60,31 +111,30 @@ pub const INF_FAILURES: u32 = u32::MAX;
 /// simulations each own a manager; parallelism is across prefixes).
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    and_cache: HashMap<(Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
-    sat_cost: HashMap<Bdd, u32>,
-    falsify_cost: HashMap<Bdd, u32>,
-    /// Lifetime count of and/not operations (diagnostics).
+    /// Dead arena slots available for reuse, produced by [`Self::gc`].
+    free: Vec<u32>,
+    unique: FxHashMap<(u32, Bdd, Bdd), Bdd>,
+    /// The one operation cache: `(f, g, h) -> ite(f, g, h)`.
+    ite_cache: FxHashMap<(Bdd, Bdd, Bdd), Bdd>,
+    sat_cost: FxHashMap<Bdd, u32>,
+    falsify_cost: FxHashMap<Bdd, u32>,
+    gc_watermark: usize,
+    /// Lifetime count of solver steps: ITE expansions plus failure-cost
+    /// node evaluations (diagnostics).
     pub ops: u64,
     unique_hits: u64,
     unique_misses: u64,
-    and_cache_hits: u64,
-    and_cache_misses: u64,
+    ite_cache_hits: u64,
+    ite_cache_misses: u64,
+    gc_runs: u64,
+    nodes_reclaimed: u64,
+    nodes_created: u64,
+    peak_live: usize,
 }
 
 impl Drop for BddManager {
-    // Per-manager tallies are plain integers (hot paths stay atomic-free)
-    // and fold into the process-wide registry once, here.
     fn drop(&mut self) {
-        hoyan_obs::metric!(counter "bdd.managers").inc();
-        hoyan_obs::metric!(counter "bdd.ops").add(self.ops);
-        hoyan_obs::metric!(counter "bdd.unique_hits").add(self.unique_hits);
-        hoyan_obs::metric!(counter "bdd.unique_misses").add(self.unique_misses);
-        hoyan_obs::metric!(counter "bdd.and_cache_hits").add(self.and_cache_hits);
-        hoyan_obs::metric!(counter "bdd.and_cache_misses").add(self.and_cache_misses);
-        hoyan_obs::metric!(counter "bdd.nodes_created").add(self.nodes.len() as u64 - 2);
-        hoyan_obs::metric!(gauge "bdd.peak_nodes").record_max(self.nodes.len() as u64);
+        self.flush_tallies();
     }
 }
 
@@ -104,22 +154,149 @@ impl BddManager {
         };
         BddManager {
             nodes: vec![terminal, terminal],
-            unique: HashMap::new(),
-            and_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            sat_cost: HashMap::new(),
-            falsify_cost: HashMap::new(),
+            free: Vec::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            sat_cost: FxHashMap::default(),
+            falsify_cost: FxHashMap::default(),
+            gc_watermark: DEFAULT_GC_WATERMARK,
             ops: 0,
             unique_hits: 0,
             unique_misses: 0,
-            and_cache_hits: 0,
-            and_cache_misses: 0,
+            ite_cache_hits: 0,
+            ite_cache_misses: 0,
+            gc_runs: 0,
+            nodes_reclaimed: 0,
+            nodes_created: 0,
+            peak_live: 2,
         }
     }
 
-    /// Number of live nodes in the arena (including terminals).
+    /// Folds the per-manager tallies into the process-wide registry and
+    /// zeroes them. Hot paths tally plain integers (atomic-free); the fold
+    /// happens once per manager *lifetime segment* — on [`Self::recycle`]
+    /// and on drop. A segment that did no work flushes nothing, so
+    /// `bdd.managers` counts working managers deterministically regardless
+    /// of how many idle worker arenas a thread pool spins up.
+    fn flush_tallies(&mut self) {
+        let pristine = self.ops == 0
+            && self.nodes_created == 0
+            && self.unique_hits == 0
+            && self.ite_cache_hits == 0
+            && self.ite_cache_misses == 0
+            && self.gc_runs == 0;
+        if pristine {
+            return;
+        }
+        hoyan_obs::metric!(counter "bdd.managers").inc();
+        hoyan_obs::metric!(counter "bdd.ops").add(self.ops);
+        hoyan_obs::metric!(counter "bdd.unique_hits").add(self.unique_hits);
+        hoyan_obs::metric!(counter "bdd.unique_misses").add(self.unique_misses);
+        hoyan_obs::metric!(counter "bdd.ite_cache_hits").add(self.ite_cache_hits);
+        hoyan_obs::metric!(counter "bdd.ite_cache_misses").add(self.ite_cache_misses);
+        hoyan_obs::metric!(counter "bdd.gc_runs").add(self.gc_runs);
+        hoyan_obs::metric!(counter "bdd.nodes_reclaimed").add(self.nodes_reclaimed);
+        hoyan_obs::metric!(counter "bdd.nodes_created").add(self.nodes_created);
+        hoyan_obs::metric!(gauge "bdd.peak_nodes").record_max(self.peak_live as u64);
+        self.ops = 0;
+        self.unique_hits = 0;
+        self.unique_misses = 0;
+        self.ite_cache_hits = 0;
+        self.ite_cache_misses = 0;
+        self.gc_runs = 0;
+        self.nodes_reclaimed = 0;
+        self.nodes_created = 0;
+    }
+
+    /// Resets the manager to its freshly-created state while keeping the
+    /// arena and hash-table allocations warm. Flushes tallies first (a
+    /// recycled segment is accounted like a dropped manager). All
+    /// outstanding [`Bdd`] handles are invalidated.
+    pub fn recycle(&mut self) {
+        self.flush_tallies();
+        self.nodes.truncate(2);
+        self.free.clear();
+        self.unique.clear();
+        self.ite_cache.clear();
+        self.sat_cost.clear();
+        self.falsify_cost.clear();
+        self.gc_watermark = DEFAULT_GC_WATERMARK;
+        self.peak_live = 2;
+    }
+
+    /// Number of live nodes (including terminals): arena slots minus the
+    /// free list.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Alias of [`Self::node_count`], named for the GC contract.
+    pub fn live_node_count(&self) -> usize {
+        self.node_count()
+    }
+
+    /// Whether the live-node watermark has been reached and a [`Self::gc`]
+    /// at the owner's next safe point would be worthwhile.
+    pub fn should_gc(&self) -> bool {
+        self.node_count() >= self.gc_watermark
+    }
+
+    /// Overrides the GC watermark (primarily for tests; clamped to ≥ 8).
+    pub fn set_gc_watermark(&mut self, watermark: usize) {
+        self.gc_watermark = watermark.max(8);
+    }
+
+    /// Mark-and-sweep collection. Every node reachable from `roots` (plus
+    /// the terminals) survives **with its handle unchanged** — nodes are
+    /// never moved, dead slots simply go on a free list for reuse. The
+    /// unique table is rebuilt from the live set and the operation/cost
+    /// memos are dropped (they may reference dead nodes). Returns the
+    /// number of nodes reclaimed.
+    ///
+    /// Contract: after `gc`, any handle that was not reachable from `roots`
+    /// is dangling and must not be used.
+    pub fn gc<I: IntoIterator<Item = Bdd>>(&mut self, roots: I) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<Bdd> = Vec::new();
+        for r in roots {
+            if !marked[r.0 as usize] {
+                marked[r.0 as usize] = true;
+                stack.push(r);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            let n = self.nodes[x.0 as usize];
+            for c in [n.lo, n.hi] {
+                if !marked[c.0 as usize] {
+                    marked[c.0 as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        // Slots already on the free list from a previous collection are
+        // unmarked too; rebuild the list from scratch and count only the
+        // newly reclaimed difference.
+        let previously_free = self.free.len();
+        self.free.clear();
+        self.unique.clear();
+        for i in 2..self.nodes.len() {
+            if marked[i] {
+                let n = self.nodes[i];
+                self.unique.insert((n.var, n.lo, n.hi), Bdd(i as u32));
+            } else {
+                self.free.push(i as u32);
+            }
+        }
+        let reclaimed = self.free.len() - previously_free;
+        self.ite_cache.clear();
+        self.sat_cost.clear();
+        self.falsify_cost.clear();
+        self.gc_runs += 1;
+        self.nodes_reclaimed += reclaimed as u64;
+        self.gc_watermark = self.gc_watermark.max(self.node_count() * 2);
+        reclaimed
     }
 
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
@@ -131,9 +308,24 @@ impl BddManager {
             return n;
         }
         self.unique_misses += 1;
-        let id = Bdd(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
+        self.nodes_created += 1;
+        let node = Node { var, lo, hi };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                Bdd(slot)
+            }
+            None => {
+                let id = Bdd(self.nodes.len() as u32);
+                self.nodes.push(node);
+                id
+            }
+        };
         self.unique.insert((var, lo, hi), id);
+        let live = self.nodes.len() - self.free.len();
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
         id
     }
 
@@ -147,95 +339,131 @@ impl BddManager {
         self.mk(v, Bdd::TRUE, Bdd::FALSE)
     }
 
+    /// Top variable of `b`; terminals sort last (`u32::MAX`), which is how
+    /// they are stored in the arena.
+    #[inline]
+    fn top_var(&self, b: Bdd) -> u32 {
+        self.nodes[b.0 as usize].var
+    }
+
+    /// Shannon cofactors of `b` at `var`. `var` is the minimum top variable
+    /// of the triple being expanded, so `b`'s own top variable is either
+    /// `var` (split) or greater (independent — both cofactors are `b`).
+    #[inline]
+    fn cofactors(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.nodes[b.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        }
+    }
+
+    /// The if-then-else apply kernel: computes the BDD for
+    /// `(f ∧ g) ∨ (¬f ∧ h)` without recursion, memoized in the unified
+    /// operation cache. Every public connective is a thin wrapper over this.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        let mut tasks = vec![IteFrame::Solve(f, g, h)];
+        let mut results: Vec<Bdd> = Vec::new();
+        while let Some(frame) = tasks.pop() {
+            match frame {
+                IteFrame::Solve(mut f, mut g, mut h) => {
+                    // ite(f, f, h) = ite(f, T, h) and ite(f, g, f) =
+                    // ite(f, g, F): fold the test into the branches.
+                    if g == f {
+                        g = Bdd::TRUE;
+                    }
+                    if h == f {
+                        h = Bdd::FALSE;
+                    }
+                    // ∧ and ∨ are commutative: order the operands so both
+                    // argument orders share one cache entry.
+                    if h.is_false() && !g.is_const() && g < f {
+                        std::mem::swap(&mut f, &mut g);
+                    }
+                    if g.is_true() && !h.is_const() && h < f {
+                        std::mem::swap(&mut f, &mut h);
+                    }
+                    let terminal = if f.is_true() {
+                        Some(g)
+                    } else if f.is_false() {
+                        Some(h)
+                    } else if g == h {
+                        Some(g)
+                    } else if g.is_true() && h.is_false() {
+                        Some(f)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = terminal {
+                        results.push(r);
+                        continue;
+                    }
+                    let key = (f, g, h);
+                    if let Some(&r) = self.ite_cache.get(&key) {
+                        self.ite_cache_hits += 1;
+                        results.push(r);
+                        continue;
+                    }
+                    self.ite_cache_misses += 1;
+                    self.ops += 1;
+                    let var = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+                    let (f0, f1) = self.cofactors(f, var);
+                    let (g0, g1) = self.cofactors(g, var);
+                    let (h0, h1) = self.cofactors(h, var);
+                    tasks.push(IteFrame::Reduce { key, var });
+                    tasks.push(IteFrame::Solve(f1, g1, h1));
+                    tasks.push(IteFrame::Solve(f0, g0, h0));
+                }
+                IteFrame::Reduce { key, var } => {
+                    // LIFO: the hi-cofactor solve finished last.
+                    let hi = results.pop().expect("hi cofactor result");
+                    let lo = results.pop().expect("lo cofactor result");
+                    let r = self.mk(var, lo, hi);
+                    self.ite_cache.insert(key, r);
+                    results.push(r);
+                }
+            }
+        }
+        debug_assert_eq!(results.len(), 1);
+        results.pop().expect("ite result")
+    }
+
     /// Logical negation.
     pub fn not(&mut self, a: Bdd) -> Bdd {
-        self.ops += 1;
-        if a.is_false() {
-            return Bdd::TRUE;
-        }
-        if a.is_true() {
-            return Bdd::FALSE;
-        }
-        if let Some(&r) = self.not_cache.get(&a) {
-            return r;
-        }
-        let n = self.nodes[a.0 as usize];
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.var, lo, hi);
-        self.not_cache.insert(a, r);
-        self.not_cache.insert(r, a);
-        r
+        self.ite(a, Bdd::FALSE, Bdd::TRUE)
     }
 
     /// Logical conjunction.
     pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        self.ops += 1;
-        if a.is_false() || b.is_false() {
-            return Bdd::FALSE;
-        }
-        if a.is_true() {
-            return b;
-        }
-        if b.is_true() {
-            return a;
-        }
-        if a == b {
-            return a;
-        }
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.and_cache.get(&key) {
-            self.and_cache_hits += 1;
-            return r;
-        }
-        self.and_cache_misses += 1;
-        let na = self.nodes[a.0 as usize];
-        let nb = self.nodes[b.0 as usize];
-        let (var, alo, ahi, blo, bhi) = if na.var == nb.var {
-            (na.var, na.lo, na.hi, nb.lo, nb.hi)
-        } else if na.var < nb.var {
-            (na.var, na.lo, na.hi, b, b)
-        } else {
-            (nb.var, a, a, nb.lo, nb.hi)
-        };
-        let lo = self.and(alo, blo);
-        let hi = self.and(ahi, bhi);
-        let r = self.mk(var, lo, hi);
-        self.and_cache.insert(key, r);
-        r
+        self.ite(a, b, Bdd::FALSE)
     }
 
-    /// Logical disjunction (via De Morgan to reuse the AND cache).
+    /// Logical disjunction.
     pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        let na = self.not(a);
-        let nb = self.not(b);
-        let n = self.and(na, nb);
-        self.not(n)
+        self.ite(a, Bdd::TRUE, b)
     }
 
-    /// `a && !b`.
+    /// `a && !b`, as the single call `ite(b, F, a)`.
     pub fn and_not(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        let nb = self.not(b);
-        self.and(a, nb)
+        self.ite(b, Bdd::FALSE, a)
     }
 
     /// Logical implication `a -> b`.
     pub fn implies(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        let na = self.not(a);
-        self.or(na, b)
+        self.ite(a, b, Bdd::TRUE)
     }
 
     /// Logical biconditional `a <-> b`.
     pub fn iff(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        let i1 = self.implies(a, b);
-        let i2 = self.implies(b, a);
-        self.and(i1, i2)
+        let nb = self.not(b);
+        self.ite(a, b, nb)
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        let e = self.iff(a, b);
-        self.not(e)
+        let nb = self.not(b);
+        self.ite(a, nb, b)
     }
 
     /// Conjunction over an iterator; `TRUE` for the empty sequence.
@@ -268,17 +496,27 @@ impl BddManager {
     /// ball the two are equivalent, and the saturated form stays small
     /// (ECMP-rich topologies otherwise produce exponentially large
     /// monotone-DNF BDDs). Pass `k = None` for the exact disjunction.
+    ///
+    /// The saturation check is incremental: falsifying `acc ∨ b` falsifies
+    /// `b`, so `min_failures_to_falsify(acc ∨ b) ≥ min_failures_to_falsify(b)`
+    /// and a single `>k`-robust disjunct saturates the whole disjunction
+    /// without materializing it; the accumulator check itself only walks
+    /// nodes the persistent cost memo has not priced yet.
     pub fn or_all_within<I: IntoIterator<Item = Bdd>>(&mut self, items: I, k: Option<u32>) -> Bdd {
+        let Some(k) = k else {
+            return self.or_all(items);
+        };
         let mut acc = Bdd::FALSE;
         for b in items {
+            if self.min_failures_to_falsify(b) > k {
+                return Bdd::TRUE;
+            }
             acc = self.or(acc, b);
             if acc.is_true() {
                 break;
             }
-            if let Some(k) = k {
-                if self.min_failures_to_falsify(acc) > k {
-                    return Bdd::TRUE;
-                }
+            if self.min_failures_to_falsify(acc) > k {
+                return Bdd::TRUE;
             }
         }
         acc
@@ -297,28 +535,35 @@ impl BddManager {
     }
 
     /// Number of distinct nodes reachable from `b` — the "formula length"
-    /// metric reported in Figures 11 and 13.
+    /// metric reported in Figures 11 and 13. Terminals are counted exactly:
+    /// a constant is 1 node, and a non-constant formula counts each of the
+    /// (one or two) terminals it actually reaches.
     pub fn size(&self, b: Bdd) -> usize {
         if b.is_const() {
             return 1;
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FxHashSet<Bdd> = FxHashSet::default();
+        let mut terminals = [false; 2];
         let mut stack = vec![b];
         while let Some(x) = stack.pop() {
-            if x.is_const() || !seen.insert(x) {
+            if x.is_const() {
+                terminals[x.0 as usize] = true;
+                continue;
+            }
+            if !seen.insert(x) {
                 continue;
             }
             let n = self.nodes[x.0 as usize];
             stack.push(n.lo);
             stack.push(n.hi);
         }
-        seen.len() + 1
+        seen.len() + terminals.iter().filter(|&&t| t).count()
     }
 
     /// The distinct variables `b` depends on, ascending.
     pub fn support(&self, b: Bdd) -> Vec<u32> {
         let mut vars = std::collections::BTreeSet::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FxHashSet<Bdd> = FxHashSet::default();
         let mut stack = vec![b];
         while let Some(x) = stack.pop() {
             if x.is_const() || !seen.insert(x) {
@@ -332,6 +577,69 @@ impl BddManager {
         vars.into_iter().collect()
     }
 
+    /// Shared iterative engine for the two failure-cost queries: a
+    /// bottom-up dynamic program where taking a node's false-branch costs 1
+    /// and the terminals are priced by `terminal_cost`. Each node is priced
+    /// once per manager lifetime (the memo persists across calls and is
+    /// dropped only by GC/recycle); newly priced nodes count toward
+    /// [`Self::ops`].
+    fn min_failures(&mut self, b: Bdd, falsify: bool) -> u32 {
+        #[inline]
+        fn terminal_cost(b: Bdd, falsify: bool) -> u32 {
+            match (b.is_false(), falsify) {
+                (true, true) | (false, false) => 0,
+                (true, false) | (false, true) => INF_FAILURES,
+            }
+        }
+        if b.is_const() {
+            return terminal_cost(b, falsify);
+        }
+        // Temporarily move the memo out so the borrow checker lets us read
+        // `self.nodes` and bump `self.ops` while inserting into it.
+        let mut memo = std::mem::take(if falsify {
+            &mut self.falsify_cost
+        } else {
+            &mut self.sat_cost
+        });
+        let mut stack = vec![b];
+        while let Some(&x) = stack.last() {
+            if memo.contains_key(&x) {
+                stack.pop();
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            let resolve = |c: Bdd, memo: &FxHashMap<Bdd, u32>| {
+                if c.is_const() {
+                    Some(terminal_cost(c, falsify))
+                } else {
+                    memo.get(&c).copied()
+                }
+            };
+            match (resolve(n.lo, &memo), resolve(n.hi, &memo)) {
+                (Some(lo), Some(hi)) => {
+                    memo.insert(x, hi.min(lo.saturating_add(1)));
+                    self.ops += 1;
+                    stack.pop();
+                }
+                (lo, hi) => {
+                    if hi.is_none() {
+                        stack.push(n.hi);
+                    }
+                    if lo.is_none() {
+                        stack.push(n.lo);
+                    }
+                }
+            }
+        }
+        let cost = memo[&b];
+        if falsify {
+            self.falsify_cost = memo;
+        } else {
+            self.sat_cost = memo;
+        }
+        cost
+    }
+
     /// Minimum number of variables that must be **false** (links down) in
     /// some satisfying assignment of `b`. Returns [`INF_FAILURES`] when `b`
     /// is unsatisfiable.
@@ -339,24 +647,9 @@ impl BddManager {
     /// A condition with `min_failures_to_satisfy > k` can only hold when
     /// more than `k` links have failed, so the branch carrying it is pruned
     /// during a `k`-failure simulation (§5.6, "dropping more-than-k-failure
-    /// conditions"). Implemented as a memoized shortest-path walk where
-    /// taking a node's false-branch costs 1.
+    /// conditions").
     pub fn min_failures_to_satisfy(&mut self, b: Bdd) -> u32 {
-        if b.is_true() {
-            return 0;
-        }
-        if b.is_false() {
-            return INF_FAILURES;
-        }
-        if let Some(&c) = self.sat_cost.get(&b) {
-            return c;
-        }
-        let n = self.nodes[b.0 as usize];
-        let hi = self.min_failures_to_satisfy(n.hi);
-        let lo = self.min_failures_to_satisfy(n.lo);
-        let cost = hi.min(lo.saturating_add(1));
-        self.sat_cost.insert(b, cost);
-        cost
+        self.min_failures(b, false)
     }
 
     /// Minimum number of variables that must be **false** to falsify `b`.
@@ -368,21 +661,7 @@ impl BddManager {
     /// reachable under every `≤ k`-failure scenario iff the disjunction `V`
     /// of its RIB-rule conditions has `min_failures_to_falsify(V) > k`.
     pub fn min_failures_to_falsify(&mut self, b: Bdd) -> u32 {
-        if b.is_false() {
-            return 0;
-        }
-        if b.is_true() {
-            return INF_FAILURES;
-        }
-        if let Some(&c) = self.falsify_cost.get(&b) {
-            return c;
-        }
-        let n = self.nodes[b.0 as usize];
-        let hi = self.min_failures_to_falsify(n.hi);
-        let lo = self.min_failures_to_falsify(n.lo);
-        let cost = hi.min(lo.saturating_add(1));
-        self.falsify_cost.insert(b, cost);
-        cost
+        self.min_failures(b, true)
     }
 
     /// A concrete minimal failure set (links to bring down) that falsifies
@@ -443,78 +722,156 @@ impl BddManager {
 
     /// Imports a BDD built in another manager into this one. Variable
     /// indices are preserved (they denote the same links network-wide).
+    /// Iterative: safe for chain-shaped conditions of any depth.
     pub fn import(&mut self, src: &BddManager, b: Bdd) -> Bdd {
-        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
-        self.import_rec(src, b, &mut memo)
-    }
-
-    fn import_rec(&mut self, src: &BddManager, b: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
         if b.is_const() {
             return b;
         }
-        if let Some(&r) = memo.get(&b) {
-            return r;
+        let mut memo: FxHashMap<Bdd, Bdd> = FxHashMap::default();
+        let mut stack = vec![b];
+        while let Some(&x) = stack.last() {
+            if memo.contains_key(&x) {
+                stack.pop();
+                continue;
+            }
+            let (var, lo, hi) = src.node_triple(x).expect("non-const node");
+            let resolve = |c: Bdd, memo: &FxHashMap<Bdd, Bdd>| {
+                if c.is_const() {
+                    Some(c)
+                } else {
+                    memo.get(&c).copied()
+                }
+            };
+            match (resolve(lo, &memo), resolve(hi, &memo)) {
+                (Some(l), Some(h)) => {
+                    let r = self.mk(var, l, h);
+                    memo.insert(x, r);
+                    stack.pop();
+                }
+                (l, h) => {
+                    if h.is_none() {
+                        stack.push(hi);
+                    }
+                    if l.is_none() {
+                        stack.push(lo);
+                    }
+                }
+            }
         }
-        let (var, lo, hi) = src.node_triple(b).expect("non-const node");
-        let lo = self.import_rec(src, lo, memo);
-        let hi = self.import_rec(src, hi, memo);
-        let r = self.mk(var, lo, hi);
-        memo.insert(b, r);
-        r
+        memo[&b]
     }
 
-    /// Restricts `b` by fixing variable `v` to `value`.
+    /// Restricts `b` by fixing variable `v` to `value`. Iterative and
+    /// memoized per call, so shared subgraphs are rebuilt once.
     pub fn restrict(&mut self, b: Bdd, v: u32, value: bool) -> Bdd {
         if b.is_const() {
             return b;
         }
-        let n = self.nodes[b.0 as usize];
-        if n.var > v {
-            return b;
+        let mut memo: FxHashMap<Bdd, Bdd> = FxHashMap::default();
+        let mut stack = vec![b];
+        while let Some(&x) = stack.last() {
+            if memo.contains_key(&x) {
+                stack.pop();
+                continue;
+            }
+            let n = self.nodes[x.0 as usize];
+            if n.var > v {
+                // Ordering: nothing below mentions `v`.
+                memo.insert(x, x);
+                stack.pop();
+                continue;
+            }
+            if n.var == v {
+                memo.insert(x, if value { n.hi } else { n.lo });
+                stack.pop();
+                continue;
+            }
+            let resolve = |c: Bdd, memo: &FxHashMap<Bdd, Bdd>| {
+                if c.is_const() {
+                    Some(c)
+                } else {
+                    memo.get(&c).copied()
+                }
+            };
+            match (resolve(n.lo, &memo), resolve(n.hi, &memo)) {
+                (Some(l), Some(h)) => {
+                    let r = self.mk(n.var, l, h);
+                    memo.insert(x, r);
+                    stack.pop();
+                }
+                (l, h) => {
+                    if h.is_none() {
+                        stack.push(n.hi);
+                    }
+                    if l.is_none() {
+                        stack.push(n.lo);
+                    }
+                }
+            }
         }
-        if n.var == v {
-            return if value { n.hi } else { n.lo };
-        }
-        let lo = self.restrict(n.lo, v, value);
-        let hi = self.restrict(n.hi, v, value);
-        self.mk(n.var, lo, hi)
+        memo[&b]
     }
 
-    /// Counts satisfying assignments over `nvars` variables.
+    /// Counts satisfying assignments over `nvars` variables, saturating at
+    /// `u128::MAX`. Real WANs exceed 127 links, where the exact count no
+    /// longer fits; a saturated value means "at least `u128::MAX`" and keeps
+    /// relative comparisons against smaller counts meaningful.
     pub fn count_models(&self, b: Bdd, nvars: u32) -> u128 {
-        fn go(
-            mgr: &BddManager,
-            b: Bdd,
-            nvars: u32,
-            cache: &mut HashMap<Bdd, u128>,
-        ) -> u128 {
-            // Returns count weighted as if b's top var were var 0.
-            if b.is_false() {
-                return 0;
+        #[inline]
+        fn shl_sat(c: u128, gap: u32) -> u128 {
+            if c == 0 {
+                0
+            } else if gap >= 128 || c > (u128::MAX >> gap) {
+                u128::MAX
+            } else {
+                c << gap
             }
-            if b.is_true() {
-                return 1;
-            }
-            if let Some(&c) = cache.get(&b) {
-                return c;
-            }
-            let n = mgr.nodes[b.0 as usize];
-            let lo = go(mgr, n.lo, nvars, cache);
-            let hi = go(mgr, n.hi, nvars, cache);
-            let lo_gap = mgr.gap(n.lo, n.var, nvars);
-            let hi_gap = mgr.gap(n.hi, n.var, nvars);
-            let c = (lo << lo_gap) + (hi << hi_gap);
-            cache.insert(b, c);
-            c
         }
-        let mut cache = HashMap::new();
-        let c = go(self, b, nvars, &mut cache);
+        let terminal = |b: Bdd| -> Option<u128> {
+            match b {
+                Bdd::FALSE => Some(0),
+                Bdd::TRUE => Some(1),
+                _ => None,
+            }
+        };
+        let mut cache: FxHashMap<Bdd, u128> = FxHashMap::default();
+        if !b.is_const() {
+            let mut stack = vec![b];
+            while let Some(&x) = stack.last() {
+                if cache.contains_key(&x) {
+                    stack.pop();
+                    continue;
+                }
+                let n = self.nodes[x.0 as usize];
+                let resolve = |c: Bdd, cache: &FxHashMap<Bdd, u128>| {
+                    terminal(c).or_else(|| cache.get(&c).copied())
+                };
+                match (resolve(n.lo, &cache), resolve(n.hi, &cache)) {
+                    (Some(lo), Some(hi)) => {
+                        // Each skipped variable level doubles the count.
+                        let c = shl_sat(lo, self.gap(n.lo, n.var, nvars))
+                            .saturating_add(shl_sat(hi, self.gap(n.hi, n.var, nvars)));
+                        cache.insert(x, c);
+                        stack.pop();
+                    }
+                    (lo, hi) => {
+                        if hi.is_none() {
+                            stack.push(n.hi);
+                        }
+                        if lo.is_none() {
+                            stack.push(n.lo);
+                        }
+                    }
+                }
+            }
+        }
+        let c = terminal(b).unwrap_or_else(|| cache[&b]);
         let top_var = if b.is_const() {
             nvars
         } else {
             self.nodes[b.0 as usize].var
         };
-        c << top_var.min(nvars)
+        shl_sat(c, top_var.min(nvars))
     }
 
     fn gap(&self, child: Bdd, parent_var: u32, nvars: u32) -> u32 {
@@ -523,7 +880,7 @@ impl BddManager {
         } else {
             self.nodes[child.0 as usize].var
         };
-        child_var - parent_var - 1
+        child_var.saturating_sub(parent_var + 1)
     }
 }
 
@@ -553,6 +910,20 @@ mod tests {
         let anb = m.and(a, nb);
         let u = m.or(ab, anb);
         assert_eq!(u, a);
+    }
+
+    #[test]
+    fn ite_is_shannon_expansion() {
+        let mut m = BddManager::new();
+        let f = m.var(0);
+        let g = m.var(1);
+        let h = m.var(2);
+        let r = m.ite(f, g, h);
+        for bits in 0..8u32 {
+            let assign: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            let expect = if assign[0] { assign[1] } else { assign[2] };
+            assert_eq!(m.eval(r, &assign), expect, "assign {assign:?}");
+        }
     }
 
     #[test]
@@ -634,14 +1005,16 @@ mod tests {
     }
 
     #[test]
-    fn size_counts_nodes() {
+    fn size_counts_nodes_and_reachable_terminals() {
         let mut m = BddManager::new();
         assert_eq!(m.size(Bdd::TRUE), 1);
+        assert_eq!(m.size(Bdd::FALSE), 1);
+        // A single variable reaches both terminals: 1 internal + 2 terminals.
         let a = m.var(0);
-        assert_eq!(m.size(a), 2); // var node + terminals counted as one
+        assert_eq!(m.size(a), 3);
         let b = m.var(1);
         let ab = m.and(a, b);
-        assert!(m.size(ab) >= 3);
+        assert_eq!(m.size(ab), 4);
     }
 
     #[test]
@@ -672,6 +1045,26 @@ mod tests {
     }
 
     #[test]
+    fn count_models_saturates_beyond_127_vars() {
+        // Regression: `1u128 << gap` used to overflow (panic in debug) for
+        // networks with more than 127 links. 200 variables must saturate,
+        // not panic or wrap.
+        let mut m = BddManager::new();
+        const NVARS: u32 = 200;
+        let a = m.var(0);
+        assert_eq!(m.count_models(a, NVARS), u128::MAX, "2^199 saturates");
+        assert_eq!(m.count_models(Bdd::TRUE, NVARS), u128::MAX);
+        assert_eq!(m.count_models(Bdd::FALSE, NVARS), 0);
+        // A conjunction of all 200 variables has exactly one model — small
+        // counts must stay exact even when the variable count is huge.
+        let vars: Vec<Bdd> = (0..NVARS).map(|v| m.var(v)).collect();
+        let all = m.and_all(vars);
+        assert_eq!(m.count_models(all, NVARS), 1);
+        // ...and a saturated and an exact count still compare correctly.
+        assert!(m.count_models(all, NVARS) < m.count_models(a, NVARS));
+    }
+
+    #[test]
     fn import_preserves_semantics() {
         let mut src = BddManager::new();
         let a = src.var(1);
@@ -699,5 +1092,89 @@ mod tests {
         assert_eq!(m.min_failures_to_falsify(any), 4);
         assert!(m.and_all(std::iter::empty()).is_true());
         assert!(m.or_all(std::iter::empty()).is_false());
+    }
+
+    #[test]
+    fn or_all_within_saturation_is_incremental() {
+        // 48 disjoint two-link paths; the union's falsify cost climbs by one
+        // per disjunct and crosses k = 47 on the last one. The De Morgan
+        // engine spent 9,408 ops on this workload (measured before the ITE
+        // rewrite); the unified kernel with incremental saturation must stay
+        // far below that even while pricing every accumulator.
+        let mut m = BddManager::new();
+        let paths: Vec<Bdd> = (0..48u32)
+            .map(|i| {
+                let x = m.var(2 * i);
+                let y = m.var(2 * i + 1);
+                m.and(x, y)
+            })
+            .collect();
+        let before = m.ops;
+        let acc = m.or_all_within(paths, Some(47));
+        assert!(
+            acc.is_true(),
+            "48 disjoint paths exceed a 47-failure budget"
+        );
+        let spent = m.ops - before;
+        // The ITE engine measures 4,608 here: the disjoint-path union BDD is
+        // a chain that inherently rebuilds per disjunct, but single-pass
+        // disjunction plus memo-incremental pricing halves the old cost.
+        assert!(
+            spent < 5_000,
+            "or_all_within spent {spent} ops — saturation check regressed \
+             (old engine: 9,408)"
+        );
+    }
+
+    #[test]
+    fn gc_keeps_rooted_reclaims_garbage() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.and(a, b);
+        let drop1 = m.xor(a, b);
+        let extra: Vec<Bdd> = (2..40).map(|v| m.var(v)).collect();
+        let drop2 = m.or_all(extra);
+        let before = m.node_count();
+        let reclaimed = m.gc([keep]);
+        assert!(reclaimed > 0, "xor/or chain garbage must be reclaimed");
+        assert_eq!(m.node_count(), before - reclaimed);
+        let _ = (drop1, drop2); // dangling after gc — not dereferenced
+                                // Rooted handles still mean the same function.
+        assert!(m.eval(keep, &[true, true]));
+        assert!(!m.eval(keep, &[true, false]));
+        // The arena stays consistent: new work reuses freed slots.
+        let c = m.var(2);
+        let kc = m.and(keep, c);
+        assert!(m.eval(kc, &[true, true, true]));
+        assert!(!m.eval(kc, &[true, true, false]));
+    }
+
+    #[test]
+    fn recycle_resets_to_fresh_state() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..16).map(|v| m.var(v)).collect();
+        let _ = m.or_all(vars);
+        assert!(m.node_count() > 2);
+        m.recycle();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.ops, 0);
+        // The manager is fully usable again.
+        let a = m.var(0);
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), Bdd::FALSE);
+    }
+
+    #[test]
+    fn watermark_policy_grows_after_gc() {
+        let mut m = BddManager::new();
+        m.set_gc_watermark(8);
+        let vars: Vec<Bdd> = (0..8).map(|v| m.var(v)).collect();
+        let keep = m.and_all(vars.iter().copied());
+        assert!(m.should_gc());
+        m.gc([keep]);
+        // Watermark is now at least twice the live set: not worth re-running
+        // immediately.
+        assert!(!m.should_gc());
     }
 }

@@ -111,7 +111,11 @@ impl Histogram {
 
     /// A consistent-enough copy for reporting (relaxed reads).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
         HistogramSnapshot {
             bounds: self.bounds.clone(),
             count: counts.iter().sum(),
@@ -220,10 +224,12 @@ pub fn reset_metrics() {
 /// exports from different commands and runs are directly diffable.
 pub fn register_default_metrics() {
     const COUNTERS: &[&str] = &[
-        "bdd.and_cache_hits",
-        "bdd.and_cache_misses",
+        "bdd.gc_runs",
+        "bdd.ite_cache_hits",
+        "bdd.ite_cache_misses",
         "bdd.managers",
         "bdd.nodes_created",
+        "bdd.nodes_reclaimed",
         "bdd.ops",
         "bdd.unique_hits",
         "bdd.unique_misses",
@@ -292,13 +298,11 @@ macro_rules! metric {
         *H.get_or_init(|| $crate::gauge($name))
     }};
     (histogram $name:literal) => {{
-        static H: ::std::sync::OnceLock<&'static $crate::Histogram> =
-            ::std::sync::OnceLock::new();
+        static H: ::std::sync::OnceLock<&'static $crate::Histogram> = ::std::sync::OnceLock::new();
         *H.get_or_init(|| $crate::histogram($name, &$crate::EXP2_BUCKETS))
     }};
     (histogram $name:literal, $bounds:expr) => {{
-        static H: ::std::sync::OnceLock<&'static $crate::Histogram> =
-            ::std::sync::OnceLock::new();
+        static H: ::std::sync::OnceLock<&'static $crate::Histogram> = ::std::sync::OnceLock::new();
         *H.get_or_init(|| $crate::histogram($name, $bounds))
     }};
 }
@@ -313,7 +317,10 @@ mod tests {
         c.add(3);
         c.inc();
         assert_eq!(c.get(), 4);
-        assert!(std::ptr::eq(c, counter("test.metrics.counter")), "same handle");
+        assert!(
+            std::ptr::eq(c, counter("test.metrics.counter")),
+            "same handle"
+        );
         let g = gauge("test.metrics.gauge");
         g.set(7);
         g.record_max(3); // lower: no change

@@ -1,0 +1,159 @@
+//! A fast, non-cryptographic hasher for hot in-process hash tables.
+//!
+//! `std`'s default `SipHash 1-3` is DoS-resistant but pays for it on every
+//! lookup; Hoyan's BDD unique table and operation caches hash billions of
+//! tiny fixed-width keys (`u32` triples) that never cross a trust boundary,
+//! so a multiply-rotate mixer in the FxHash family is the right trade. The
+//! workspace is hermetic, so this lives in-tree rather than in a registry
+//! crate.
+//!
+//! Properties we rely on (and test):
+//!
+//! - **deterministic across processes and platforms** — no per-process seed,
+//!   so anything derived from iteration order *still* must not leak into
+//!   results (tables in `hoyan-logic` are only ever probed by key or rebuilt
+//!   in index order);
+//! - **cheap on fixed-width integers** — each `write_uN` is one rotate, one
+//!   xor, one multiply;
+//! - **adequate avalanche for sequential keys** — BDD node ids are dense
+//!   small integers; the odd multiplier spreads them across the high bits,
+//!   which hashbrown-style tables (std's `HashMap`) use for bucket selection.
+//!
+//! Not suitable for untrusted input (trivially collidable by construction).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// The `BuildHasher` for [`FxHasher`]; zero-sized, `Default`-constructible.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Odd constant close to 2^64 / golden ratio — the classic Fibonacci-hashing
+/// multiplier. Multiplication by it permutes Z/2^64 and pushes entropy
+/// toward the high bits.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Word-at-a-time multiply-rotate hasher (FxHash style).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" differ.
+            self.mix(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // No per-process seeding: two independent builders agree.
+        let key = (3u32, 17u32, 255u32);
+        assert_eq!(hash_of(&key), hash_of(&key));
+        assert_eq!(
+            FxBuildHasher::default().hash_one(0xdead_beefu64),
+            FxBuildHasher::default().hash_one(0xdead_beefu64),
+        );
+    }
+
+    #[test]
+    fn sequential_u32_keys_spread_high_bits() {
+        // Hashbrown buckets select on the top 7 bits; dense node ids must
+        // not all land in one bucket group.
+        let mut top7 = HashSet::new();
+        for i in 0..1000u32 {
+            top7.insert(hash_of(&i) >> 57);
+        }
+        assert!(
+            top7.len() > 64,
+            "only {} of 128 bucket groups hit",
+            top7.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_length_matters() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn works_as_map_and_set() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert((i, i + 1), i * 2);
+        }
+        assert_eq!(m.get(&(7, 8)), Some(&14));
+        let s: FxHashSet<u64> = (0..50).collect();
+        assert!(s.contains(&49) && !s.contains(&50));
+    }
+}

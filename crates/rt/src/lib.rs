@@ -19,7 +19,11 @@
 //!   and everything derived from them.
 //! - [`bench`] — a warmup + median-of-N benchmark harness that prints
 //!   human-readable rows and emits `BENCH_<suite>.json` for tooling.
+//! - [`hash`] — a deterministic FxHash-style hasher (`FxHashMap`,
+//!   `FxHashSet`) for hot in-process tables keyed by small integers, where
+//!   SipHash's DoS resistance buys nothing.
 
 pub mod bench;
+pub mod hash;
 pub mod prop;
 pub mod rng;

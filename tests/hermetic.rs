@@ -53,9 +53,7 @@ fn parse_deps(text: &str) -> Vec<Dep> {
         let name = line[..eq].trim().trim_matches('"').to_string();
         let mut value = line[eq + 1..].trim().to_string();
         // Multi-line inline tables: keep consuming until braces balance.
-        while value.starts_with('{')
-            && value.matches('{').count() > value.matches('}').count()
-        {
+        while value.starts_with('{') && value.matches('{').count() > value.matches('}').count() {
             let Some(next) = lines.next() else { break };
             value.push(' ');
             value.push_str(strip_comment(next).trim());
@@ -84,7 +82,12 @@ fn inline_table_has_key(table: &str, key: &str) -> bool {
         .trim_start_matches('{')
         .trim_end_matches('}')
         .split(',')
-        .any(|kv| kv.split('=').next().map(|k| k.trim() == key).unwrap_or(false))
+        .any(|kv| {
+            kv.split('=')
+                .next()
+                .map(|k| k.trim() == key)
+                .unwrap_or(false)
+        })
 }
 
 fn manifest_paths() -> Vec<PathBuf> {
@@ -98,7 +101,10 @@ fn manifest_paths() -> Vec<PathBuf> {
             paths.push(manifest);
         }
     }
-    assert!(paths.len() >= 12, "expected the workspace's member manifests, got {paths:?}");
+    assert!(
+        paths.len() >= 12,
+        "expected the workspace's member manifests, got {paths:?}"
+    );
     paths
 }
 
@@ -106,10 +112,9 @@ fn manifest_paths() -> Vec<PathBuf> {
 fn all_dependencies_are_path_only() {
     // Pass 1: collect [workspace.dependencies] so `workspace = true`
     // references can be resolved to their definition.
-    let root_text = std::fs::read_to_string(
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml"),
-    )
-    .expect("workspace manifest");
+    let root_text =
+        std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml"))
+            .expect("workspace manifest");
     let mut workspace_deps: BTreeMap<String, bool> = BTreeMap::new();
     for d in parse_deps(&root_text) {
         if d.section == "workspace.dependencies" {
@@ -137,8 +142,7 @@ fn all_dependencies_are_path_only() {
                 continue;
             }
             let ok = d.has_path
-                || (d.is_workspace_ref
-                    && workspace_deps.get(&d.name).copied().unwrap_or(false));
+                || (d.is_workspace_ref && workspace_deps.get(&d.name).copied().unwrap_or(false));
             if !ok {
                 violations.push(format!(
                     "{}: [{}] `{}` is not path-only (registry or git dependency?)",
@@ -171,6 +175,59 @@ fn banned_registry_crates_are_gone() {
                 d.section
             );
         }
+    }
+}
+
+#[test]
+fn rt_crate_is_std_only() {
+    // `hoyan-rt` is the workspace's foundation layer (PRNG, prop harness,
+    // bench harness, hasher); nothing below it exists, so every `use` in its
+    // sources must resolve to `std`/`core`/`alloc` or the crate itself. This
+    // is what lets higher layers (e.g. the BDD engine's `FxHashMap` tables)
+    // lean on it without dragging in registry crates.
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/rt/src");
+    let mut audited = Vec::new();
+    for entry in std::fs::read_dir(&src).expect("crates/rt/src exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable source");
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let Some(rest) = line
+                .strip_prefix("pub use ")
+                .or_else(|| line.strip_prefix("use "))
+            else {
+                continue;
+            };
+            let root = rest
+                .trim_start_matches("::")
+                .split(&[':', ';', ' '][..])
+                .next()
+                .unwrap_or("");
+            assert!(
+                ["std", "core", "alloc", "crate", "self", "super"].contains(&root),
+                "{}:{}: `{}` imports from `{root}`, but hoyan-rt must be std-only",
+                path.display(),
+                i + 1,
+                line
+            );
+        }
+        audited.push(
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string(),
+        );
+    }
+    // The modules the workspace depends on must actually be in the audit —
+    // in particular the hasher the BDD tables run on.
+    for module in ["hash.rs", "rng.rs", "prop.rs", "bench.rs", "lib.rs"] {
+        assert!(
+            audited.iter().any(|f| f == module),
+            "expected to audit crates/rt/src/{module}, found {audited:?}"
+        );
     }
 }
 

@@ -19,8 +19,12 @@ fn hoyan() -> Command {
 /// histograms, spans), so slicing between the section keys is exact.
 fn deterministic_sections(json: &str) -> String {
     let slice = |from: &str, to: &str| {
-        let start = json.find(from).unwrap_or_else(|| panic!("no {from} in:\n{json}"));
-        let end = json.find(to).unwrap_or_else(|| panic!("no {to} in:\n{json}"));
+        let start = json
+            .find(from)
+            .unwrap_or_else(|| panic!("no {from} in:\n{json}"));
+        let end = json
+            .find(to)
+            .unwrap_or_else(|| panic!("no {to} in:\n{json}"));
         &json[start..end]
     };
     let mut out = String::new();
@@ -44,7 +48,11 @@ fn sweep_stats_json(dir: &std::path::Path, threads: &str, tag: &str) -> String {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::read_to_string(&json_path).unwrap()
 }
 
@@ -54,14 +62,45 @@ fn counters_are_identical_across_runs_and_thread_counts() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let out = hoyan()
-        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "11"])
+        .args([
+            "gen",
+            dir.to_str().unwrap(),
+            "--size",
+            "tiny",
+            "--seed",
+            "11",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
 
     let baseline = deterministic_sections(&sweep_stats_json(&dir, "1", "t1"));
     assert!(baseline.contains("\"propagate.runs\""), "{baseline}");
-    for (threads, tag) in [("1", "t1-again"), ("2", "t2"), ("4", "t4")] {
+    // The ITE kernel's schema: the unified-cache and GC counters are pinned
+    // into the export, the retired per-connective cache counters are not.
+    for present in [
+        "\"bdd.ops\"",
+        "\"bdd.ite_cache_hits\"",
+        "\"bdd.ite_cache_misses\"",
+        "\"bdd.gc_runs\"",
+        "\"bdd.nodes_reclaimed\"",
+    ] {
+        assert!(
+            baseline.contains(present),
+            "missing {present} in {baseline}"
+        );
+    }
+    for retired in [
+        "bdd.and_cache_hits",
+        "bdd.and_cache_misses",
+        "bdd.not_cache",
+    ] {
+        assert!(
+            !baseline.contains(retired),
+            "retired counter {retired} still exported"
+        );
+    }
+    for (threads, tag) in [("1", "t1-again"), ("2", "t2"), ("4", "t4"), ("8", "t8")] {
         let got = deterministic_sections(&sweep_stats_json(&dir, threads, tag));
         assert_eq!(
             baseline, got,
