@@ -4,13 +4,16 @@
 //!
 //! Usage: `experiments <id>|all [--quick]`
 //! where `<id>` ∈ {fig7, fig8-13, fig14, fig15, fig16, table2, table3,
-//! table4, table5, formulas, incremental, bdd}.
+//! table4, table5, formulas, incremental, bdd, faults}.
 //!
 //! `incremental` is not a paper figure: it measures the snapshot/delta
 //! pipeline (fresh full sweep vs `Verifier::reverify` against a cached
 //! baseline) at several perturbation sizes and writes
 //! `BENCH_incremental.json`. `bdd` likewise is kernel-facing: it measures
 //! the ITE/GC BDD engine under a full sweep and writes `BENCH_bdd.json`.
+//! `faults` arms a seeded fault-injection plan, drives quarantined sweeps
+//! at several thread counts, checks the quarantined set is thread-count
+//! invariant, and writes `BENCH_faults.json`.
 //!
 //! Absolute numbers will differ from the paper (different hardware and a
 //! synthetic WAN); the *shapes* — who wins, by how much, where the cost
@@ -71,6 +74,9 @@ fn main() {
     }
     if run("bdd") {
         bdd(quick);
+    }
+    if run("faults") {
+        faults(quick);
     }
 }
 
@@ -166,7 +172,7 @@ fn fig8_to_13(quick: bool) {
         let verifier = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(k))
             .expect("verifier builds");
         let t0 = Instant::now();
-        let reports = verifier.verify_all_routes(k, threads).expect("sweep");
+        let reports = verifier.verify_all_routes(k, threads).expect("sweep").reports;
         let wall = t0.elapsed();
         let sim_ms: Vec<f64> = reports
             .iter()
@@ -441,7 +447,7 @@ fn table3(quick: bool) {
         // work (the paper's totals include it); rebuild it at this budget.
         let v_k = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(k))
             .expect("verifier");
-        let reports = v_k.verify_all_routes(k, threads).expect("sweep");
+        let reports = v_k.verify_all_routes(k, threads).expect("sweep").reports;
         println!(
             "   k={k}: {} ({} prefixes)   [paper: 481s/770s/1523s/10496s]",
             fmt_dur(t0.elapsed()),
@@ -794,7 +800,7 @@ fn bdd(quick: bool) {
     // staying out of the way, not being absent.
     hoyan_obs::reset_metrics();
     let t0 = Instant::now();
-    let reports = verifier.verify_all_routes(k, threads).expect("sweep");
+    let reports = verifier.verify_all_routes(k, threads).expect("sweep").reports;
     let wall = t0.elapsed();
     let counters = hoyan_obs::counter_values();
     let gauges = hoyan_obs::gauge_values();
@@ -818,6 +824,75 @@ fn bdd(quick: bool) {
     suite.set_metrics_json(hoyan_obs::export_json());
     let samples = if quick { 2 } else { 5 };
     suite.bench_with_samples("sweep", samples, &mut || {
+        verifier.verify_all_routes(k, threads).expect("sweep")
+    });
+    suite.finish();
+    println!();
+}
+
+// ------------------------------------------------------------ Fault drills
+
+/// Fault-tolerance drill (not a paper figure): a seeded injection plan takes
+/// out ~10% of the prefix families (mixed errors, budget breaches and
+/// panics); the sweep must quarantine exactly those families — the *same*
+/// set at every thread count — and still report every survivor. Measures
+/// the overhead of quarantined sweeps and writes `BENCH_faults.json`.
+fn faults(quick: bool) {
+    use hoyan_rt::fault::{self, FaultKind, FaultPlan};
+    println!("=== Fault drill: seeded injection + per-family quarantine ===");
+    let wan = if quick {
+        WanSpec::tiny(42).build()
+    } else {
+        WanSpec::small(42).build()
+    };
+    let k = 1;
+    let verifier =
+        Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).expect("verifier");
+    let families = verifier.families().len();
+
+    // ~100‰ errors, plus one pinned budget breach and one pinned panic so
+    // every failure mode is exercised on any fixture size.
+    let plan = FaultPlan::new()
+        .at("verify.family", &[1], FaultKind::OverBudget)
+        .at("verify.family", &[2], FaultKind::Panic)
+        .seeded("verify.family", 0xF0F0, 100, FaultKind::Error);
+    fault::install(plan);
+
+    let mut baseline: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 8] {
+        let t0 = Instant::now();
+        let swept = verifier.verify_all_routes(k, threads).expect("sweep");
+        let wall = t0.elapsed();
+        let q: Vec<String> = swept
+            .quarantined
+            .iter()
+            .map(|f| format!("{}:{}", f.index, f.outcome))
+            .collect();
+        println!(
+            " threads={threads}: {} in quarantine of {families} families, {} reports, {}",
+            q.len(),
+            swept.reports.len(),
+            fmt_dur(wall)
+        );
+        match &baseline {
+            None => baseline = Some(q),
+            Some(b) => assert_eq!(
+                &q, b,
+                "quarantined set must be identical at any thread count"
+            ),
+        }
+    }
+
+    let mut suite = BenchSuite::new("faults");
+    let samples = if quick { 2 } else { 5 };
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
+    suite.bench_with_samples("sweep_with_faults", samples, &mut || {
+        verifier.verify_all_routes(k, threads).expect("sweep")
+    });
+    fault::clear();
+    suite.bench_with_samples("sweep_clean", samples, &mut || {
         verifier.verify_all_routes(k, threads).expect("sweep")
     });
     suite.finish();

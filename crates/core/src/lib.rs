@@ -39,5 +39,6 @@ pub use snapshot::{
 };
 pub use topology::{Topology, TopologyError};
 pub use verify::{
-    EquivalenceReport, PrefixReport, ReachReport, ReverifyOutcome, Verifier, VerifierError,
+    EquivalenceReport, FamilyBudget, FamilyOutcome, PrefixReport, QuarantinedFamily, ReachReport,
+    ReverifyOutcome, SweepOptions, SweepReport, Verifier, VerifierError,
 };

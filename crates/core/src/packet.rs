@@ -198,11 +198,11 @@ impl Walker<'_, '_> {
             .iter()
             .map(|h| (h.cond, h.next_hop, h.metric))
             .collect();
-        if ihops.is_empty() {
+        // Equal-cost group: the best-metric alternatives. No hops at all
+        // means the IGP cannot carry the packet here.
+        let Some(best_metric) = ihops.iter().map(|(_, _, m)| *m).min() else {
             return Bdd::FALSE;
-        }
-        // Equal-cost group: the best-metric alternatives.
-        let best_metric = ihops.iter().map(|(_, _, m)| *m).min().unwrap();
+        };
         let ecmp_group: Vec<(Bdd, NodeId, u64)> = ihops
             .iter()
             .filter(|(_, _, m)| *m == best_metric)

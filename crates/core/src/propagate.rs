@@ -116,12 +116,42 @@ pub struct DepTrace {
 pub enum SimError {
     /// The propagation did not converge (policy-induced oscillation).
     NonConvergence,
+    /// A query named a device that does not exist in the snapshot.
+    UnknownDevice(String),
+    /// The family exhausted its deterministic BDD resource budget
+    /// (see [`Simulation::set_budget`]).
+    OverBudget(hoyan_logic::BudgetBreach),
+    /// The family's opt-in wall-clock deadline elapsed. Unlike
+    /// [`SimError::OverBudget`], this outcome is **non-deterministic** —
+    /// it depends on machine load — which is why deadlines are off by
+    /// default.
+    DeadlineExceeded {
+        /// The configured deadline in milliseconds.
+        limit_ms: u64,
+    },
+    /// A fault injected by the seeded `hoyan_rt::fault` harness.
+    Injected {
+        /// The injection-site key.
+        site: &'static str,
+        /// The index the site fired at.
+        index: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::NonConvergence => write!(f, "route propagation did not converge"),
+            SimError::UnknownDevice(d) => {
+                write!(f, "unknown device `{d}`: no such hostname in the snapshot")
+            }
+            SimError::OverBudget(b) => write!(f, "family exceeded its resource budget: {b}"),
+            SimError::DeadlineExceeded { limit_ms } => {
+                write!(f, "family exceeded its wall-clock deadline of {limit_ms} ms")
+            }
+            SimError::Injected { site, index } => {
+                write!(f, "injected fault at {site}[{index}]")
+            }
         }
     }
 }
@@ -260,6 +290,9 @@ pub struct Simulation<'n> {
     session_conds: HashMap<(u32, u32), Bdd>,
     igp_dist: Vec<Vec<Option<u64>>>,
     isis_db: Option<&'n IsisDb>,
+    /// Opt-in wall-clock deadline: the cutoff instant plus the configured
+    /// limit (for the error message). See [`Self::set_budget`].
+    deadline: Option<(std::time::Instant, u64)>,
     /// Drop/delivery counters.
     pub stats: PruneStats,
     /// Largest condition (BDD node count) seen on any message or rule —
@@ -388,6 +421,7 @@ impl<'n> Simulation<'n> {
             session_conds: HashMap::new(),
             igp_dist,
             isis_db,
+            deadline: None,
             stats: PruneStats::default(),
             max_cond_size: 0,
             deps: DepTrace::default(),
@@ -399,10 +433,35 @@ impl<'n> Simulation<'n> {
         &self.prefixes
     }
 
-    /// Consumes the simulation, keeping only the BDD manager (used when the
-    /// extracted conditions outlive the simulation, as in [`crate::isis`]).
-    pub fn into_mgr(self) -> BddManager {
+    /// Consumes the simulation, keeping only the BDD manager. Used when the
+    /// extracted conditions outlive the simulation (as in [`crate::isis`]),
+    /// and — critically for the fault-tolerant sweep — to recover a worker's
+    /// warm arena from a *failed* simulation: the arena moved into the
+    /// `Simulation` at construction, so without this hand-back an error
+    /// would silently degrade the worker to cold arenas.
+    pub fn into_manager(self) -> BddManager {
         self.mgr
+    }
+
+    /// Alias of [`Self::into_manager`] (the original name).
+    pub fn into_mgr(self) -> BddManager {
+        self.into_manager()
+    }
+
+    /// Installs a per-family resource budget: deterministic BDD caps
+    /// (checked at the worklist safe point, next to the GC check) and an
+    /// optional wall-clock deadline measured from now. The caps produce
+    /// [`SimError::OverBudget`] at the same worklist step on any machine;
+    /// the deadline produces [`SimError::DeadlineExceeded`] and is
+    /// **non-deterministic** by nature (opt-in only).
+    pub fn set_budget(&mut self, budget: hoyan_logic::BddBudget, deadline_ms: Option<u64>) {
+        self.mgr.set_budget(budget);
+        self.deadline = deadline_ms.map(|ms| {
+            (
+                std::time::Instant::now() + std::time::Duration::from_millis(ms),
+                ms,
+            )
+        });
     }
 
     /// All route updates currently in flight: `(from, to, prefix, attrs,
@@ -479,6 +538,21 @@ impl<'n> Simulation<'n> {
         let mut steps = 0usize;
         while let Some((u, prefix)) = self.dirty.pop_front() {
             self.maybe_gc();
+            // Budget safe point, shared with GC: the caps count work, not
+            // time, so a breach lands on the same worklist step at any
+            // thread count (the quarantine determinism contract).
+            if let Some(breach) = self.mgr.budget_exceeded() {
+                self.flush_metrics(steps);
+                return Err(SimError::OverBudget(breach));
+            }
+            // The opt-in wall-clock guard, sampled every 64 steps to keep
+            // `Instant::now` off the hot path. Non-deterministic by nature.
+            if let Some((cutoff, limit_ms)) = self.deadline {
+                if steps % 64 == 0 && std::time::Instant::now() >= cutoff {
+                    self.flush_metrics(steps);
+                    return Err(SimError::DeadlineExceeded { limit_ms });
+                }
+            }
             self.in_dirty.remove(&(u, prefix));
             self.process_node_prefix(NodeId(u), prefix);
             steps += 1;

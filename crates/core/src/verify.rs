@@ -8,6 +8,7 @@
 //! [`Verifier::verify_all_routes`] fans out across threads (CPU-bound work
 //! on scoped threads, per the networking guides — no async runtime).
 
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -111,6 +112,113 @@ pub struct PrefixReport {
     pub family_head: bool,
 }
 
+/// Why a family was quarantined instead of reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FamilyOutcome {
+    /// The family's simulation or queries failed — a [`SimError`] or a
+    /// worker panic (`reason` carries the message).
+    Failed {
+        /// Human-readable failure description.
+        reason: String,
+    },
+    /// The family exhausted its [`FamilyBudget`]: the deterministic BDD
+    /// caps, or the opt-in (non-deterministic) wall-clock deadline.
+    OverBudget {
+        /// Human-readable breach description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FamilyOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyOutcome::Failed { reason } => write!(f, "failed: {reason}"),
+            FamilyOutcome::OverBudget { reason } => write!(f, "over budget: {reason}"),
+        }
+    }
+}
+
+/// A prefix family a fault-tolerant sweep excluded from its reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedFamily {
+    /// Index into the sweep's family list (for [`Verifier::reverify`] that
+    /// is the *dirty* list, so identify families by `prefixes`).
+    pub index: usize,
+    /// The family's prefixes, sorted.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// What took the family out.
+    pub outcome: FamilyOutcome,
+}
+
+/// Output of a fault-tolerant sweep: per-prefix reports for every family
+/// that completed, plus the families that did not. An empty `quarantined`
+/// means full coverage — callers that need all-or-nothing semantics set
+/// [`SweepOptions::fail_fast`] instead of checking this after the fact.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Per-prefix reports of the surviving families, sorted by prefix.
+    pub reports: Vec<PrefixReport>,
+    /// Families whose simulation failed, panicked or blew a budget,
+    /// ordered by family index. Deterministic at any thread count as long
+    /// as no wall-clock deadline is configured.
+    pub quarantined: Vec<QuarantinedFamily>,
+}
+
+/// Per-family resource caps for a sweep. The node and op caps are
+/// *operation-counted*: they trip at the same point in the family's own
+/// work regardless of machine speed, scheduling or thread count, so the
+/// quarantined set stays deterministic. The deadline is the one wall-clock
+/// escape hatch and is off by default precisely because it breaks that
+/// contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FamilyBudget {
+    /// Cap on live BDD nodes per family (deterministic).
+    pub max_live_nodes: Option<usize>,
+    /// Cap on BDD (ITE + cost-walk) operations per family (deterministic).
+    pub max_ite_ops: Option<u64>,
+    /// Opt-in wall-clock deadline per family, in milliseconds.
+    /// **Non-deterministic**: which families trip depends on machine load.
+    pub deadline_ms: Option<u64>,
+}
+
+impl FamilyBudget {
+    fn bdd(&self) -> hoyan_logic::BddBudget {
+        hoyan_logic::BddBudget {
+            max_live_nodes: self.max_live_nodes,
+            max_ops: self.max_ite_ops,
+        }
+    }
+}
+
+/// Sweep configuration beyond `k` and the thread count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOptions {
+    /// Abort the whole sweep on the first family failure (the
+    /// pre-quarantine behavior): the sweep returns `Err` with the
+    /// lowest-index family's error, and a worker panic resumes unwinding.
+    pub fail_fast: bool,
+    /// Per-family resource caps.
+    pub budget: FamilyBudget,
+}
+
+/// How one family failed inside the sweep, before it is folded into a
+/// [`FamilyOutcome`] (quarantine) or surfaced raw (fail-fast).
+enum FamilyFailure {
+    Error(SimError),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The configuration verifier.
 pub struct Verifier {
     /// The network model under verification (shared with the
@@ -185,6 +293,16 @@ impl Verifier {
     /// All prefixes known to the snapshot (networks, aggregates, statics).
     pub fn known_prefixes(&self) -> &[Ipv4Prefix] {
         &self.known_prefixes
+    }
+
+    /// Resolves a device hostname, surfacing a typo as
+    /// [`SimError::UnknownDevice`] instead of a panic (the CLI turns it
+    /// into a friendly message).
+    fn node_named(&self, device: &str) -> Result<NodeId, SimError> {
+        self.net
+            .topology
+            .node(device)
+            .ok_or_else(|| SimError::UnknownDevice(device.to_string()))
     }
 
     /// The family of prefixes that must be co-simulated with `prefix`:
@@ -279,11 +397,7 @@ impl Verifier {
         device: &str,
         k: u32,
     ) -> Result<ReachReport, SimError> {
-        let node = self
-            .net
-            .topology
-            .node(device)
-            .unwrap_or_else(|| panic!("unknown device {device}"));
+        let node = self.node_named(device)?;
         let mut sim = self.simulate(prefix, Some(k))?;
         Ok(self.reach_report(&mut sim, node, prefix, k))
     }
@@ -297,11 +411,7 @@ impl Verifier {
         packet: Packet,
         k: u32,
     ) -> Result<ReachReport, SimError> {
-        let src = self
-            .net
-            .topology
-            .node(src_device)
-            .unwrap_or_else(|| panic!("unknown device {src_device}"));
+        let src = self.node_named(src_device)?;
         let mut sim = self.simulate(dst_prefix, Some(k))?;
         let walk = packet_reach(
             &mut sim,
@@ -348,8 +458,8 @@ impl Verifier {
     /// trace is recorded, so repeated equivalence checks over the same
     /// snapshot converge to simulating only the families that matter.
     pub fn role_equivalence(&self, a: &str, b: &str) -> Result<EquivalenceReport, SimError> {
-        let na = self.net.topology.node(a).expect("unknown device");
-        let nb = self.net.topology.node(b).expect("unknown device");
+        let na = self.node_named(a)?;
+        let nb = self.node_named(b)?;
         let an = self.net.topology.name(na);
         let bn = self.net.topology.name(nb);
         for fam in self.families() {
@@ -412,11 +522,7 @@ impl Verifier {
         prefix: Ipv4Prefix,
         device: &str,
     ) -> Result<Vec<String>, SimError> {
-        let node = self
-            .net
-            .topology
-            .node(device)
-            .unwrap_or_else(|| panic!("unknown device {device}"));
+        let node = self.node_named(device)?;
         // Budget must admit conditions that only hold once a whole router's
         // links are down: use the max degree.
         let max_degree = self
@@ -471,23 +577,130 @@ impl Verifier {
             .collect())
     }
 
+    /// Simulates and queries one family in `arena`, returning the family's
+    /// sweep output *and the arena* — warm again on both the success and the
+    /// error path (a failed [`Simulation`] still surrenders its manager via
+    /// [`Simulation::into_manager`], so quarantine-and-continue does not
+    /// silently degrade workers to cold arenas). Only a panic loses the
+    /// arena, because it unwinds through the owning simulation.
+    fn run_family(
+        &self,
+        arena: BddManager,
+        fam: &[Ipv4Prefix],
+        index: usize,
+        k: u32,
+        budget: &FamilyBudget,
+    ) -> (Result<FamilySweep, SimError>, BddManager) {
+        // Seeded injection site: tests and `experiments faults` arm it to
+        // exercise quarantine deterministically; disarmed it is one relaxed
+        // atomic load. A planned panic fires inside `hit` itself.
+        let mut budget = *budget;
+        match hoyan_rt::fault::hit("verify.family", index as u64) {
+            None => {}
+            Some(hoyan_rt::fault::Fault::Error) => {
+                return (
+                    Err(SimError::Injected {
+                        site: "verify.family",
+                        index: index as u64,
+                    }),
+                    arena,
+                );
+            }
+            // Injected budget exhaustion goes through the *real* budget
+            // machinery: cap the family at zero ops and let the safe-point
+            // check trip.
+            Some(hoyan_rt::fault::Fault::OverBudget) => budget.max_ite_ops = Some(0),
+        }
+        let t0 = Instant::now();
+        let sim_span = hoyan_obs::span("verify.sim");
+        let mut sim = Simulation::new_bgp_in(
+            arena,
+            &self.net,
+            fam.to_vec(),
+            Some(k),
+            Some(&self.isis),
+        );
+        sim.set_budget(budget.bdd(), budget.deadline_ms);
+        if let Err(e) = sim.run() {
+            return (Err(e), sim.into_manager());
+        }
+        drop(sim_span);
+        let sim_time = t0.elapsed();
+        let mut family_reports = Vec::with_capacity(fam.len());
+        for (pi, p) in fam.iter().enumerate() {
+            let _q_span = hoyan_obs::span("verify.query");
+            let q0 = Instant::now();
+            let mut scope_nodes = Vec::new();
+            let mut fragile = Vec::new();
+            let mut max_len = 0usize;
+            for n in self.net.topology.nodes() {
+                let v = sim.reach_cond(n, *p);
+                if v.is_false() {
+                    continue;
+                }
+                if sim.mgr.eval(v, &[]) {
+                    scope_nodes.push(n);
+                    let exact = sim.reach_cond_exact(n, *p);
+                    max_len = max_len.max(sim.mgr.size(exact));
+                    if sim.mgr.min_failures_to_falsify(v) <= k {
+                        fragile.push(n);
+                    }
+                }
+            }
+            family_reports.push(PrefixReport {
+                prefix: *p,
+                sim_time,
+                query_time: q0.elapsed(),
+                stats: sim.stats,
+                max_cond_len: sim.max_cond_size,
+                max_reach_formula_len: max_len,
+                scope: scope_nodes,
+                fragile,
+                family_head: pi == 0,
+            });
+        }
+        // The query phase allocates in the same arena; honor the caps over
+        // the family's *whole* footprint, not just propagation.
+        if let Some(breach) = sim.mgr.budget_exceeded() {
+            return (Err(SimError::OverBudget(breach)), sim.into_manager());
+        }
+        let sweep = FamilySweep {
+            index,
+            stats: sim.stats,
+            reports: family_reports,
+            deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
+        };
+        (Ok(sweep), sim.into_manager())
+    }
+
     /// Simulates the given prefix families at budget `k` on `threads` scoped
     /// `std::thread`s (CPU-bound work, no async runtime) and returns each
     /// family's reports plus the dependency trace its propagation recorded.
     /// Results come back ordered by family index, so callers see the same
     /// sequence for any thread count.
     ///
+    /// Fault tolerance: each family runs under `catch_unwind`; an error,
+    /// budget breach or panic quarantines *that family only* and the rest
+    /// of the sweep completes. With [`SweepOptions::fail_fast`] the sweep
+    /// instead aborts like the pre-quarantine implementation — but failures
+    /// are recorded keyed by family index, so the surfaced error is the
+    /// *lowest-index* failing family at any thread count (claims are issued
+    /// in index order, so once a failure at index `j` stops the claim
+    /// counter, every index below it has been claimed and its outcome
+    /// recorded before the workers drain).
+    ///
     /// Determinism: a family's reports are pushed atomically (all or
-    /// nothing), a failed worker flips `failed` *before* publishing its
-    /// error so peers stop claiming and publishing, and the final list is
-    /// sorted by family index — so the output is identical for any thread
-    /// count (see `tests/determinism.rs`).
+    /// nothing), the final list is sorted by family index, and the
+    /// quarantine counters are bumped once, post-join — so reports,
+    /// quarantined set and counters are identical for any thread count
+    /// (see `tests/determinism.rs` and `tests/faults.rs`).
     fn sweep_families(
         &self,
         families: &[Vec<Ipv4Prefix>],
         k: u32,
         threads: usize,
-    ) -> Result<Vec<FamilySweep>, SimError> {
+        opts: &SweepOptions,
+    ) -> Result<SweepOutcome, SimError> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         let _sweep = hoyan_obs::span("verify.sweep");
         // Fan-out occupancy: thread-count-dependent by nature, so a gauge
@@ -496,8 +709,11 @@ impl Verifier {
         hoyan_obs::metric!(gauge "verify.fanout_families").record_max(families.len() as u64);
         let results = std::sync::Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
+        // Armed only under fail-fast: quarantine never stops peers.
         let failed = AtomicBool::new(false);
-        let error = std::sync::Mutex::new(None::<SimError>);
+        // Failures keyed by family index: the map, not lock-acquisition
+        // order, decides which error fail-fast surfaces.
+        let failures = std::sync::Mutex::new(std::collections::BTreeMap::<usize, FamilyFailure>::new());
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads.max(1))
                 .map(|_| {
@@ -509,104 +725,78 @@ impl Verifier {
                         // counters stay identical at any thread count).
                         let mut arena = BddManager::new();
                         loop {
-                            if failed.load(Ordering::Acquire) {
+                            if opts.fail_fast && failed.load(Ordering::Acquire) {
                                 break;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= families.len() {
                                 break;
                             }
-                            let fam = &families[i];
                             let _fam_span = hoyan_obs::span("verify.family");
-                            let t0 = Instant::now();
-                            let sim_span = hoyan_obs::span("verify.sim");
-                            let mut sim = Simulation::new_bgp_in(
-                                std::mem::take(&mut arena),
-                                &self.net,
-                                fam.clone(),
-                                Some(k),
-                                Some(&self.isis),
-                            );
-                            if let Err(e) = sim.run() {
-                                // Keep the first error; later ones lose the race
-                                // but every worker still stops promptly.
-                                error
-                                    .lock()
-                                    .unwrap_or_else(|p| p.into_inner())
-                                    .get_or_insert(e);
+                            let work = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                self.run_family(
+                                    std::mem::take(&mut arena),
+                                    &families[i],
+                                    i,
+                                    k,
+                                    &opts.budget,
+                                )
+                            }));
+                            let failure = match work {
+                                Ok((Ok(sweep), mgr)) => {
+                                    // Recycle flushes this family's tallies
+                                    // exactly like a Drop would.
+                                    arena = mgr;
+                                    arena.recycle();
+                                    // Under fail-fast, partial output must
+                                    // not be published past a peer's
+                                    // failure (pre-quarantine semantics).
+                                    if opts.fail_fast && failed.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    self.sweep_stats
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner())
+                                        .merge(&sweep.stats);
+                                    hoyan_obs::metric!(counter "verify.families").inc();
+                                    hoyan_obs::metric!(counter "verify.prefixes")
+                                        .add(families[i].len() as u64);
+                                    results
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner())
+                                        .push(sweep);
+                                    continue;
+                                }
+                                Ok((Err(e), mgr)) => {
+                                    // The error path hands the warm arena
+                                    // back (via `into_manager`) — recycle
+                                    // and keep going.
+                                    arena = mgr;
+                                    arena.recycle();
+                                    FamilyFailure::Error(e)
+                                }
+                                Err(payload) => {
+                                    // The arena unwound with the failed
+                                    // simulation; this worker restarts cold.
+                                    arena = BddManager::new();
+                                    FamilyFailure::Panic(payload)
+                                }
+                            };
+                            failures
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .insert(i, failure);
+                            if opts.fail_fast {
                                 failed.store(true, Ordering::Release);
                                 break;
                             }
-                            drop(sim_span);
-                            let sim_time = t0.elapsed();
-                            let mut family_reports = Vec::with_capacity(fam.len());
-                            for (pi, p) in fam.iter().enumerate() {
-                                let _q_span = hoyan_obs::span("verify.query");
-                                let q0 = Instant::now();
-                                let mut scope_nodes = Vec::new();
-                                let mut fragile = Vec::new();
-                                let mut max_len = 0usize;
-                                for n in self.net.topology.nodes() {
-                                    let v = sim.reach_cond(n, *p);
-                                    if v.is_false() {
-                                        continue;
-                                    }
-                                    if sim.mgr.eval(v, &[]) {
-                                        scope_nodes.push(n);
-                                        let exact = sim.reach_cond_exact(n, *p);
-                                        max_len = max_len.max(sim.mgr.size(exact));
-                                        if sim.mgr.min_failures_to_falsify(v) <= k {
-                                            fragile.push(n);
-                                        }
-                                    }
-                                }
-                                family_reports.push(PrefixReport {
-                                    prefix: *p,
-                                    sim_time,
-                                    query_time: q0.elapsed(),
-                                    stats: sim.stats,
-                                    max_cond_len: sim.max_cond_size,
-                                    max_reach_formula_len: max_len,
-                                    scope: scope_nodes,
-                                    fragile,
-                                    family_head: pi == 0,
-                                });
-                            }
-                            // Re-check *after* the family's work: a peer may have
-                            // errored while we were simulating, and partial
-                            // output must not be published past that point.
-                            if failed.load(Ordering::Acquire) {
-                                break;
-                            }
-                            // Worker-thread prune stats previously died with the
-                            // sim here; fold each family's into the verifier-wide
-                            // aggregate (one contribution per family, matching a
-                            // single-threaded run).
-                            self.sweep_stats
-                                .lock()
-                                .unwrap_or_else(|p| p.into_inner())
-                                .merge(&sim.stats);
-                            hoyan_obs::metric!(counter "verify.families").inc();
-                            hoyan_obs::metric!(counter "verify.prefixes").add(fam.len() as u64);
-                            results
-                                .lock()
-                                .unwrap_or_else(|p| p.into_inner())
-                                .push(FamilySweep {
-                                    index: i,
-                                    reports: family_reports,
-                                    deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
-                                });
-                            // Reclaim the arena for the next family. Recycle
-                            // flushes this family's tallies exactly like the
-                            // Drop on the error paths would.
-                            arena = sim.into_mgr();
-                            arena.recycle();
                         }
                     })
                 })
                 .collect();
-            // Join explicitly and re-raise the first worker panic with its
-            // original payload (assert messages survive intact).
+            // Join explicitly and re-raise the first *harness* panic (the
+            // per-family work is already caught above; anything escaping
+            // here is a bug in the sweep itself).
             let mut panic_payload = None;
             for h in handles {
                 if let Err(p) = h.join() {
@@ -617,12 +807,52 @@ impl Verifier {
                 std::panic::resume_unwind(p);
             }
         });
-        if let Some(e) = error.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            return Err(e);
+        let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+        if opts.fail_fast {
+            // Lowest failing index wins — BTreeMap order, not whichever
+            // worker got to a lock first.
+            if let Some((_, failure)) = failures.pop_first() {
+                match failure {
+                    FamilyFailure::Error(e) => return Err(e),
+                    FamilyFailure::Panic(p) => std::panic::resume_unwind(p),
+                }
+            }
         }
+        let mut quarantined = Vec::new();
+        let mut over_budget = 0u64;
+        for (index, failure) in failures {
+            let outcome = match failure {
+                FamilyFailure::Error(
+                    e @ (SimError::OverBudget(_) | SimError::DeadlineExceeded { .. }),
+                ) => {
+                    over_budget += 1;
+                    FamilyOutcome::OverBudget {
+                        reason: e.to_string(),
+                    }
+                }
+                FamilyFailure::Error(e) => FamilyOutcome::Failed {
+                    reason: e.to_string(),
+                },
+                FamilyFailure::Panic(p) => FamilyOutcome::Failed {
+                    reason: format!("panic: {}", panic_message(p.as_ref())),
+                },
+            };
+            quarantined.push(QuarantinedFamily {
+                index,
+                prefixes: families[index].clone(),
+                outcome,
+            });
+        }
+        // Bumped once, post-join: deterministic at any thread count (as
+        // long as no wall-clock deadline is configured — see the docs).
+        hoyan_obs::metric!(counter "verify.families_quarantined").add(quarantined.len() as u64);
+        hoyan_obs::metric!(counter "verify.families_over_budget").add(over_budget);
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|f| f.index);
-        Ok(out)
+        Ok(SweepOutcome {
+            families: out,
+            quarantined,
+        })
     }
 
     /// Publishes the sweep-wide gauges from the aggregate prune stats.
@@ -639,29 +869,62 @@ impl Verifier {
     /// devices. Families are processed in parallel on `threads` scoped
     /// threads; output is sorted by prefix and identical for any thread
     /// count (see `tests/determinism.rs`).
-    pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<Vec<PrefixReport>, SimError> {
+    ///
+    /// Runs with the default [`SweepOptions`]: faults are quarantined
+    /// per-family, never aborting the sweep — inspect
+    /// [`SweepReport::quarantined`] for families that did not complete. Use
+    /// [`Verifier::verify_all_routes_opts`] for fail-fast or budgets.
+    pub fn verify_all_routes(&self, k: u32, threads: usize) -> Result<SweepReport, SimError> {
+        self.verify_all_routes_opts(k, threads, &SweepOptions::default())
+    }
+
+    /// [`Verifier::verify_all_routes`] with explicit [`SweepOptions`]
+    /// (fail-fast, per-family resource budgets).
+    pub fn verify_all_routes_opts(
+        &self,
+        k: u32,
+        threads: usize,
+        opts: &SweepOptions,
+    ) -> Result<SweepReport, SimError> {
         let families = self.families();
-        let swept = self.sweep_families(&families, k, threads)?;
-        let mut out: Vec<PrefixReport> = swept.into_iter().flat_map(|f| f.reports).collect();
+        let swept = self.sweep_families(&families, k, threads, opts)?;
+        let mut out: Vec<PrefixReport> =
+            swept.families.into_iter().flat_map(|f| f.reports).collect();
         out.sort_by_key(|r| r.prefix);
         self.flush_sweep_gauges();
-        Ok(out)
+        Ok(SweepReport {
+            reports: out,
+            quarantined: swept.quarantined,
+        })
     }
 
     /// Like [`Verifier::verify_all_routes`], but also returns a
     /// [`FamilyCache`] mapping every simulated family to its reports and the
     /// dependency trace recorded during propagation — the baseline for
-    /// [`Verifier::reverify`].
+    /// [`Verifier::reverify`]. Quarantined families are *not* cached, so a
+    /// later [`Verifier::reverify`] classifies them `NotCached` and retries
+    /// them automatically.
     pub fn verify_all_routes_cached(
         &self,
         k: u32,
         threads: usize,
-    ) -> Result<(Vec<PrefixReport>, FamilyCache), SimError> {
+    ) -> Result<(SweepReport, FamilyCache), SimError> {
+        self.verify_all_routes_cached_opts(k, threads, &SweepOptions::default())
+    }
+
+    /// [`Verifier::verify_all_routes_cached`] with explicit
+    /// [`SweepOptions`].
+    pub fn verify_all_routes_cached_opts(
+        &self,
+        k: u32,
+        threads: usize,
+        opts: &SweepOptions,
+    ) -> Result<(SweepReport, FamilyCache), SimError> {
         let families = self.families();
-        let swept = self.sweep_families(&families, k, threads)?;
+        let swept = self.sweep_families(&families, k, threads, opts)?;
         let mut cache = FamilyCache::new(k, self.isis_k);
         let mut out = Vec::new();
-        for f in swept {
+        for f in swept.families {
             cache.insert(CachedFamily {
                 prefixes: families[f.index].clone(),
                 reports: f
@@ -675,7 +938,13 @@ impl Verifier {
         }
         out.sort_by_key(|r| r.prefix);
         self.flush_sweep_gauges();
-        Ok((out, cache))
+        Ok((
+            SweepReport {
+                reports: out,
+                quarantined: swept.quarantined,
+            },
+            cache,
+        ))
     }
 
     /// Classifies every family of *this* (post-change) verifier against a
@@ -717,6 +986,20 @@ impl Verifier {
         cache: &FamilyCache,
         k: u32,
         threads: usize,
+    ) -> Result<ReverifyOutcome, SimError> {
+        self.reverify_opts(delta, cache, k, threads, &SweepOptions::default())
+    }
+
+    /// [`Verifier::reverify`] with explicit [`SweepOptions`]. Quarantined
+    /// dirty families are excluded from the refreshed cache, so the next
+    /// delta re-classifies them `NotCached` and retries them.
+    pub fn reverify_opts(
+        &self,
+        delta: &SnapshotDelta,
+        cache: &FamilyCache,
+        k: u32,
+        threads: usize,
+        opts: &SweepOptions,
     ) -> Result<ReverifyOutcome, SimError> {
         let _sp = hoyan_obs::span("verify.reverify");
         let mut classifications = self.classify_families(delta, cache, k);
@@ -760,8 +1043,8 @@ impl Verifier {
         let reused = classifications.len() - dirty.len();
         hoyan_obs::metric!(counter "verify.families_reused").add(reused as u64);
         hoyan_obs::metric!(counter "verify.families_recomputed").add(dirty.len() as u64);
-        let swept = self.sweep_families(&dirty, k, threads)?;
-        for f in swept {
+        let swept = self.sweep_families(&dirty, k, threads, opts)?;
+        for f in swept.families {
             new_cache.insert(CachedFamily {
                 prefixes: dirty[f.index].clone(),
                 reports: f
@@ -781,6 +1064,7 @@ impl Verifier {
             recomputed: dirty.len(),
             reused,
             classifications,
+            quarantined: swept.quarantined,
         })
     }
 }
@@ -789,10 +1073,23 @@ impl Verifier {
 struct FamilySweep {
     /// Index into the family list handed to `sweep_families`.
     index: usize,
+    /// The family's prune-stats contribution, merged into the sweep
+    /// aggregate by the worker loop (not by `run_family`, so a fail-fast
+    /// abort can still suppress publication).
+    stats: PruneStats,
     /// Per-prefix reports, in family order (head first).
     reports: Vec<PrefixReport>,
     /// Devices and links the family's propagation touched.
     deps: FamilyDeps,
+}
+
+/// Everything a sweep produced: the completed families plus the
+/// quarantined ones (empty under fail-fast, which errors instead).
+struct SweepOutcome {
+    /// Completed families, sorted by index.
+    families: Vec<FamilySweep>,
+    /// Families that errored, breached a budget or panicked.
+    quarantined: Vec<QuarantinedFamily>,
 }
 
 /// Result of an incremental [`Verifier::reverify`] sweep.
@@ -809,4 +1106,8 @@ pub struct ReverifyOutcome {
     pub reused: usize,
     /// Per-family classification (`None` = clean/replayed).
     pub classifications: Vec<(Vec<Ipv4Prefix>, Option<DirtyReason>)>,
+    /// Dirty families that failed to re-simulate (indexed into the dirty
+    /// list; the `prefixes` field identifies the family). Not cached, so
+    /// the next delta retries them.
+    pub quarantined: Vec<QuarantinedFamily>,
 }

@@ -358,7 +358,7 @@ fn parallel_sweep_matches_serial_queries() {
     ];
     let refs: Vec<&str> = net_texts.iter().map(|s| s.as_str()).collect();
     let verifier = Verifier::new(cfgs(&refs), VsbProfile::ground_truth, Some(3)).unwrap();
-    let reports = verifier.verify_all_routes(1, 4).unwrap();
+    let reports = verifier.verify_all_routes(1, 4).unwrap().reports;
     assert_eq!(reports.len(), 2);
     for r in &reports {
         // Chain topology: a single failure cuts C off; all nodes in scope.

@@ -97,6 +97,53 @@ pub const INF_FAILURES: u32 = u32::MAX;
 /// allocation even when the live set keeps growing.
 const DEFAULT_GC_WATERMARK: usize = 4096;
 
+/// A deterministic resource budget for one manager lifetime segment (one
+/// prefix family, between [`BddManager::recycle`] calls). Both caps count
+/// *work*, not wall-clock: live arena nodes and ITE expansions are a pure
+/// function of the formulas built, so a budgeted run trips at the same
+/// point on any machine, at any thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddBudget {
+    /// Cap on live nodes ([`BddManager::node_count`]); `None` = unlimited.
+    pub max_live_nodes: Option<usize>,
+    /// Cap on ITE expansions plus cost-walk steps ([`BddManager::ops`],
+    /// which resets on recycle so the count is per-segment); `None` =
+    /// unlimited.
+    pub max_ops: Option<u64>,
+}
+
+/// Which [`BddBudget`] axis was exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The live-node cap was exceeded.
+    LiveNodes {
+        /// The configured cap.
+        limit: usize,
+        /// Live nodes at the check.
+        live: usize,
+    },
+    /// The operation cap was exceeded.
+    Ops {
+        /// The configured cap.
+        limit: u64,
+        /// Operations at the check.
+        ops: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetBreach::LiveNodes { limit, live } => {
+                write!(f, "{live} live BDD nodes over the cap of {limit}")
+            }
+            BudgetBreach::Ops { limit, ops } => {
+                write!(f, "{ops} BDD operations over the cap of {limit}")
+            }
+        }
+    }
+}
+
 /// One frame of the explicit-stack ITE machine: either a subproblem still
 /// to solve, or a reduction waiting for its two cofactor results.
 enum IteFrame {
@@ -119,6 +166,8 @@ pub struct BddManager {
     sat_cost: FxHashMap<Bdd, u32>,
     falsify_cost: FxHashMap<Bdd, u32>,
     gc_watermark: usize,
+    /// Per-segment resource caps; see [`Self::budget_exceeded`].
+    budget: BddBudget,
     /// Lifetime count of solver steps: ITE expansions plus failure-cost
     /// node evaluations (diagnostics).
     pub ops: u64,
@@ -160,6 +209,7 @@ impl BddManager {
             sat_cost: FxHashMap::default(),
             falsify_cost: FxHashMap::default(),
             gc_watermark: DEFAULT_GC_WATERMARK,
+            budget: BddBudget::default(),
             ops: 0,
             unique_hits: 0,
             unique_misses: 0,
@@ -221,7 +271,43 @@ impl BddManager {
         self.sat_cost.clear();
         self.falsify_cost.clear();
         self.gc_watermark = DEFAULT_GC_WATERMARK;
+        self.budget = BddBudget::default();
         self.peak_live = 2;
+    }
+
+    /// Installs the per-segment resource caps. [`Self::recycle`] clears them
+    /// back to unlimited (a fresh segment negotiates its own budget), and
+    /// zeroes `ops`, so an `max_ops` cap counts only the current family's
+    /// work.
+    pub fn set_budget(&mut self, budget: BddBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed caps.
+    pub fn budget(&self) -> BddBudget {
+        self.budget
+    }
+
+    /// Whether the installed [`BddBudget`] is exhausted. O(1); the manager
+    /// never enforces the caps itself — owners poll this at safe points
+    /// (like the GC check) where they can abandon the segment cleanly, so a
+    /// breach surfaces as an error, not a panic mid-operation.
+    pub fn budget_exceeded(&self) -> Option<BudgetBreach> {
+        if let Some(limit) = self.budget.max_live_nodes {
+            let live = self.node_count();
+            if live > limit {
+                return Some(BudgetBreach::LiveNodes { limit, live });
+            }
+        }
+        if let Some(limit) = self.budget.max_ops {
+            if self.ops > limit {
+                return Some(BudgetBreach::Ops {
+                    limit,
+                    ops: self.ops,
+                });
+            }
+        }
+        None
     }
 
     /// Number of live nodes (including terminals): arena slots minus the

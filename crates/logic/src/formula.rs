@@ -93,7 +93,7 @@ impl Formula {
                 }
                 match out.len() {
                     0 => Formula::Const(true),
-                    1 => out.pop().unwrap(),
+                    1 => out.pop().expect("len checked"),
                     _ => Formula::And(out),
                 }
             }
@@ -108,7 +108,7 @@ impl Formula {
                 }
                 match out.len() {
                     0 => Formula::Const(false),
-                    1 => out.pop().unwrap(),
+                    1 => out.pop().expect("len checked"),
                     _ => Formula::Or(out),
                 }
             }

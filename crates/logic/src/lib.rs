@@ -27,7 +27,7 @@ pub mod cnf;
 pub mod formula;
 pub mod sat;
 
-pub use bdd::{Bdd, BddManager};
+pub use bdd::{Bdd, BddBudget, BddManager, BudgetBreach};
 pub use cnf::{Cnf, Lit, Var};
 pub use formula::Formula;
 pub use sat::{SatResult, Solver};

@@ -306,11 +306,11 @@ impl Solver {
             if counter == 0 {
                 break;
             }
-            confl = self.reason[p.unwrap().var() as usize];
+            confl = self.reason[p.expect("resolution always finds a trail literal").var() as usize];
             debug_assert_ne!(confl, NO_REASON);
             // p is lits[0] of its reason clause by construction.
         }
-        learned[0] = p.unwrap().negate();
+        learned[0] = p.expect("first-UIP resolution yields an asserting literal").negate();
 
         let backjump = if learned.len() == 1 {
             0
@@ -331,9 +331,12 @@ impl Solver {
 
     fn cancel_until(&mut self, level: u32) {
         while self.decision_level() > level {
-            let lim = self.trail_lim.pop().unwrap();
+            let lim = self
+                .trail_lim
+                .pop()
+                .expect("decision_level > level implies a level limit to pop");
             while self.trail.len() > lim {
-                let l = self.trail.pop().unwrap();
+                let l = self.trail.pop().expect("trail longer than its level limit");
                 self.assign[l.var() as usize] = -1;
                 self.reason[l.var() as usize] = NO_REASON;
             }

@@ -255,6 +255,8 @@ pub fn register_default_metrics() {
         "tuner.mismatches",
         "verify.equiv_families_skipped",
         "verify.families",
+        "verify.families_over_budget",
+        "verify.families_quarantined",
         "verify.families_recomputed",
         "verify.families_reused",
         "verify.prefixes",

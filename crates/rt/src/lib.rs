@@ -22,8 +22,12 @@
 //! - [`hash`] — a deterministic FxHash-style hasher (`FxHashMap`,
 //!   `FxHashSet`) for hot in-process tables keyed by small integers, where
 //!   SipHash's DoS resistance buys nothing.
+//! - [`fault`] — seeded, site-keyed fault injection: no-op unless a plan is
+//!   armed, and then a pure function of `(site, index)` so injected faults
+//!   land identically at any thread count.
 
 pub mod bench;
+pub mod fault;
 pub mod hash;
 pub mod prop;
 pub mod rng;

@@ -19,7 +19,7 @@ fn small_wan_full_sweep() {
     let wan = WanSpec::small(2).build();
     let verifier = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
     let t0 = std::time::Instant::now();
-    let reports = verifier.verify_all_routes(1, 8).unwrap();
+    let reports = verifier.verify_all_routes(1, 8).unwrap().reports;
     eprintln!("small sweep k=1: {} prefixes in {:?}", reports.len(), t0.elapsed());
     assert!(!reports.is_empty());
     for r in &reports {

@@ -69,7 +69,7 @@ fn main() {
 
     // 4. The full sweep all operators run before pushing an update.
     let t0 = std::time::Instant::now();
-    let reports = verifier.verify_all_routes(1, 8).expect("sweep converges");
+    let reports = verifier.verify_all_routes(1, 8).expect("sweep converges").reports;
     let fragile: usize = reports.iter().filter(|r| !r.fragile.is_empty()).count();
     println!(
         "\nfull sweep at k=1: {} prefixes in {:?}; {} prefixes have \

@@ -9,7 +9,9 @@
 //! hoyan racing <dir> --prefix 10.0.0.0/24
 //! hoyan routers <dir> --prefix 10.0.0.0/24 --device CR1x0
 //! hoyan equiv  <dir> --a CR0x0 --b CR0x1
-//! hoyan sweep  <dir> [--k 1] [--baseline <dirA>]
+//! hoyan sweep  <dir> [--k 1] [--baseline <dirA>] [--fail-fast]
+//!              [--family-node-budget N] [--family-op-budget N]
+//!              [--family-deadline-ms MS]
 //! hoyan diff   <dirA> <dirB> [--k 1]
 //! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
 //! hoyan tune   <dir>
@@ -21,9 +23,21 @@
 //! the baseline once, then re-verify only the dirty families — output is
 //! identical to a from-scratch sweep of the target directory.
 //!
+//! `sweep` quarantines families that fail (a simulation error, a budget
+//! breach, a panic): the rest of the sweep completes and quarantined
+//! families are listed after the report. `--fail-fast` restores the old
+//! abort-on-first-error behavior; the surfaced error is the lowest-index
+//! failing family regardless of `--threads`. The per-family budgets are
+//! operation-counted and deterministic; `--family-deadline-ms` is the one
+//! wall-clock (hence non-deterministic) guard and is opt-in only.
+//!
 //! Global flags (any subcommand): `--stats` prints a span-tree/metrics
 //! table, `--stats-json PATH` writes the metrics registry as deterministic
 //! JSON, and `--quiet` suppresses degradation warnings on stderr.
+//!
+//! The `HOYAN_FAULTS` environment variable arms the seeded fault-injection
+//! plan (`site@index[,index...]=error|panic|overbudget` or
+//! `site@~permille/seed=...`; `;`-separated rules) — see `hoyan::rt::fault`.
 //!
 //! A configuration directory holds one `<hostname>.cfg` per device in the
 //! dialect of `hoyan::config` (see `hoyan gen` for samples).
@@ -32,7 +46,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hoyan::config::{parse_config, ConfigSnapshot, DeviceConfig};
-use hoyan::core::Verifier;
+use hoyan::core::{FamilyBudget, SweepOptions, SweepReport, Verifier};
 use hoyan::device::{Packet, VsbProfile};
 use hoyan::nettypes::Ipv4Prefix;
 use hoyan::topogen::WanSpec;
@@ -45,6 +59,19 @@ fn main() -> ExitCode {
     let stats = take_flag(&mut args, "--stats");
     let stats_json = take_value_flag(&mut args, "--stats-json");
     hoyan::obs::set_quiet(take_flag(&mut args, "--quiet"));
+    // Seeded fault injection, for drills and tests: disarmed (the default)
+    // the hooks are a single relaxed atomic load.
+    if let Ok(spec) = std::env::var("HOYAN_FAULTS") {
+        if !spec.is_empty() {
+            match hoyan::rt::fault::FaultPlan::parse(&spec) {
+                Ok(plan) => hoyan::rt::fault::install(plan),
+                Err(e) => {
+                    eprintln!("error: bad HOYAN_FAULTS: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     if stats || stats_json.is_some() {
         hoyan::obs::set_enabled(true);
         // Pin the export schema: all standard metrics present (zeroed) even
@@ -85,6 +112,10 @@ fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
     } else {
         None
     }
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -165,6 +196,23 @@ fn get_threads(args: &[String]) -> Result<usize, String> {
             .unwrap_or(4)),
         Some(t) => t.parse().map_err(|_| format!("bad --threads `{t}`")),
     }
+}
+
+fn get_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
+    let num = |name: &str| -> Result<Option<u64>, String> {
+        match flag(args, name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {name} `{v}`")),
+        }
+    };
+    Ok(SweepOptions {
+        fail_fast: has_flag(args, "--fail-fast"),
+        budget: FamilyBudget {
+            max_live_nodes: num("--family-node-budget")?.map(|v| v as usize),
+            max_ite_ops: num("--family-op-budget")?,
+            deadline_ms: num("--family-deadline-ms")?,
+        },
+    })
 }
 
 fn print_delta(delta: &hoyan::config::SnapshotDelta, snap_b: &ConfigSnapshot) {
@@ -343,17 +391,20 @@ fn run(args: &[String]) -> Result<(), String> {
             let dir = args.get(1).ok_or("sweep needs a config directory")?;
             let k = get_k(args)?;
             let threads = get_threads(args)?;
+            let opts = get_sweep_options(args)?;
             let t0 = std::time::Instant::now();
-            let (v, reports) = match flag(args, "--baseline") {
+            let (v, swept) = match flag(args, "--baseline") {
                 None => {
                     let v = verifier_for(dir, k)?;
-                    let reports = v.verify_all_routes(k, threads).map_err(|e| e.to_string())?;
+                    let swept = v
+                        .verify_all_routes_opts(k, threads, &opts)
+                        .map_err(|e| e.to_string())?;
                     println!(
                         "swept {} prefixes at k={k} in {:?}",
-                        reports.len(),
+                        swept.reports.len(),
                         t0.elapsed()
                     );
-                    (v, reports)
+                    (v, swept)
                 }
                 Some(base_dir) => {
                     // Incremental path: sweep the baseline once (building the
@@ -378,7 +429,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     )
                     .map_err(|e| format!("model construction failed: {e}"))?;
                     let outcome = v
-                        .reverify(&delta, &cache, k, threads)
+                        .reverify_opts(&delta, &cache, k, threads, &opts)
                         .map_err(|e| e.to_string())?;
                     println!(
                         "incremental sweep of {} prefixes at k={k} in {:?}: {} family(ies) recomputed, {} reused",
@@ -387,10 +438,25 @@ fn run(args: &[String]) -> Result<(), String> {
                         outcome.recomputed,
                         outcome.reused
                     );
-                    (v, outcome.reports)
+                    (
+                        v,
+                        SweepReport {
+                            reports: outcome.reports,
+                            quarantined: outcome.quarantined,
+                        },
+                    )
                 }
             };
-            for r in reports.iter().filter(|r| !r.fragile.is_empty()) {
+            if !swept.quarantined.is_empty() {
+                println!(
+                    "{} family(ies) quarantined (reports above exclude them):",
+                    swept.quarantined.len()
+                );
+                for q in &swept.quarantined {
+                    println!("  QUARANTINED {}: {}", fam_label(&q.prefixes), q.outcome);
+                }
+            }
+            for r in swept.reports.iter().filter(|r| !r.fragile.is_empty()) {
                 let names: Vec<&str> = r
                     .fragile
                     .iter()
@@ -527,7 +593,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan racing <dir> --prefix P\n\
                  \x20 hoyan routers <dir> --prefix P --device D\n\
                  \x20 hoyan equiv  <dir> --a D1 --b D2\n\
-                 \x20 hoyan sweep  <dir> [--k K] [--threads N] [--baseline <dirA>]\n\
+                 \x20 hoyan sweep  <dir> [--k K] [--threads N] [--baseline <dirA>] [--fail-fast]\n\
+                 \x20              [--family-node-budget N] [--family-op-budget N] [--family-deadline-ms MS]\n\
                  \x20 hoyan diff   <dirA> <dirB> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
                  \x20 hoyan tune   <dir>\n\

@@ -24,6 +24,9 @@
 //!   fault/error-injection workloads.
 //! - [`obs`] — hermetic tracing spans and the process-wide metrics registry
 //!   behind the CLI's `--stats`/`--stats-json` output.
+//! - [`rt`] — the hermetic runtime kit: seeded PRNGs, property-test and
+//!   bench harnesses, and the seeded fault-injection plan behind
+//!   `HOYAN_FAULTS`.
 //!
 //! ## Quickstart
 //!
@@ -52,5 +55,6 @@ pub use hoyan_device as device;
 pub use hoyan_logic as logic;
 pub use hoyan_nettypes as nettypes;
 pub use hoyan_obs as obs;
+pub use hoyan_rt as rt;
 pub use hoyan_topogen as topogen;
 pub use hoyan_tuner as tuner;

@@ -33,12 +33,12 @@ fn assert_reports_equal(a: &[PrefixReport], b: &[PrefixReport], what: &str) {
 fn verify_all_routes_is_thread_count_invariant() {
     let wan = WanSpec::tiny(9).build();
     let verifier = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(1)).unwrap();
-    let serial = verifier.verify_all_routes(1, 1).unwrap();
+    let serial = verifier.verify_all_routes(1, 1).unwrap().reports;
     assert!(!serial.is_empty(), "sweep must cover some prefixes");
-    let parallel = verifier.verify_all_routes(1, 8).unwrap();
+    let parallel = verifier.verify_all_routes(1, 8).unwrap().reports;
     assert_reports_equal(&serial, &parallel, "threads=1 vs threads=8");
     // Oversubscription (more threads than families) must change nothing.
-    let oversub = verifier.verify_all_routes(1, 64).unwrap();
+    let oversub = verifier.verify_all_routes(1, 64).unwrap().reports;
     assert_reports_equal(&serial, &oversub, "threads=1 vs threads=64");
 }
 
@@ -46,7 +46,7 @@ fn verify_all_routes_is_thread_count_invariant() {
 fn repeated_parallel_sweeps_agree() {
     let wan = WanSpec::tiny(21).build();
     let verifier = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(1)).unwrap();
-    let a = verifier.verify_all_routes(1, 4).unwrap();
-    let b = verifier.verify_all_routes(1, 4).unwrap();
+    let a = verifier.verify_all_routes(1, 4).unwrap().reports;
+    let b = verifier.verify_all_routes(1, 4).unwrap().reports;
     assert_reports_equal(&a, &b, "back-to-back parallel sweeps");
 }

@@ -232,6 +232,65 @@ fn rt_crate_is_std_only() {
 }
 
 #[test]
+fn core_and_logic_sources_are_panic_free() {
+    // Quarantine only works if the engine under `catch_unwind` does not
+    // *casually* panic: a panic loses the worker's warm BDD arena and turns
+    // a recoverable `SimError` into a stringly-typed outcome. Non-test code
+    // in the simulation core and the logic engines must therefore never use
+    // `panic!` or `.unwrap()`. `.expect("...")` stays allowed — it documents
+    // an invariant — as does `into_inner()`-based poisoned-mutex recovery.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    let mut audited = 0usize;
+    for dir in ["crates/core/src", "crates/logic/src"] {
+        let mut stack = vec![root.join(dir)];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).expect("source dir exists") {
+                let path = entry.expect("readable dir entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path).expect("readable source");
+                audited += 1;
+                for (i, raw) in text.lines().enumerate() {
+                    // Unit tests live in a tail `#[cfg(test)] mod tests` per
+                    // file; everything below the marker is test code.
+                    if raw.contains("#[cfg(test)]") {
+                        break;
+                    }
+                    let line = raw.split("//").next().unwrap_or("");
+                    // Poisoned-mutex recovery (`unwrap_or_else(|p|
+                    // p.into_inner())`) is the sanctioned non-panicking
+                    // pattern and may share a line with `.unwrap_or_else`.
+                    if line.contains("into_inner()") {
+                        continue;
+                    }
+                    for needle in ["panic!(", ".unwrap()"] {
+                        if line.contains(needle) {
+                            violations.push(format!(
+                                "{}:{}: `{needle}` in non-test code",
+                                path.display(),
+                                i + 1
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(audited >= 10, "expected to audit the core/logic sources");
+    assert!(
+        violations.is_empty(),
+        "panicking constructs in quarantine-covered code:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
 fn parser_flags_registry_style_deps() {
     // Sanity-check the guard itself: it must catch the classic shapes.
     let bad = r#"

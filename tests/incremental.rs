@@ -57,7 +57,8 @@ fn check_roundtrip(wan_seed: u64, plan_seed: u64, edits: usize) {
     let fresh = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3))
         .unwrap()
         .verify_all_routes(K, 2)
-        .unwrap();
+        .unwrap()
+        .reports;
 
     for threads in [1usize, 3] {
         let v_b = Verifier::new(edited.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
@@ -93,6 +94,7 @@ fn reverify_handles_empty_delta() {
     assert!(delta.is_empty());
     let v = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
     let (fresh, cache) = v.verify_all_routes_cached(K, 2).unwrap();
+    let fresh = fresh.reports;
     let v2 = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
     let outcome = v2.reverify(&delta, &cache, K, 2).unwrap();
     assert_eq!(outcome.recomputed, 0, "no family may be dirtied");
@@ -117,7 +119,8 @@ fn budget_change_dirties_everything() {
     )
     .unwrap()
     .verify_all_routes(2, 2)
-    .unwrap();
+    .unwrap()
+    .reports;
     assert_reports_equal(&fresh, &outcome.reports, "budget-changed reverify");
 }
 
@@ -137,7 +140,8 @@ fn isis_budget_change_dirties_everything() {
     let fresh = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(2))
         .unwrap()
         .verify_all_routes(K, 2)
-        .unwrap();
+        .unwrap()
+        .reports;
     assert_reports_equal(&fresh, &outcome.reports, "isis-budget-changed reverify");
 }
 
@@ -226,6 +230,7 @@ fn one_device_change_recomputes_under_30_percent() {
     let fresh = Verifier::new(edited, VsbProfile::ground_truth, Some(3))
         .unwrap()
         .verify_all_routes(K, 4)
-        .unwrap();
+        .unwrap()
+        .reports;
     assert_reports_equal(&fresh, &outcome.reports, "selectivity run");
 }
