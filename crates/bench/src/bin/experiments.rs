@@ -818,10 +818,66 @@ fn bdd(quick: bool) {
         counters["bdd.ite_cache_hits"],
     );
 
+    let sweep_snapshot = hoyan_obs::export_json();
+
+    // Window 3: variable-ordering comparison. One single-threaded sweep per
+    // `BddOrdering` on the same fixture — single-threaded so `bdd.ops` and
+    // peak live nodes measure the per-ordering cost, not scheduling noise.
+    println!(" ordering comparison (k={k}, 1 thread):");
+    println!(
+        "   {:<14} {:>12} {:>12} {:>10}",
+        "order", "bdd.ops", "peak_nodes", "sweep"
+    );
+    let mut ordering_rows = String::new();
+    for ordering in hoyan_logic::BddOrdering::ALL {
+        let v = Verifier::new_ordered(
+            wan.configs.clone(),
+            VsbProfile::ground_truth,
+            Some(3),
+            ordering,
+        )
+        .expect("ordered verifier");
+        hoyan_obs::reset_metrics();
+        let t0 = Instant::now();
+        let ordered = v.verify_all_routes(k, 1).expect("ordered sweep").reports;
+        let wall = t0.elapsed();
+        assert_eq!(
+            ordered.len(),
+            reports.len(),
+            "ordering {ordering} changed the report set"
+        );
+        let counters = hoyan_obs::counter_values();
+        let gauges = hoyan_obs::gauge_values();
+        println!(
+            "   {:<14} {:>12} {:>12} {:>10}",
+            ordering.name(),
+            counters["bdd.ops"],
+            gauges["bdd.peak_nodes"],
+            fmt_dur(wall)
+        );
+        if !ordering_rows.is_empty() {
+            ordering_rows.push_str(",\n      ");
+        }
+        use std::fmt::Write as _;
+        let _ = write!(
+            ordering_rows,
+            "{{\"order\": \"{}\", \"bdd_ops\": {}, \"bdd_peak_nodes\": {}, \
+             \"shared_imports\": {}, \"sweep_ms\": {}}}",
+            ordering.name(),
+            counters["bdd.ops"],
+            gauges["bdd.peak_nodes"],
+            counters["bdd.shared_imports"],
+            wall.as_millis()
+        );
+    }
+
     let mut suite = BenchSuite::new("bdd");
-    // The metrics snapshot covers exactly the scoped sweep above; the
-    // timing samples below re-run the sweep but do not touch the snapshot.
-    suite.set_metrics_json(hoyan_obs::export_json());
+    // The metrics snapshot covers exactly the scoped sweep above (under
+    // `"sweep"`), plus the per-ordering comparison rows; the timing samples
+    // below re-run the sweep but do not touch the snapshot.
+    suite.set_metrics_json(format!(
+        "{{\n    \"sweep\": {sweep_snapshot},\n    \"orderings\": [\n      {ordering_rows}\n    ]\n  }}"
+    ));
     let samples = if quick { 2 } else { 5 };
     suite.bench_with_samples("sweep", samples, &mut || {
         verifier.verify_all_routes(k, threads).expect("sweep")

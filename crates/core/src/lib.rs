@@ -27,10 +27,11 @@ pub mod verify;
 
 pub use fib::{fib_rules_for, is_gateway, FibAction, FibRule};
 pub use isis::{IsisDb, IsisHop};
-pub use network::{BgpSession, NetworkModel};
+pub use network::{link_order, BgpSession, NetworkModel};
 pub use packet::{packet_reach, packet_reach_ecmp, EcmpMode, PacketWalk};
 pub use propagate::{
-    DepTrace, Entry, Mode, Proto, PruneStats, RibView, SimError, Simulation, LOCAL_WEIGHT,
+    AttachedBase, DepTrace, Entry, Mode, Proto, PruneStats, RibView, SharedBase, SimError,
+    Simulation, LOCAL_WEIGHT,
 };
 pub use racing::{racing_check, RacingReport};
 pub use snapshot::{

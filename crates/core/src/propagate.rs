@@ -272,6 +272,100 @@ pub enum Mode {
     Igp,
 }
 
+/// The read-only arena of conditions every family of a sweep shares: the
+/// per-link aliveness literals (`var`/`nvar`, pre-interned under the
+/// model's variable order) and the iBGP session conditions derived from
+/// IS-IS. Built **once per sweep**, then imported into each worker's warm
+/// arena as a permanent base segment ([`hoyan_logic::BddManager::import_base`])
+/// that survives [`hoyan_logic::BddManager::recycle`] — so per-family
+/// construction stops re-deriving the same nodes, and in particular stops
+/// re-importing session conditions from the IS-IS database family after
+/// family.
+pub struct SharedBase {
+    mgr: BddManager,
+    /// Import roots: `2 * link_count` literals (vars then nvars, by link
+    /// id), then one session condition per `session_keys` entry.
+    roots: Vec<Bdd>,
+    /// Normalized `(min, max)` node pairs, aligned with the session-root
+    /// tail of `roots`.
+    session_keys: Vec<(u32, u32)>,
+    n_links: usize,
+}
+
+impl SharedBase {
+    /// Builds the base arena for `net`: link literals always, plus the
+    /// session condition of every iBGP session pair when `isis` is given.
+    /// Bumps `isis.conditioned_sessions` once per pair (the per-sweep cost
+    /// the per-family `bdd.shared_imports` hits amortize).
+    pub fn build(net: &NetworkModel, isis: Option<&IsisDb>) -> SharedBase {
+        let _sp = hoyan_obs::span("verify.shared_base");
+        let mut mgr = BddManager::new();
+        let n = net.topology.link_count();
+        let mut roots = Vec::with_capacity(2 * n);
+        for l in 0..n as u32 {
+            roots.push(mgr.var(net.link_var(LinkId(l))));
+        }
+        for l in 0..n as u32 {
+            roots.push(mgr.nvar(net.link_var(LinkId(l))));
+        }
+        let mut session_keys = Vec::new();
+        if let Some(db) = isis {
+            let mut keys = std::collections::BTreeSet::new();
+            for u in net.topology.nodes() {
+                for s in net.sessions_of(u) {
+                    if s.kind == SessionKind::Ibgp {
+                        keys.insert(if u.0 < s.peer.0 {
+                            (u.0, s.peer.0)
+                        } else {
+                            (s.peer.0, u.0)
+                        });
+                    }
+                }
+            }
+            for (u, v) in keys {
+                hoyan_obs::metric!(counter "isis.conditioned_sessions").inc();
+                let fwd = db.reach_cond(NodeId(u), NodeId(v));
+                let back = db.reach_cond(NodeId(v), NodeId(u));
+                let fwd = mgr.import(&db.mgr, fwd);
+                let back = mgr.import(&db.mgr, back);
+                roots.push(mgr.and(fwd, back));
+                session_keys.push((u, v));
+            }
+        }
+        hoyan_obs::metric!(gauge "bdd.shared_base_nodes").record_max(mgr.node_count() as u64);
+        SharedBase {
+            mgr,
+            roots,
+            session_keys,
+            n_links: n,
+        }
+    }
+
+    /// Imports the base into `arena` as its permanent segment and returns
+    /// the handle map simulations in that arena use. Attach **once per
+    /// worker arena** — the segment survives `recycle()`, and the returned
+    /// handles stay valid for every family the arena subsequently runs.
+    pub fn attach(&self, arena: &mut BddManager) -> AttachedBase {
+        let handles = arena.import_base(&self.mgr, &self.roots);
+        let sessions = self
+            .session_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| (key, handles[2 * self.n_links + i]))
+            .collect();
+        AttachedBase { sessions }
+    }
+}
+
+/// The per-arena face of a [`SharedBase`]: handles valid in one worker's
+/// arena (and across every family that arena runs, since base slots
+/// survive `recycle()`). Cheap to clone per family.
+#[derive(Clone, Debug, Default)]
+pub struct AttachedBase {
+    /// Session condition per normalized iBGP pair.
+    sessions: HashMap<(u32, u32), Bdd>,
+}
+
 /// A conditioned simulation of one prefix family.
 pub struct Simulation<'n> {
     net: &'n NetworkModel,
@@ -288,6 +382,9 @@ pub struct Simulation<'n> {
     next_entry_id: u64,
     agg_entry_ids: HashMap<(u32, Ipv4Prefix), u64>,
     session_conds: HashMap<(u32, u32), Bdd>,
+    /// Handles into the arena's shared base segment (empty unless
+    /// [`Simulation::set_base`] attached one).
+    base: AttachedBase,
     igp_dist: Vec<Vec<Option<u64>>>,
     isis_db: Option<&'n IsisDb>,
     /// Opt-in wall-clock deadline: the cutoff instant plus the configured
@@ -419,6 +516,7 @@ impl<'n> Simulation<'n> {
             next_entry_id: 0,
             agg_entry_ids: HashMap::new(),
             session_conds: HashMap::new(),
+            base: AttachedBase::default(),
             igp_dist,
             isis_db,
             deadline: None,
@@ -446,6 +544,15 @@ impl<'n> Simulation<'n> {
     /// Alias of [`Self::into_manager`] (the original name).
     pub fn into_mgr(self) -> BddManager {
         self.into_manager()
+    }
+
+    /// Attaches the handle map of a [`SharedBase`] previously imported into
+    /// this simulation's manager ([`SharedBase::attach`]). The handles MUST
+    /// come from an attach against the same arena — base handles are plain
+    /// slot indices and only mean anything in the arena they were imported
+    /// into.
+    pub fn set_base(&mut self, base: AttachedBase) {
+        self.base = base;
     }
 
     /// Installs a per-family resource budget: deterministic BDD caps
@@ -816,10 +923,19 @@ impl<'n> Simulation<'n> {
     }
 
     /// The iBGP session condition between `u` and `v`: both directions of
-    /// IS-IS reachability, imported into this simulation's manager.
+    /// IS-IS reachability. When a [`SharedBase`] is attached the condition
+    /// is a pre-imported base-arena handle (one cross-arena import per
+    /// *sweep* instead of per family); otherwise it is imported from the
+    /// IS-IS database on first use.
     fn session_cond(&mut self, u: NodeId, v: NodeId) -> Bdd {
         let key = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
         if let Some(&c) = self.session_conds.get(&key) {
+            return c;
+        }
+        if let Some(&c) = self.base.sessions.get(&key) {
+            // Per-family (not per-arena) bump: thread-count invariant.
+            hoyan_obs::metric!(counter "bdd.shared_imports").inc();
+            self.session_conds.insert(key, c);
             return c;
         }
         hoyan_obs::metric!(counter "isis.conditioned_sessions").inc();
@@ -1243,7 +1359,7 @@ impl<'n> Simulation<'n> {
                 attrs.isis_weight = attrs
                     .isis_weight
                     .saturating_add(self.net.topology.metric_from(u, link) as u64);
-                let link_var = self.mgr.var(link.0);
+                let link_var = self.mgr.var(self.net.link_var(link));
                 (attrs, Some(u), link_var)
             }
             ChannelKind::Ebgp(ni) | ChannelKind::Ibgp(ni) => {
@@ -1268,7 +1384,7 @@ impl<'n> Simulation<'n> {
                 let attach = match kind {
                     SessionKind::Ebgp => {
                         let link = ch.link.expect("ebgp needs a link");
-                        self.mgr.var(link.0)
+                        self.mgr.var(self.net.link_var(link))
                     }
                     SessionKind::Ibgp => self.session_cond(u, ch.peer),
                 };

@@ -55,7 +55,20 @@ impl CompiledNetwork {
         profile: impl Fn(Vendor) -> VsbProfile,
         isis_k: Option<u32>,
     ) -> Result<CompiledNetwork, VerifierError> {
-        let net = NetworkModel::from_configs(configs, profile)?;
+        Self::build_ordered(configs, profile, isis_k, hoyan_logic::BddOrdering::Registration)
+    }
+
+    /// [`CompiledNetwork::build`] with an explicit BDD variable ordering.
+    /// The ordering is baked into the model (`net.order`), so the IS-IS
+    /// database built here and every later simulation share one variable
+    /// space — a must, since conditions are imported across their managers.
+    pub fn build_ordered(
+        configs: Vec<DeviceConfig>,
+        profile: impl Fn(Vendor) -> VsbProfile,
+        isis_k: Option<u32>,
+        ordering: hoyan_logic::BddOrdering,
+    ) -> Result<CompiledNetwork, VerifierError> {
+        let net = NetworkModel::from_configs_ordered(configs, profile, ordering)?;
         let isis = IsisDb::build(&net, isis_k)?;
         Ok(CompiledNetwork {
             net: Arc::new(net),

@@ -19,7 +19,7 @@ use hoyan_nettypes::{Ipv4Prefix, NodeId};
 use crate::isis::IsisDb;
 use crate::network::NetworkModel;
 use crate::packet::packet_reach;
-use crate::propagate::{PruneStats, SimError, Simulation};
+use crate::propagate::{AttachedBase, PruneStats, SharedBase, SimError, Simulation};
 use crate::racing::{racing_check, RacingReport};
 use crate::snapshot::{
     classify_family, CachedFamily, CachedPrefixReport, CompiledNetwork, DirtyReason, FamilyCache,
@@ -250,6 +250,20 @@ impl Verifier {
         )?))
     }
 
+    /// [`Verifier::new`] with an explicit BDD variable ordering — the
+    /// engine behind `sweep --bdd-order`. Ordering changes node counts and
+    /// `bdd.*` counters, never verdicts (see `tests/determinism.rs`).
+    pub fn new_ordered(
+        configs: Vec<DeviceConfig>,
+        profile: impl Fn(Vendor) -> VsbProfile,
+        isis_k: Option<u32>,
+        ordering: hoyan_logic::BddOrdering,
+    ) -> Result<Verifier, VerifierError> {
+        Ok(Verifier::from_compiled(CompiledNetwork::build_ordered(
+            configs, profile, isis_k, ordering,
+        )?))
+    }
+
     /// Wraps an already-compiled network (the model and IS-IS database are
     /// shared, not rebuilt — the point of the snapshot → compiled-network
     /// pipeline).
@@ -366,11 +380,11 @@ impl Verifier {
         let v = sim.reach_cond(node, prefix);
         let reachable_now = sim.mgr.eval(v, &[]);
         let min_failures = sim.mgr.min_failures_to_falsify(v);
-        let witness = sim.mgr.min_falsifying_failures(v).map(|links| {
-            links
-                .iter()
+        // The falsifying set is over BDD *variables*; witnesses name links.
+        let witness = sim.mgr.min_falsifying_failures(v).map(|vars| {
+            vars.iter()
                 .map(|l| {
-                    let (a, b) = self.net.topology.link_ends(hoyan_nettypes::LinkId(*l));
+                    let (a, b) = self.net.topology.link_ends(self.net.var_link(*l));
                     format!(
                         "{}-{}",
                         self.net.topology.name(a),
@@ -425,11 +439,10 @@ impl Verifier {
         let v = walk.reach_cond;
         let reachable_now = sim.mgr.eval(v, &[]);
         let min_failures = sim.mgr.min_failures_to_falsify(v);
-        let witness = sim.mgr.min_falsifying_failures(v).map(|links| {
-            links
-                .iter()
+        let witness = sim.mgr.min_falsifying_failures(v).map(|vars| {
+            vars.iter()
                 .map(|l| {
-                    let (a, b) = self.net.topology.link_ends(hoyan_nettypes::LinkId(*l));
+                    let (a, b) = self.net.topology.link_ends(self.net.var_link(*l));
                     format!(
                         "{}-{}",
                         self.net.topology.name(a),
@@ -549,7 +562,8 @@ impl Verifier {
             // report them (common-mode risk the §7.2 audit cares about).
             let mut assign = vec![true; self.net.topology.link_count()];
             for (_, link) in self.net.topology.neighbors(r) {
-                assign[link.0 as usize] = false;
+                // Assignments index BDD variables, not link ids.
+                assign[self.net.link_var(*link) as usize] = false;
             }
             if !sim.mgr.eval(v, &assign) {
                 fatal.push(self.net.topology.name(r).to_string());
@@ -586,6 +600,7 @@ impl Verifier {
     fn run_family(
         &self,
         arena: BddManager,
+        base: &AttachedBase,
         fam: &[Ipv4Prefix],
         index: usize,
         k: u32,
@@ -620,6 +635,7 @@ impl Verifier {
             Some(k),
             Some(&self.isis),
         );
+        sim.set_base(base.clone());
         sim.set_budget(budget.bdd(), budget.deadline_ms);
         if let Err(e) = sim.run() {
             return (Err(e), sim.into_manager());
@@ -630,21 +646,29 @@ impl Verifier {
         for (pi, p) in fam.iter().enumerate() {
             let _q_span = hoyan_obs::span("verify.query");
             let q0 = Instant::now();
-            let mut scope_nodes = Vec::new();
-            let mut fragile = Vec::new();
-            let mut max_len = 0usize;
+            // Gather every in-scope device's reachability condition first,
+            // then answer all the "survives k failures?" questions with a
+            // single multi-root cost traversal: the shared walk prices each
+            // node once even when conditions share structure, instead of
+            // restarting the sweep per device.
+            let mut scope: Vec<(NodeId, hoyan_logic::Bdd)> = Vec::new();
             for n in self.net.topology.nodes() {
                 let v = sim.reach_cond(n, *p);
-                if v.is_false() {
-                    continue;
+                if !v.is_false() && sim.mgr.eval(v, &[]) {
+                    scope.push((n, v));
                 }
-                if sim.mgr.eval(v, &[]) {
-                    scope_nodes.push(n);
-                    let exact = sim.reach_cond_exact(n, *p);
-                    max_len = max_len.max(sim.mgr.size(exact));
-                    if sim.mgr.min_failures_to_falsify(v) <= k {
-                        fragile.push(n);
-                    }
+            }
+            let roots: Vec<hoyan_logic::Bdd> = scope.iter().map(|&(_, v)| v).collect();
+            let break_costs = sim.mgr.min_failures_to_falsify_many(&roots);
+            let mut scope_nodes = Vec::with_capacity(scope.len());
+            let mut fragile = Vec::new();
+            let mut max_len = 0usize;
+            for (&(n, _), cost) in scope.iter().zip(&break_costs) {
+                scope_nodes.push(n);
+                let exact = sim.reach_cond_exact(n, *p);
+                max_len = max_len.max(sim.mgr.size(exact));
+                if *cost <= k {
+                    fragile.push(n);
                 }
             }
             family_reports.push(PrefixReport {
@@ -714,6 +738,9 @@ impl Verifier {
         // Failures keyed by family index: the map, not lock-acquisition
         // order, decides which error fail-fast surfaces.
         let failures = std::sync::Mutex::new(std::collections::BTreeMap::<usize, FamilyFailure>::new());
+        // The cross-family shared base: link literals + iBGP session
+        // conditions, built once here and imported into every worker arena.
+        let base = SharedBase::build(&self.net, Some(&self.isis));
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads.max(1))
                 .map(|_| {
@@ -722,8 +749,11 @@ impl Verifier {
                         // families: node/table allocations survive, handles
                         // and tallies do not (each family still accounts —
                         // and collects — as if it owned a fresh manager, so
-                        // counters stay identical at any thread count).
+                        // counters stay identical at any thread count). The
+                        // shared base is imported once per arena (tally-
+                        // excluded) and survives every recycle.
                         let mut arena = BddManager::new();
+                        let mut attached = base.attach(&mut arena);
                         loop {
                             if opts.fail_fast && failed.load(Ordering::Acquire) {
                                 break;
@@ -736,6 +766,7 @@ impl Verifier {
                             let work = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 self.run_family(
                                     std::mem::take(&mut arena),
+                                    &attached,
                                     &families[i],
                                     i,
                                     k,
@@ -777,8 +808,11 @@ impl Verifier {
                                 }
                                 Err(payload) => {
                                     // The arena unwound with the failed
-                                    // simulation; this worker restarts cold.
+                                    // simulation; this worker restarts cold
+                                    // — which means re-importing the base
+                                    // (the old handles died with the arena).
                                     arena = BddManager::new();
+                                    attached = base.attach(&mut arena);
                                     FamilyFailure::Panic(payload)
                                 }
                             };

@@ -52,6 +52,22 @@
 //! [`BddManager::recycle`] resets a manager to its freshly-created state
 //! while keeping the arena and table allocations, so verifier workers reuse
 //! one manager across prefix families instead of reallocating per family.
+//!
+//! # The shared base arena
+//!
+//! A sweep builds the same link conditions over and over: every family's
+//! simulation re-derives `var`/`nvar` nodes and re-imports the iBGP session
+//! conditions from the IS-IS database. [`BddManager::import_base`] installs
+//! a read-only *base segment* at the bottom of the arena — nodes bulk-
+//! imported once per worker from a shared source manager. Base nodes are
+//! permanent: [`gc`](BddManager::gc) always marks them, and
+//! [`recycle`](BddManager::recycle) truncates the arena back down to the
+//! base (not to the terminals), rebuilding the unique table from it, so the
+//! next family starts with every shared condition already interned. The
+//! operation cache is cleared *entirely* on recycle — a retained entry
+//! keyed by a dead family handle could alias a newly allocated node — while
+//! the failure-cost memos keep exactly their base-segment entries (priced
+//! once at import), which both recycle and GC preserve.
 
 use hoyan_rt::hash::{FxHashMap, FxHashSet};
 
@@ -144,6 +160,16 @@ impl std::fmt::Display for BudgetBreach {
     }
 }
 
+/// Terminal pricing for the failure-cost walks: the target terminal costs
+/// 0 failures, the opposite one is unreachable by failures alone.
+#[inline]
+fn terminal_cost(b: Bdd, falsify: bool) -> u32 {
+    match (b.is_false(), falsify) {
+        (true, true) | (false, false) => 0,
+        (true, false) | (false, true) => INF_FAILURES,
+    }
+}
+
 /// One frame of the explicit-stack ITE machine: either a subproblem still
 /// to solve, or a reduction waiting for its two cofactor results.
 enum IteFrame {
@@ -160,6 +186,11 @@ pub struct BddManager {
     nodes: Vec<Node>,
     /// Dead arena slots available for reuse, produced by [`Self::gc`].
     free: Vec<u32>,
+    /// Arena length of the read-only shared base segment (see
+    /// [`Self::import_base`]); 2 (just the terminals) when no base is
+    /// installed. Slots below this never die: GC always marks them and
+    /// [`Self::recycle`] truncates down to — not past — them.
+    base_len: usize,
     unique: FxHashMap<(u32, Bdd, Bdd), Bdd>,
     /// The one operation cache: `(f, g, h) -> ite(f, g, h)`.
     ite_cache: FxHashMap<(Bdd, Bdd, Bdd), Bdd>,
@@ -204,6 +235,7 @@ impl BddManager {
         BddManager {
             nodes: vec![terminal, terminal],
             free: Vec::new(),
+            base_len: 2,
             unique: FxHashMap::default(),
             ite_cache: FxHashMap::default(),
             sat_cost: FxHashMap::default(),
@@ -258,21 +290,90 @@ impl BddManager {
         self.nodes_created = 0;
     }
 
-    /// Resets the manager to its freshly-created state while keeping the
-    /// arena and hash-table allocations warm. Flushes tallies first (a
+    /// Resets the manager to its post-[`Self::import_base`] state while
+    /// keeping the arena and hash-table allocations warm (to its freshly-
+    /// created state when no base is installed). Flushes tallies first (a
     /// recycled segment is accounted like a dropped manager). All
-    /// outstanding [`Bdd`] handles are invalidated.
+    /// outstanding [`Bdd`] handles **above the base segment** are
+    /// invalidated; base handles stay stable across recycles.
+    ///
+    /// The operation cache is dropped *entirely*, never filtered: an entry
+    /// whose operands are all base handles can still hold a *result* handle
+    /// allocated by the previous family, and the next family's `mk` may
+    /// reuse that slot for a different node — a retained entry would then
+    /// silently alias it. (Regression: `recycle_with_base_drops_op_cache`.)
+    /// The failure-cost memos, by contrast, are keyed and valued by single
+    /// handles, so their base-segment entries (priced once at import) are
+    /// provably stable and are retained.
     pub fn recycle(&mut self) {
         self.flush_tallies();
-        self.nodes.truncate(2);
+        self.nodes.truncate(self.base_len);
+        // GC never frees base slots, so every free slot is above the
+        // truncation point and the list empties wholesale.
         self.free.clear();
         self.unique.clear();
+        for i in 2..self.base_len {
+            let n = self.nodes[i];
+            self.unique.insert((n.var, n.lo, n.hi), Bdd(i as u32));
+        }
         self.ite_cache.clear();
-        self.sat_cost.clear();
-        self.falsify_cost.clear();
-        self.gc_watermark = DEFAULT_GC_WATERMARK;
+        let base = self.base_len as u32;
+        self.sat_cost.retain(|k, _| k.0 < base);
+        self.falsify_cost.retain(|k, _| k.0 < base);
+        self.gc_watermark = DEFAULT_GC_WATERMARK.max(self.base_len * 2);
         self.budget = BddBudget::default();
-        self.peak_live = 2;
+        self.peak_live = self.base_len;
+    }
+
+    /// Bulk-imports `roots` (and everything below them) from `src` into
+    /// this manager's permanent *base segment*, returning the translated
+    /// handles in `roots` order. Must be called on a fresh or freshly-
+    /// recycled manager, before any family work; callers typically do it
+    /// once per sweep worker, and every family that worker runs then finds
+    /// the shared conditions already interned.
+    ///
+    /// Base nodes are priced into both failure-cost memos here, so family
+    /// queries over shared conditions hit the memo instead of re-walking.
+    /// The import's tallies (node creations, unique-table traffic, pricing
+    /// ops) are excluded from the per-segment counters: the number of
+    /// workers — and hence base imports — depends on the thread count,
+    /// and the exported counters must not (see `tests/obs_stats.rs`).
+    pub fn import_base(&mut self, src: &BddManager, roots: &[Bdd]) -> Vec<Bdd> {
+        let snap = (
+            self.ops,
+            self.unique_hits,
+            self.unique_misses,
+            self.nodes_created,
+        );
+        let mut memo: FxHashMap<Bdd, Bdd> = FxHashMap::default();
+        let mut out = Vec::with_capacity(roots.len());
+        for &b in roots {
+            out.push(self.import_into(src, b, &mut memo));
+        }
+        self.base_len = self.nodes.len();
+        for &r in &out {
+            if !r.is_const() {
+                self.price_all(std::slice::from_ref(&r), true);
+                self.price_all(std::slice::from_ref(&r), false);
+            }
+        }
+        (self.ops, self.unique_hits, self.unique_misses, self.nodes_created) = snap;
+        self.gc_watermark = self.gc_watermark.max(self.base_len * 2);
+        self.peak_live = self.peak_live.max(self.base_len);
+        out
+    }
+
+    /// Arena length of the installed base segment, terminals included
+    /// (2 when no base is installed).
+    pub fn base_node_count(&self) -> usize {
+        self.base_len
+    }
+
+    /// Live nodes allocated *above* the base segment — the current
+    /// family's own footprint, terminals included so the value is
+    /// comparable with [`Self::node_count`] on base-less managers.
+    pub fn family_node_count(&self) -> usize {
+        self.node_count() - (self.base_len - 2)
     }
 
     /// Installs the per-segment resource caps. [`Self::recycle`] clears them
@@ -294,7 +395,10 @@ impl BddManager {
     /// breach surfaces as an error, not a panic mid-operation.
     pub fn budget_exceeded(&self) -> Option<BudgetBreach> {
         if let Some(limit) = self.budget.max_live_nodes {
-            let live = self.node_count();
+            // The cap is per *family*: shared base nodes are resident for
+            // the whole sweep and excluded, so a budget trips at the same
+            // point whether or not a base is installed.
+            let live = self.family_node_count();
             if live > limit {
                 return Some(BudgetBreach::LiveNodes { limit, live });
             }
@@ -343,8 +447,12 @@ impl BddManager {
     /// is dangling and must not be used.
     pub fn gc<I: IntoIterator<Item = Bdd>>(&mut self, roots: I) -> usize {
         let mut marked = vec![false; self.nodes.len()];
-        marked[0] = true;
-        marked[1] = true;
+        // Terminals and the shared base segment are permanent roots. The
+        // base is transitively closed (children precede parents in the
+        // import), so marking the slots is enough — no traversal needed.
+        for m in marked.iter_mut().take(self.base_len) {
+            *m = true;
+        }
         let mut stack: Vec<Bdd> = Vec::new();
         for r in roots {
             if !marked[r.0 as usize] {
@@ -377,8 +485,11 @@ impl BddManager {
         }
         let reclaimed = self.free.len() - previously_free;
         self.ite_cache.clear();
-        self.sat_cost.clear();
-        self.falsify_cost.clear();
+        // Base-segment cost entries reference permanent nodes only — keep
+        // them so shared conditions stay priced across collections.
+        let base = self.base_len as u32;
+        self.sat_cost.retain(|k, _| k.0 < base);
+        self.falsify_cost.retain(|k, _| k.0 < base);
         self.gc_runs += 1;
         self.nodes_reclaimed += reclaimed as u64;
         self.gc_watermark = self.gc_watermark.max(self.node_count() * 2);
@@ -670,16 +781,22 @@ impl BddManager {
     /// dropped only by GC/recycle); newly priced nodes count toward
     /// [`Self::ops`].
     fn min_failures(&mut self, b: Bdd, falsify: bool) -> u32 {
-        #[inline]
-        fn terminal_cost(b: Bdd, falsify: bool) -> u32 {
-            match (b.is_false(), falsify) {
-                (true, true) | (false, false) => 0,
-                (true, false) | (false, true) => INF_FAILURES,
-            }
-        }
         if b.is_const() {
             return terminal_cost(b, falsify);
         }
+        self.price_all(std::slice::from_ref(&b), falsify);
+        let memo = if falsify {
+            &self.falsify_cost
+        } else {
+            &self.sat_cost
+        };
+        memo[&b]
+    }
+
+    /// The DP core of the failure-cost queries: prices every node reachable
+    /// from `roots` into the persistent memo, seeding one stack with all
+    /// the roots so substructure shared *across* roots is walked once.
+    fn price_all(&mut self, roots: &[Bdd], falsify: bool) {
         // Temporarily move the memo out so the borrow checker lets us read
         // `self.nodes` and bump `self.ops` while inserting into it.
         let mut memo = std::mem::take(if falsify {
@@ -687,7 +804,7 @@ impl BddManager {
         } else {
             &mut self.sat_cost
         });
-        let mut stack = vec![b];
+        let mut stack: Vec<Bdd> = roots.iter().copied().filter(|b| !b.is_const()).collect();
         while let Some(&x) = stack.last() {
             if memo.contains_key(&x) {
                 stack.pop();
@@ -717,13 +834,32 @@ impl BddManager {
                 }
             }
         }
-        let cost = memo[&b];
         if falsify {
             self.falsify_cost = memo;
         } else {
             self.sat_cost = memo;
         }
-        cost
+    }
+
+    /// Batch form of [`Self::min_failures_to_falsify`]: one traversal
+    /// prices every root (per-family reachability verdicts for all devices
+    /// at once), so BDD structure shared between the per-device conditions
+    /// of a family is walked exactly once instead of once per query.
+    /// Op accounting is identical to issuing the queries one by one —
+    /// each *node* is priced once either way — so budgets and counters do
+    /// not depend on how queries are batched.
+    pub fn min_failures_to_falsify_many(&mut self, roots: &[Bdd]) -> Vec<u32> {
+        self.price_all(roots, true);
+        roots
+            .iter()
+            .map(|&b| {
+                if b.is_const() {
+                    terminal_cost(b, true)
+                } else {
+                    self.falsify_cost[&b]
+                }
+            })
+            .collect()
     }
 
     /// Minimum number of variables that must be **false** (links down) in
@@ -810,10 +946,16 @@ impl BddManager {
     /// indices are preserved (they denote the same links network-wide).
     /// Iterative: safe for chain-shaped conditions of any depth.
     pub fn import(&mut self, src: &BddManager, b: Bdd) -> Bdd {
+        let mut memo: FxHashMap<Bdd, Bdd> = FxHashMap::default();
+        self.import_into(src, b, &mut memo)
+    }
+
+    /// [`Self::import`] with a caller-owned translation memo, so a batch of
+    /// imports from the same source ([`Self::import_base`]) shares work.
+    fn import_into(&mut self, src: &BddManager, b: Bdd, memo: &mut FxHashMap<Bdd, Bdd>) -> Bdd {
         if b.is_const() {
             return b;
         }
-        let mut memo: FxHashMap<Bdd, Bdd> = FxHashMap::default();
         let mut stack = vec![b];
         while let Some(&x) = stack.last() {
             if memo.contains_key(&x) {
@@ -1249,6 +1391,135 @@ mod tests {
         let a = m.var(0);
         let na = m.not(a);
         assert_eq!(m.and(a, na), Bdd::FALSE);
+    }
+
+    #[test]
+    fn import_base_survives_gc_and_recycle() {
+        let mut src = BddManager::new();
+        let a = src.var(0);
+        let b = src.var(1);
+        let ab = src.and(a, b);
+        let mut m = BddManager::new();
+        let base = m.import_base(&src, &[a, b, ab]);
+        let base_count = m.base_node_count();
+        assert!(base_count > 2, "base segment holds the imported nodes");
+        assert_eq!(m.node_count(), base_count);
+        // Family work on top of the base.
+        let c = m.var(5);
+        let f = m.and(base[2], c);
+        // GC rooted only at the family node: the base must survive anyway.
+        m.gc([f]);
+        assert!(m.eval(base[2], &[true, true]));
+        assert!(!m.eval(base[2], &[true, false]));
+        assert!(m.eval(f, &[true, true, true, true, true, true]));
+        // Recycle drops the family, keeps the base, and re-interns it: the
+        // next segment re-derives the very same handles.
+        m.recycle();
+        assert_eq!(m.node_count(), base_count);
+        assert_eq!(m.var(0), base[0]);
+        assert_eq!(m.var(1), base[1]);
+        let a2 = m.var(0);
+        let b2 = m.var(1);
+        assert_eq!(m.and(a2, b2), base[2]);
+    }
+
+    #[test]
+    fn recycle_with_base_drops_op_cache() {
+        // The latent-bug regression: with a base installed, recycle keeps
+        // arena slots below `base_len` — so a retained op-cache entry keyed
+        // by base handles but holding a dead *family* result handle would
+        // alias whatever node the next family allocates in that slot. The
+        // cache must therefore start cold every segment; pin it via the
+        // hit/miss tallies.
+        let mut src = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|v| src.var(v)).collect();
+        let mut m = BddManager::new();
+        let base = m.import_base(&src, &vars);
+        let f1 = m.and(base[0], base[1]);
+        assert!(!f1.is_const() && f1.0 as usize >= m.base_node_count());
+        let hits = m.ite_cache_hits;
+        assert_eq!(m.and(base[0], base[1]), f1);
+        assert_eq!(m.ite_cache_hits, hits + 1, "warm cache within a segment");
+        m.recycle();
+        assert_eq!(m.ite_cache_hits, 0, "tallies zeroed by recycle");
+        let f2 = m.and(base[0], base[1]);
+        assert_eq!(f2, f1, "same function re-interns to the same slot");
+        assert_eq!(m.ite_cache_hits, 0, "no stale hit across recycle");
+        assert_eq!(
+            m.ite_cache_misses, 1,
+            "the first post-recycle ITE must miss the (cleared) cache"
+        );
+        // And the unique table was rebuilt from the base: re-deriving base
+        // vars is a pure hit, not a node creation.
+        let created = m.nodes_created;
+        let _ = m.var(2);
+        assert_eq!(m.nodes_created, created, "base vars are pre-interned");
+    }
+
+    #[test]
+    fn import_base_prices_nodes_and_excludes_tallies() {
+        let mut src = BddManager::new();
+        let a = src.var(0);
+        let b = src.var(1);
+        let ab = src.and(a, b);
+        let mut m = BddManager::new();
+        let base = m.import_base(&src, &[ab]);
+        // The import's work is excluded from the per-segment tallies, so a
+        // worker that imports a base but never runs a family stays pristine
+        // (counter determinism across thread counts).
+        assert_eq!(m.ops, 0);
+        assert_eq!(m.nodes_created, 0);
+        // Base nodes arrive pre-priced: the first failure-cost query walks
+        // nothing new and costs zero ops.
+        assert_eq!(m.min_failures_to_falsify(base[0]), 1);
+        assert_eq!(m.min_failures_to_satisfy(base[0]), 0);
+        assert_eq!(m.ops, 0, "base conditions are priced at import time");
+    }
+
+    #[test]
+    fn min_failures_to_falsify_many_matches_singles() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.or(a, b);
+        let abc = m.and(ab, c);
+        let roots = [abc, ab, a, Bdd::TRUE, Bdd::FALSE];
+        let batch = m.min_failures_to_falsify_many(&roots);
+        let singles: Vec<u32> = roots
+            .iter()
+            .map(|&r| m.min_failures_to_falsify(r))
+            .collect();
+        assert_eq!(batch, singles);
+        assert_eq!(batch, vec![1, 2, 1, INF_FAILURES, 0]);
+        // Op accounting is batch-invariant: everything is in the memo now,
+        // so a second batch prices nothing.
+        let before = m.ops;
+        let again = m.min_failures_to_falsify_many(&roots);
+        assert_eq!(again, batch);
+        assert_eq!(m.ops, before);
+    }
+
+    #[test]
+    fn node_budget_counts_family_nodes_not_base() {
+        let mut src = BddManager::new();
+        let chain: Vec<Bdd> = (0..32).map(|v| src.var(v)).collect();
+        let big = src.and_all(chain.iter().copied());
+        let mut m = BddManager::new();
+        let _ = m.import_base(&src, &[big]);
+        m.set_budget(BddBudget {
+            max_live_nodes: Some(8),
+            max_ops: None,
+        });
+        // The 30+-node base alone must not trip an 8-node family cap.
+        assert_eq!(m.family_node_count(), 2);
+        assert!(m.budget_exceeded().is_none());
+        let fam: Vec<Bdd> = (40..52).map(|v| m.var(v)).collect();
+        let _ = m.and_all(fam);
+        assert!(matches!(
+            m.budget_exceeded(),
+            Some(BudgetBreach::LiveNodes { limit: 8, .. })
+        ));
     }
 
     #[test]

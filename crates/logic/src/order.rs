@@ -1,0 +1,194 @@
+//! Static BDD variable ordering (§6 scalability): a bijection between
+//! *link ids* (assigned by config registration order) and *BDD variable
+//! indices* (the order the ITE kernel branches on).
+//!
+//! The BDD's size is notoriously sensitive to variable order. The default
+//! [`BddOrdering::Registration`] keeps the historical identity mapping —
+//! link id *is* the variable index — which existing assignments and tests
+//! rely on. The topology-aware orders ([`BddOrdering::Dfs`],
+//! [`BddOrdering::Bfs`]) number links in the order a deterministic graph
+//! walk first encounters them, so links that appear together on paths get
+//! adjacent variable indices and the path-condition conjunctions they form
+//! share BDD prefixes. The walk itself lives in `hoyan-core` (it needs the
+//! topology); this module holds the strategy enum and the [`VarOrder`]
+//! permutation it produces, so the logic crate can be tested against
+//! arbitrary permutations without a topology.
+//!
+//! Semantics are order-*invariant*: for any permutation, evaluating a BDD
+//! built under that order against a permuted assignment yields the same
+//! Boolean function (pinned by `crates/logic/tests/differential.rs`). Only
+//! node counts, `bdd.ops` and budget-breach points are order-dependent.
+
+/// Strategy for assigning BDD variable indices to topology links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BddOrdering {
+    /// The identity order: link id doubles as the variable index (the
+    /// historical behavior, and the default).
+    #[default]
+    Registration,
+    /// Depth-first walk over the link graph: links are numbered in the
+    /// order a DFS from the first node first encounters them.
+    Dfs,
+    /// Breadth-first walk over the link graph: links are numbered in the
+    /// order a BFS from the first node first encounters them.
+    Bfs,
+}
+
+impl BddOrdering {
+    /// Every ordering, in a fixed documentation/reporting order.
+    pub const ALL: [BddOrdering; 3] =
+        [BddOrdering::Registration, BddOrdering::Dfs, BddOrdering::Bfs];
+
+    /// The CLI/report name of the ordering (`registration`, `dfs`, `bfs`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BddOrdering::Registration => "registration",
+            BddOrdering::Dfs => "dfs",
+            BddOrdering::Bfs => "bfs",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive). `reg` and `registration`
+    /// both name the identity order.
+    pub fn parse(s: &str) -> Option<BddOrdering> {
+        match s.to_ascii_lowercase().as_str() {
+            "registration" | "reg" | "identity" => Some(BddOrdering::Registration),
+            "dfs" => Some(BddOrdering::Dfs),
+            "bfs" => Some(BddOrdering::Bfs),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BddOrdering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bijection between link ids and BDD variable indices.
+///
+/// `var_of` maps a link id to the variable the kernel branches on for that
+/// link's aliveness; `link_of` inverts it (used when rendering witnesses,
+/// which must name links, from falsifying variable sets). Ids outside the
+/// permutation map to themselves, so an empty `VarOrder` *is* the identity
+/// and callers never need to special-case "no ordering configured".
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct VarOrder {
+    /// `to_var[link] = var`.
+    to_var: Vec<u32>,
+    /// `to_link[var] = link`.
+    to_link: Vec<u32>,
+}
+
+impl VarOrder {
+    /// The identity order over `n` links (equivalent to an empty order but
+    /// with an explicit length, which `is_identity` and reports use).
+    pub fn identity(n: usize) -> VarOrder {
+        let ids: Vec<u32> = (0..n as u32).collect();
+        VarOrder {
+            to_var: ids.clone(),
+            to_link: ids,
+        }
+    }
+
+    /// Builds the order from a link visit sequence: `visit[i]` is the link
+    /// id assigned variable index `i`. Returns `None` unless `visit` is a
+    /// permutation of `0..visit.len()`.
+    pub fn from_visit_order(visit: &[u32]) -> Option<VarOrder> {
+        let n = visit.len();
+        let mut to_var = vec![u32::MAX; n];
+        for (var, &link) in visit.iter().enumerate() {
+            let slot = to_var.get_mut(link as usize)?;
+            if *slot != u32::MAX {
+                return None; // duplicate link id
+            }
+            *slot = var as u32;
+        }
+        Some(VarOrder {
+            to_var,
+            to_link: visit.to_vec(),
+        })
+    }
+
+    /// The BDD variable index for `link` (identity outside the permutation).
+    #[inline]
+    pub fn var_of(&self, link: u32) -> u32 {
+        self.to_var.get(link as usize).copied().unwrap_or(link)
+    }
+
+    /// The link id branching variable `var` tests (identity outside the
+    /// permutation).
+    #[inline]
+    pub fn link_of(&self, var: u32) -> u32 {
+        self.to_link.get(var as usize).copied().unwrap_or(var)
+    }
+
+    /// Number of links covered by the permutation.
+    pub fn len(&self) -> usize {
+        self.to_var.len()
+    }
+
+    /// Whether the permutation is empty (identity over everything).
+    pub fn is_empty(&self) -> bool {
+        self.to_var.is_empty()
+    }
+
+    /// Whether the order maps every covered link to itself.
+    pub fn is_identity(&self) -> bool {
+        self.to_var.iter().enumerate().all(|(l, &v)| l as u32 == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for o in BddOrdering::ALL {
+            assert_eq!(BddOrdering::parse(o.name()), Some(o));
+            assert_eq!(BddOrdering::parse(&o.name().to_uppercase()), Some(o));
+            assert_eq!(format!("{o}"), o.name());
+        }
+        assert_eq!(BddOrdering::parse("reg"), Some(BddOrdering::Registration));
+        assert_eq!(BddOrdering::parse("random"), None);
+        assert_eq!(BddOrdering::default(), BddOrdering::Registration);
+    }
+
+    #[test]
+    fn identity_maps_everything_to_itself() {
+        let o = VarOrder::identity(4);
+        assert!(o.is_identity());
+        assert_eq!(o.len(), 4);
+        for i in 0..8 {
+            // In and out of range: identity either way.
+            assert_eq!(o.var_of(i), i);
+            assert_eq!(o.link_of(i), i);
+        }
+    }
+
+    #[test]
+    fn from_visit_order_inverts_correctly() {
+        let o = VarOrder::from_visit_order(&[2, 0, 3, 1]).unwrap();
+        assert!(!o.is_identity());
+        // visit[0] = link 2 gets var 0.
+        assert_eq!(o.var_of(2), 0);
+        assert_eq!(o.var_of(0), 1);
+        assert_eq!(o.var_of(3), 2);
+        assert_eq!(o.var_of(1), 3);
+        for l in 0..4 {
+            assert_eq!(o.link_of(o.var_of(l)), l);
+        }
+        // Out-of-range falls back to identity.
+        assert_eq!(o.var_of(9), 9);
+        assert_eq!(o.link_of(9), 9);
+    }
+
+    #[test]
+    fn from_visit_order_rejects_non_permutations() {
+        assert!(VarOrder::from_visit_order(&[0, 0]).is_none(), "duplicate");
+        assert!(VarOrder::from_visit_order(&[0, 2]).is_none(), "out of range");
+        assert!(VarOrder::from_visit_order(&[]).is_some(), "empty is fine");
+    }
+}

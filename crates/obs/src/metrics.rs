@@ -231,6 +231,9 @@ pub fn register_default_metrics() {
         "bdd.nodes_created",
         "bdd.nodes_reclaimed",
         "bdd.ops",
+        "bdd.order.links",
+        "bdd.order.passes",
+        "bdd.shared_imports",
         "bdd.unique_hits",
         "bdd.unique_misses",
         "isis.conditioned_sessions",
@@ -264,6 +267,7 @@ pub fn register_default_metrics() {
     ];
     const GAUGES: &[&str] = &[
         "bdd.peak_nodes",
+        "bdd.shared_base_nodes",
         "propagate.max_formula_len",
         "verify.fanout_families",
         "verify.fanout_threads",

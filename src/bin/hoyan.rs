@@ -173,9 +173,25 @@ fn load_dir(dir: &str) -> Result<Vec<DeviceConfig>, String> {
 }
 
 fn verifier_for(dir: &str, k: u32) -> Result<Verifier, String> {
+    verifier_for_ordered(dir, k, hoyan::logic::BddOrdering::Registration)
+}
+
+fn verifier_for_ordered(
+    dir: &str,
+    k: u32,
+    ordering: hoyan::logic::BddOrdering,
+) -> Result<Verifier, String> {
     let configs = load_dir(dir)?;
-    Verifier::new(configs, VsbProfile::ground_truth, Some(k.max(3)))
+    Verifier::new_ordered(configs, VsbProfile::ground_truth, Some(k.max(3)), ordering)
         .map_err(|e| format!("model construction failed: {e}"))
+}
+
+fn get_bdd_order(args: &[String]) -> Result<hoyan::logic::BddOrdering, String> {
+    match flag(args, "--bdd-order") {
+        None => Ok(hoyan::logic::BddOrdering::Registration),
+        Some(v) => hoyan::logic::BddOrdering::parse(&v)
+            .ok_or_else(|| format!("bad --bdd-order `{v}` (want registration, dfs or bfs)")),
+    }
 }
 
 fn parse_prefix(s: &str) -> Result<Ipv4Prefix, String> {
@@ -392,10 +408,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let k = get_k(args)?;
             let threads = get_threads(args)?;
             let opts = get_sweep_options(args)?;
+            let ordering = get_bdd_order(args)?;
             let t0 = std::time::Instant::now();
             let (v, swept) = match flag(args, "--baseline") {
                 None => {
-                    let v = verifier_for(dir, k)?;
+                    let v = verifier_for_ordered(dir, k, ordering)?;
                     let swept = v
                         .verify_all_routes_opts(k, threads, &opts)
                         .map_err(|e| e.to_string())?;
@@ -413,19 +430,21 @@ fn run(args: &[String]) -> Result<(), String> {
                     let base_snap = ConfigSnapshot::new(load_dir(&base_dir)?);
                     let new_snap = ConfigSnapshot::new(load_dir(dir)?);
                     let delta = base_snap.diff(&new_snap);
-                    let v_base = Verifier::new(
+                    let v_base = Verifier::new_ordered(
                         base_snap.into_devices(),
                         VsbProfile::ground_truth,
                         Some(k.max(3)),
+                        ordering,
                     )
                     .map_err(|e| format!("baseline model construction failed: {e}"))?;
                     let (_, cache) = v_base
                         .verify_all_routes_cached(k, threads)
                         .map_err(|e| e.to_string())?;
-                    let v = Verifier::new(
+                    let v = Verifier::new_ordered(
                         new_snap.into_devices(),
                         VsbProfile::ground_truth,
                         Some(k.max(3)),
+                        ordering,
                     )
                     .map_err(|e| format!("model construction failed: {e}"))?;
                     let outcome = v
@@ -595,6 +614,7 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan equiv  <dir> --a D1 --b D2\n\
                  \x20 hoyan sweep  <dir> [--k K] [--threads N] [--baseline <dirA>] [--fail-fast]\n\
                  \x20              [--family-node-budget N] [--family-op-budget N] [--family-deadline-ms MS]\n\
+                 \x20              [--bdd-order registration|dfs|bfs]\n\
                  \x20 hoyan diff   <dirA> <dirB> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
                  \x20 hoyan tune   <dir>\n\

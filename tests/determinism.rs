@@ -6,6 +6,7 @@
 
 use hoyan::core::{PrefixReport, Verifier};
 use hoyan::device::VsbProfile;
+use hoyan::logic::BddOrdering;
 use hoyan::topogen::WanSpec;
 
 /// Everything in a [`PrefixReport`] except the wall-clock timings, which
@@ -40,6 +41,68 @@ fn verify_all_routes_is_thread_count_invariant() {
     // Oversubscription (more threads than families) must change nothing.
     let oversub = verifier.verify_all_routes(1, 64).unwrap().reports;
     assert_reports_equal(&serial, &oversub, "threads=1 vs threads=64");
+}
+
+/// Everything in a [`PrefixReport`] except timings *and* formula-size
+/// fields. Sizes (`max_cond_len`, `max_reach_formula_len`,
+/// `stats.max_formula_len`) legitimately depend on the variable ordering —
+/// that is the point of reordering — but verdicts, scopes and pruning
+/// *counts* are semantic and must not.
+fn ordering_invariant_view(r: &PrefixReport) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        r.prefix,
+        (
+            r.stats.delivered,
+            r.stats.dropped_policy,
+            r.stats.dropped_over_k,
+            r.stats.dropped_impossible,
+        ),
+        &r.scope,
+        &r.fragile,
+        r.family_head,
+    )
+}
+
+/// Sweeps under every [`BddOrdering`] × {1, 2, 8} threads: within an
+/// ordering the full stable report (sizes included) is thread-count
+/// invariant, and across orderings the size-masked report is identical.
+#[test]
+fn sweep_verdicts_are_ordering_and_thread_invariant() {
+    let wan = WanSpec::tiny(13).build();
+    let mut baseline: Option<Vec<PrefixReport>> = None;
+    for ordering in BddOrdering::ALL {
+        let verifier = Verifier::new_ordered(
+            wan.configs.clone(),
+            VsbProfile::ground_truth,
+            Some(1),
+            ordering,
+        )
+        .unwrap();
+        let serial = verifier.verify_all_routes(1, 1).unwrap().reports;
+        assert!(!serial.is_empty(), "{ordering}: sweep must cover some prefixes");
+        for threads in [2usize, 8] {
+            let parallel = verifier.verify_all_routes(1, threads).unwrap().reports;
+            assert_reports_equal(
+                &serial,
+                &parallel,
+                &format!("{ordering}: threads=1 vs threads={threads}"),
+            );
+        }
+        match &baseline {
+            None => baseline = Some(serial),
+            Some(base) => {
+                assert_eq!(base.len(), serial.len(), "{ordering}: report counts differ");
+                for (x, y) in base.iter().zip(&serial) {
+                    assert_eq!(
+                        ordering_invariant_view(x),
+                        ordering_invariant_view(y),
+                        "{ordering}: verdicts for {} depend on the variable ordering",
+                        x.prefix
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -34,6 +34,15 @@ fn deterministic_sections(json: &str) -> String {
 }
 
 fn sweep_stats_json(dir: &std::path::Path, threads: &str, tag: &str) -> String {
+    sweep_stats_json_ordered(dir, threads, tag, "registration")
+}
+
+fn sweep_stats_json_ordered(
+    dir: &std::path::Path,
+    threads: &str,
+    tag: &str,
+    order: &str,
+) -> String {
     let json_path = dir.join(format!("stats-{tag}.json"));
     let out = hoyan()
         .args([
@@ -43,6 +52,8 @@ fn sweep_stats_json(dir: &std::path::Path, threads: &str, tag: &str) -> String {
             "1",
             "--threads",
             threads,
+            "--bdd-order",
+            order,
             "--stats-json",
             json_path.to_str().unwrap(),
         ])
@@ -84,6 +95,9 @@ fn counters_are_identical_across_runs_and_thread_counts() {
         "\"bdd.ite_cache_misses\"",
         "\"bdd.gc_runs\"",
         "\"bdd.nodes_reclaimed\"",
+        "\"bdd.order.links\"",
+        "\"bdd.order.passes\"",
+        "\"bdd.shared_imports\"",
     ] {
         assert!(
             baseline.contains(present),
@@ -106,6 +120,55 @@ fn counters_are_identical_across_runs_and_thread_counts() {
             baseline, got,
             "counters/histograms must not depend on scheduling (threads={threads})"
         );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The determinism contract holds *per ordering* too: with `--bdd-order
+/// dfs|bfs` the ordering pass runs and the per-worker shared-base import
+/// count varies with the thread count, yet the exported counters and
+/// histograms must stay byte-identical across 1/2/8 threads (the import's
+/// tallies are excluded by design, and `bdd.shared_imports` counts
+/// per-family cache hits, not per-worker attaches).
+#[test]
+fn counters_are_thread_invariant_under_each_ordering() {
+    let dir = std::env::temp_dir().join(format!("hoyan-obs-ord-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for order in ["dfs", "bfs"] {
+        let baseline = deterministic_sections(&sweep_stats_json_ordered(
+            &dir,
+            "1",
+            &format!("{order}-t1"),
+            order,
+        ));
+        // The ordering pass ran exactly once (one model build per sweep).
+        assert!(
+            baseline.contains("\"bdd.order.passes\": 1,"),
+            "{order}: ordering pass not recorded in {baseline}"
+        );
+        assert!(
+            baseline.contains("\"bdd.shared_imports\""),
+            "{order}: shared-import counter missing"
+        );
+        for threads in ["2", "8"] {
+            let got = deterministic_sections(&sweep_stats_json_ordered(
+                &dir,
+                threads,
+                &format!("{order}-t{threads}"),
+                order,
+            ));
+            assert_eq!(
+                baseline, got,
+                "order={order}: counters must not depend on threads={threads}"
+            );
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
