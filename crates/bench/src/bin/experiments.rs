@@ -6,6 +6,14 @@
 //! where `<id>` ∈ {fig7, fig8-13, fig14, fig15, fig16, table2, table3,
 //! table4, table5, formulas, incremental, bdd, faults}.
 //!
+//! `experiments regress <baseline.json> <candidate.json> [--warn-only]` is
+//! different: it diffs two `BENCH_<suite>.json` files and exits non-zero if
+//! the candidate regressed. Deterministic counters (everything under
+//! `counters`/`gauges`/`orderings`/`family_cost`) tolerate a 2% increase;
+//! wall-clock leaves (`*_ns`, `*_ms`) tolerate 40% (schedulers are noisy);
+//! decreases are reported but never fail. `--warn-only` prints the same
+//! report but always exits 0 — the advisory mode the tier-1 flow uses.
+//!
 //! `incremental` is not a paper figure: it measures the snapshot/delta
 //! pipeline (fresh full sweep vs `Verifier::reverify` against a cached
 //! baseline) at several perturbation sizes and writes
@@ -35,6 +43,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    // `regress` is a gate, not an experiment: dispatch it before the
+    // figure matcher (whose default is "run everything").
+    if what == "regress" {
+        std::process::exit(regress(&args[1..]));
+    }
     let run = |name: &str| {
         what == "all" || what == name || (name.starts_with("fig8") && what == "fig8-13")
     };
@@ -953,6 +966,161 @@ fn faults(quick: bool) {
     });
     suite.finish();
     println!();
+}
+
+// ---------------------------------------------------------- Regression gate
+
+/// `experiments regress <baseline> <candidate> [--warn-only]`: diff two
+/// `BENCH_<suite>.json` snapshots and exit 1 on regression (0 under
+/// `--warn-only`, 2 on usage/parse errors).
+///
+/// Every numeric leaf of both documents is flattened to a `/`-joined path
+/// (array elements keyed by their `name`/`order`/`family` field where one
+/// exists, so reordering a result list is not a diff) and classified:
+///
+/// - wall-clock leaves (`*_ns`, `*_ms`) regress above +40% — timing is
+///   machine- and scheduler-dependent, the gate only catches blowups;
+/// - everything else is a deterministic counter and regresses above +2%
+///   (with a +0.5 absolute floor so a 1-count jitter on tiny counters
+///   cannot fail the gate);
+/// - `schema`, `samples`, `iters_per_sample` and `verify.fanout_threads`
+///   are harness/environment facts, not measurements: skipped;
+/// - boolean leaves (`quarantined`, `reused`) regress on any flip to
+///   `true`; decreases and disappearing/appearing paths are informational.
+fn regress(args: &[String]) -> i32 {
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!("usage: experiments regress <baseline.json> <candidate.json> [--warn-only]");
+        return 2;
+    };
+    let load = |path: &str| -> Result<hoyan_rt::json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        hoyan_rt::json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (base, cand) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    let mut base_leaves = Vec::new();
+    flatten_leaves(&base, String::new(), &mut base_leaves);
+    let mut cand_leaves = Vec::new();
+    flatten_leaves(&cand, String::new(), &mut cand_leaves);
+    let cand_map: std::collections::BTreeMap<&str, f64> = cand_leaves
+        .iter()
+        .map(|(p, v)| (p.as_str(), *v))
+        .collect();
+    let base_keys: std::collections::BTreeSet<&str> =
+        base_leaves.iter().map(|(p, _)| p.as_str()).collect();
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut compared = 0usize;
+    for (path, b) in &base_leaves {
+        let Some(&c) = cand_map.get(path.as_str()) else {
+            println!("  gone    {path} (baseline {b})");
+            continue;
+        };
+        let Some(rule) = classify_leaf(path) else {
+            continue;
+        };
+        compared += 1;
+        let limit = match rule {
+            LeafRule::Counter => b * 1.02 + 0.5,
+            LeafRule::Timing => b * 1.40,
+            // Booleans are encoded 0/1; any flip upward fails.
+            LeafRule::Flag => *b,
+        };
+        if c > limit {
+            regressions += 1;
+            println!("  REGRESS {path}: {b} -> {c} (+{:.1}%)", pct_change(*b, c));
+        } else if c < *b {
+            improvements += 1;
+            println!("  improve {path}: {b} -> {c} ({:.1}%)", pct_change(*b, c));
+        }
+    }
+    for (path, c) in &cand_leaves {
+        if !base_keys.contains(path.as_str()) {
+            println!("  new     {path} (candidate {c})");
+        }
+    }
+    println!(
+        "regress: {compared} leaves compared, {regressions} regression(s), \
+         {improvements} improvement(s){}",
+        if warn_only { " [warn-only]" } else { "" }
+    );
+    if regressions > 0 && !warn_only {
+        1
+    } else {
+        0
+    }
+}
+
+enum LeafRule {
+    Counter,
+    Timing,
+    Flag,
+}
+
+/// The comparison rule for a flattened leaf path, or `None` to skip it.
+fn classify_leaf(path: &str) -> Option<LeafRule> {
+    let key = path.rsplit('/').next().unwrap_or(path);
+    match key {
+        "schema" | "samples" | "iters_per_sample" | "verify.fanout_threads" => None,
+        "quarantined" | "reused" => Some(LeafRule::Flag),
+        _ if key.ends_with("_ns") || key.ends_with("_ms") => Some(LeafRule::Timing),
+        _ => Some(LeafRule::Counter),
+    }
+}
+
+fn pct_change(b: f64, c: f64) -> f64 {
+    if b == 0.0 {
+        100.0
+    } else {
+        100.0 * (c - b) / b
+    }
+}
+
+/// Flattens every numeric/boolean leaf into `(path, value)` rows. Array
+/// elements carrying a `name`/`order`/`family` discriminator are keyed by
+/// it (bench result lists and ordering tables may legally reorder);
+/// anonymous elements fall back to their index.
+fn flatten_leaves(v: &hoyan_rt::json::Value, prefix: String, out: &mut Vec<(String, f64)>) {
+    use hoyan_rt::json::Value;
+    let join = |prefix: &str, seg: &str| {
+        if prefix.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{prefix}/{seg}")
+        }
+    };
+    match v {
+        Value::Num(n) => out.push((prefix, *n)),
+        Value::Bool(b) => out.push((prefix, if *b { 1.0 } else { 0.0 })),
+        Value::Obj(entries) => {
+            for (k, child) in entries {
+                flatten_leaves(child, join(&prefix, k), out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let seg = ["name", "order", "family"]
+                    .iter()
+                    .find_map(|k| item.get(k))
+                    .map(|d| match d {
+                        Value::Str(s) => s.clone(),
+                        other => other.to_string(),
+                    })
+                    .unwrap_or_else(|| i.to_string());
+                flatten_leaves(item, join(&prefix, &seg), out);
+            }
+        }
+        Value::Null | Value::Str(_) => {}
+    }
 }
 
 // ------------------------------------------------------------- Formula sizes

@@ -1,0 +1,112 @@
+//! The `experiments regress` gate: exit codes and tolerance rules, plus the
+//! advisory tier-1 wiring — a fresh `experiments bdd` run diffed against the
+//! committed `BENCH_bdd.json` in warn-only mode. Warn-only never fails the
+//! build (timing numbers are machine-dependent and the committed baseline
+//! was produced in release mode); it exists to put the diff in the test log.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn write(dir: &std::path::Path, name: &str, body: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+fn bench_json(ops: u64, median_ns: f64) -> String {
+    format!(
+        r#"{{
+  "suite": "t",
+  "results": [
+    {{"name": "sweep", "samples": 2, "iters_per_sample": 1, "median_ns": {median_ns}, "mean_ns": {median_ns}, "min_ns": 1.0, "max_ns": 9.0}}
+  ],
+  "metrics": {{ "sweep": {{ "schema": 2, "counters": {{ "bdd.ops": {ops} }} }} }}
+}}
+"#
+    )
+}
+
+#[test]
+fn identical_inputs_pass_and_synthetic_regression_fails() {
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = write(&dir, "base.json", &bench_json(1000, 100.0));
+    let same = write(&dir, "same.json", &bench_json(1000, 100.0));
+    // +20% on a deterministic counter: over the 2% tolerance.
+    let worse = write(&dir, "worse.json", &bench_json(1200, 100.0));
+    // +30% wall clock: within the 40% timing tolerance. -1% ops: an
+    // improvement, never a failure.
+    let noisy = write(&dir, "noisy.json", &bench_json(990, 130.0));
+
+    let run = |args: &[&str]| {
+        let out = experiments().args(args).output().unwrap();
+        (out.status.code(), String::from_utf8_lossy(&out.stdout).to_string())
+    };
+
+    let (code, _) = run(&["regress", &base, &same]);
+    assert_eq!(code, Some(0), "identical inputs must pass");
+
+    let (code, stdout) = run(&["regress", &base, &worse]);
+    assert_eq!(code, Some(1), "20% ops growth must fail:\n{stdout}");
+    assert!(stdout.contains("REGRESS"), "{stdout}");
+    assert!(stdout.contains("bdd.ops"), "{stdout}");
+
+    let (code, stdout) = run(&["regress", &base, &worse, "--warn-only"]);
+    assert_eq!(code, Some(0), "warn-only never fails:\n{stdout}");
+    assert!(stdout.contains("REGRESS"), "{stdout}");
+
+    let (code, stdout) = run(&["regress", &base, &noisy]);
+    assert_eq!(code, Some(0), "timing noise and improvements pass:\n{stdout}");
+    assert!(stdout.contains("improve"), "{stdout}");
+
+    let (code, _) = run(&["regress", &base]);
+    assert_eq!(code, Some(2), "missing operand is a usage error");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The advisory step the tier-1 flow runs: regenerate the BDD bench on this
+/// machine and diff it against the committed baseline, warn-only.
+#[test]
+fn committed_bdd_baseline_diffs_clean_in_warn_only_mode() {
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-adv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bdd.json");
+    assert!(
+        std::path::Path::new(committed).exists(),
+        "committed BENCH_bdd.json baseline is missing"
+    );
+
+    let out = experiments()
+        .args(["bdd"])
+        .env("HOYAN_BENCH_DIR", dir.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = dir.join("BENCH_bdd.json");
+    assert!(fresh.exists());
+
+    let out = experiments()
+        .args(["regress", committed, fresh.to_str().unwrap(), "--warn-only"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "advisory gate must not fail:\n{stdout}");
+    assert!(stdout.contains("[warn-only]"), "{stdout}");
+    // The deterministic kernel counter must match the committed baseline
+    // exactly on the same fixture — if this line ever shows up, the commit
+    // changed the BDD workload without regenerating BENCH_bdd.json.
+    assert!(
+        !stdout.contains("REGRESS metrics/sweep/counters/bdd.ops"),
+        "bdd.ops drifted from the committed baseline:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,6 +40,6 @@ pub use snapshot::{
 };
 pub use topology::{Topology, TopologyError};
 pub use verify::{
-    EquivalenceReport, FamilyBudget, FamilyOutcome, PrefixReport, QuarantinedFamily, ReachReport,
-    ReverifyOutcome, SweepOptions, SweepReport, Verifier, VerifierError,
+    EquivalenceReport, FamilyBudget, FamilyCost, FamilyOutcome, PrefixReport, QuarantinedFamily,
+    ReachReport, ReverifyOutcome, SweepOptions, SweepReport, Verifier, VerifierError,
 };

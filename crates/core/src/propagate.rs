@@ -341,6 +341,15 @@ impl SharedBase {
         }
     }
 
+    /// BDD solver steps [`SharedBase::build`] burned constructing the base
+    /// arena — the sweep reports this separately so the per-family op
+    /// attribution plus this value reconciles with the global `bdd.ops`
+    /// counter (the base manager's tallies flush when the base drops at
+    /// sweep end).
+    pub fn construction_ops(&self) -> u64 {
+        self.mgr.ops
+    }
+
     /// Imports the base into `arena` as its permanent segment and returns
     /// the handle map simulations in that arena use. Attach **once per
     /// worker arena** — the segment survives `recycle()`, and the returned
@@ -650,6 +659,7 @@ impl<'n> Simulation<'n> {
             // thread count (the quarantine determinism contract).
             if let Some(breach) = self.mgr.budget_exceeded() {
                 self.flush_metrics(steps);
+                hoyan_obs::record(hoyan_obs::EventKind::BudgetBreach);
                 return Err(SimError::OverBudget(breach));
             }
             // The opt-in wall-clock guard, sampled every 64 steps to keep
@@ -715,7 +725,13 @@ impl<'n> Simulation<'n> {
             )
             .chain(self.session_conds.values().copied())
             .collect();
+        let before = self.mgr.node_count();
         self.mgr.gc(roots);
+        // Flight-recorder pause marker; the trigger (and hence the event
+        // stream) depends only on this family's own allocation history.
+        hoyan_obs::record(hoyan_obs::EventKind::GcRun {
+            reclaimed: before.saturating_sub(self.mgr.node_count()) as u64,
+        });
     }
 
     // Fold this run's plain-integer tallies into the process-wide registry

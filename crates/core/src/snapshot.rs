@@ -195,6 +195,10 @@ pub struct CachedFamily {
     pub reports: Vec<CachedPrefixReport>,
     /// The family's dependency footprint.
     pub deps: FamilyDeps,
+    /// The BDD bill the baseline sweep paid for this family. Carried so a
+    /// later `reverify` can attribute reused families (at zero marginal
+    /// cost) alongside recomputed ones.
+    pub cost: crate::verify::FamilyCost,
 }
 
 /// The sweep cache: every family's reports and dependency footprint at one

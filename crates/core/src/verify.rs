@@ -138,6 +138,82 @@ impl std::fmt::Display for FamilyOutcome {
     }
 }
 
+/// Resource cost of one family's sweep segment, read off the family's BDD
+/// arena at segment end (see [`hoyan_logic::BddManager::tallies`]: a
+/// freshly recycled arena starts every tally at zero, so the snapshot is
+/// exactly this family's delta — the same values the recycle folds into
+/// the global counters). Plain data: safe to cache across processes and
+/// deterministic across thread counts, except `wall_ns`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FamilyCost {
+    /// BDD solver steps the family burned (its `bdd.ops` delta).
+    pub ops: u64,
+    /// ITE operation-cache hits.
+    pub ite_cache_hits: u64,
+    /// ITE operation-cache misses.
+    pub ite_cache_misses: u64,
+    /// Mark-and-sweep GC passes inside the family's segment.
+    pub gc_runs: u64,
+    /// Nodes those GC passes reclaimed.
+    pub nodes_reclaimed: u64,
+    /// Peak live nodes above the shared base, terminals included.
+    pub peak_family_nodes: u64,
+    /// Wall time in nanoseconds. 0 unless `hoyan_obs::set_timing` opted
+    /// into wall-clock capture — the deterministic default keeps costs
+    /// byte-identical across runs and thread counts.
+    pub wall_ns: u64,
+}
+
+impl FamilyCost {
+    fn from_manager(mgr: &BddManager, wall_ns: u64) -> FamilyCost {
+        let t = mgr.tallies();
+        FamilyCost {
+            ops: t.ops,
+            ite_cache_hits: t.ite_cache_hits,
+            ite_cache_misses: t.ite_cache_misses,
+            gc_runs: t.gc_runs,
+            nodes_reclaimed: t.nodes_reclaimed,
+            peak_family_nodes: mgr.family_peak_live() as u64,
+            wall_ns,
+        }
+    }
+
+    /// ITE operation-cache hit rate in `[0, 1]`; 0 when the cache was
+    /// never consulted.
+    pub fn ite_hit_rate(&self) -> f64 {
+        let total = self.ite_cache_hits + self.ite_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ite_cache_hits as f64 / total as f64
+        }
+    }
+
+    fn unit_cost(&self, unit: u64, label: String, quarantined: bool, reused: bool) -> hoyan_obs::UnitCost {
+        hoyan_obs::UnitCost {
+            unit,
+            label,
+            ops: self.ops,
+            peak_nodes: self.peak_family_nodes,
+            ite_hits: self.ite_cache_hits,
+            ite_misses: self.ite_cache_misses,
+            gc_runs: self.gc_runs,
+            wall_ns: self.wall_ns,
+            quarantined,
+            reused,
+        }
+    }
+}
+
+/// Human-readable family label: the head prefix, `(+n)` for batched tails.
+fn family_label(fam: &[Ipv4Prefix]) -> String {
+    match fam.len() {
+        0 => String::new(),
+        1 => fam[0].to_string(),
+        n => format!("{} (+{})", fam[0], n - 1),
+    }
+}
+
 /// A prefix family a fault-tolerant sweep excluded from its reports.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuarantinedFamily {
@@ -148,6 +224,12 @@ pub struct QuarantinedFamily {
     pub prefixes: Vec<Ipv4Prefix>,
     /// What took the family out.
     pub outcome: FamilyOutcome,
+    /// The *partial* cost the family burned before failing — captured from
+    /// the arena the error path hands back, so quarantined work is
+    /// attributed, not lost. Zero for panics (the arena unwound with the
+    /// simulation, flushing its tallies to the global counters
+    /// unattributed).
+    pub cost: FamilyCost,
 }
 
 /// Output of a fault-tolerant sweep: per-prefix reports for every family
@@ -204,7 +286,9 @@ pub struct SweepOptions {
 /// How one family failed inside the sweep, before it is folded into a
 /// [`FamilyOutcome`] (quarantine) or surfaced raw (fail-fast).
 enum FamilyFailure {
-    Error(SimError),
+    /// An error plus the partial cost the family burned before it — read
+    /// off the handed-back arena before the recycle flushed it.
+    Error(SimError, FamilyCost),
     Panic(Box<dyn std::any::Any + Send>),
 }
 
@@ -686,13 +770,20 @@ impl Verifier {
         // The query phase allocates in the same arena; honor the caps over
         // the family's *whole* footprint, not just propagation.
         if let Some(breach) = sim.mgr.budget_exceeded() {
+            hoyan_obs::record(hoyan_obs::EventKind::BudgetBreach);
             return (Err(SimError::OverBudget(breach)), sim.into_manager());
         }
+        let wall_ns = if hoyan_obs::timing() {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let sweep = FamilySweep {
             index,
             stats: sim.stats,
             reports: family_reports,
             deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
+            cost: FamilyCost::from_manager(&sim.mgr, wall_ns),
         };
         (Ok(sweep), sim.into_manager())
     }
@@ -724,6 +815,7 @@ impl Verifier {
         k: u32,
         threads: usize,
         opts: &SweepOptions,
+        units: Option<&[usize]>,
     ) -> Result<SweepOutcome, SimError> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         let _sweep = hoyan_obs::span("verify.sweep");
@@ -731,8 +823,18 @@ impl Verifier {
         // (the determinism contract covers counters/histograms only).
         hoyan_obs::metric!(gauge "verify.fanout_threads").record_max(threads.max(1) as u64);
         hoyan_obs::metric!(gauge "verify.fanout_families").record_max(families.len() as u64);
+        // Flight-recorder unit ids: the local family index by default;
+        // `reverify` passes the classification indices of its dirty list so
+        // recorded events and costs carry global family ids.
+        let unit_of = |i: usize| match units {
+            Some(u) => u[i] as u64,
+            None => i as u64,
+        };
         let results = std::sync::Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
+        // Recorder worker ids (for the opt-in `--timing` trace only; with
+        // timing off the trace never exposes worker identity).
+        let worker_seq = AtomicUsize::new(0);
         // Armed only under fail-fast: quarantine never stops peers.
         let failed = AtomicBool::new(false);
         // Failures keyed by family index: the map, not lock-acquisition
@@ -741,10 +843,18 @@ impl Verifier {
         // The cross-family shared base: link literals + iBGP session
         // conditions, built once here and imported into every worker arena.
         let base = SharedBase::build(&self.net, Some(&self.isis));
+        // Reported separately from the per-family costs: base construction
+        // flushes into `bdd.ops` when the base drops at sweep end, and the
+        // attribution must reconcile with that counter. Built on the
+        // calling thread, so the value is thread-count invariant.
+        hoyan_obs::metric!(counter "verify.shared_base_ops").add(base.construction_ops());
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads.max(1))
                 .map(|_| {
                     s.spawn(|| {
+                        hoyan_obs::set_worker(
+                            worker_seq.fetch_add(1, Ordering::Relaxed) as u32
+                        );
                         // One warm BDD arena per worker, recycled between
                         // families: node/table allocations survive, handles
                         // and tallies do not (each family still accounts —
@@ -763,6 +873,8 @@ impl Verifier {
                                 break;
                             }
                             let _fam_span = hoyan_obs::span("verify.family");
+                            hoyan_obs::begin_unit(unit_of(i));
+                            hoyan_obs::record(hoyan_obs::EventKind::FamilyStart);
                             let work = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 self.run_family(
                                     std::mem::take(&mut arena),
@@ -775,6 +887,10 @@ impl Verifier {
                             }));
                             let failure = match work {
                                 Ok((Ok(sweep), mgr)) => {
+                                    hoyan_obs::record(hoyan_obs::EventKind::FamilyEnd {
+                                        ops: sweep.cost.ops,
+                                        peak_nodes: sweep.cost.peak_family_nodes,
+                                    });
                                     // Recycle flushes this family's tallies
                                     // exactly like a Drop would.
                                     arena = mgr;
@@ -800,11 +916,18 @@ impl Verifier {
                                 }
                                 Ok((Err(e), mgr)) => {
                                     // The error path hands the warm arena
-                                    // back (via `into_manager`) — recycle
-                                    // and keep going.
+                                    // back (via `into_manager`): read the
+                                    // partial cost off it *before* the
+                                    // recycle flushes the tallies, then
+                                    // keep going.
+                                    let cost = FamilyCost::from_manager(&mgr, 0);
+                                    hoyan_obs::record(hoyan_obs::EventKind::FamilyEnd {
+                                        ops: cost.ops,
+                                        peak_nodes: cost.peak_family_nodes,
+                                    });
                                     arena = mgr;
                                     arena.recycle();
-                                    FamilyFailure::Error(e)
+                                    FamilyFailure::Error(e, cost)
                                 }
                                 Err(payload) => {
                                     // The arena unwound with the failed
@@ -825,6 +948,9 @@ impl Verifier {
                                 break;
                             }
                         }
+                        // Merge this worker's event buffer into the global
+                        // log before the thread exits.
+                        hoyan_obs::flush_thread_events();
                     })
                 })
                 .collect();
@@ -847,7 +973,7 @@ impl Verifier {
             // worker got to a lock first.
             if let Some((_, failure)) = failures.pop_first() {
                 match failure {
-                    FamilyFailure::Error(e) => return Err(e),
+                    FamilyFailure::Error(e, _) => return Err(e),
                     FamilyFailure::Panic(p) => std::panic::resume_unwind(p),
                 }
             }
@@ -855,26 +981,37 @@ impl Verifier {
         let mut quarantined = Vec::new();
         let mut over_budget = 0u64;
         for (index, failure) in failures {
-            let outcome = match failure {
+            let (outcome, cost) = match failure {
                 FamilyFailure::Error(
                     e @ (SimError::OverBudget(_) | SimError::DeadlineExceeded { .. }),
+                    cost,
                 ) => {
                     over_budget += 1;
-                    FamilyOutcome::OverBudget {
-                        reason: e.to_string(),
-                    }
+                    (
+                        FamilyOutcome::OverBudget {
+                            reason: e.to_string(),
+                        },
+                        cost,
+                    )
                 }
-                FamilyFailure::Error(e) => FamilyOutcome::Failed {
-                    reason: e.to_string(),
-                },
-                FamilyFailure::Panic(p) => FamilyOutcome::Failed {
-                    reason: format!("panic: {}", panic_message(p.as_ref())),
-                },
+                FamilyFailure::Error(e, cost) => (
+                    FamilyOutcome::Failed {
+                        reason: e.to_string(),
+                    },
+                    cost,
+                ),
+                FamilyFailure::Panic(p) => (
+                    FamilyOutcome::Failed {
+                        reason: format!("panic: {}", panic_message(p.as_ref())),
+                    },
+                    FamilyCost::default(),
+                ),
             };
             quarantined.push(QuarantinedFamily {
                 index,
                 prefixes: families[index].clone(),
                 outcome,
+                cost,
             });
         }
         // Bumped once, post-join: deterministic at any thread count (as
@@ -883,6 +1020,29 @@ impl Verifier {
         hoyan_obs::metric!(counter "verify.families_over_budget").add(over_budget);
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|f| f.index);
+        // Publish the per-family cost attribution and the quarantine
+        // verdicts to the flight recorder — post-join and in index order,
+        // so the merged log is deterministic at any thread count.
+        if hoyan_obs::events_enabled() {
+            for f in &out {
+                hoyan_obs::record_unit_cost(f.cost.unit_cost(
+                    unit_of(f.index),
+                    family_label(&families[f.index]),
+                    false,
+                    false,
+                ));
+            }
+            for q in &quarantined {
+                hoyan_obs::record_for(unit_of(q.index), hoyan_obs::EventKind::Quarantined);
+                hoyan_obs::record_unit_cost(q.cost.unit_cost(
+                    unit_of(q.index),
+                    family_label(&families[q.index]),
+                    true,
+                    false,
+                ));
+            }
+            hoyan_obs::flush_thread_events();
+        }
         Ok(SweepOutcome {
             families: out,
             quarantined,
@@ -921,7 +1081,7 @@ impl Verifier {
         opts: &SweepOptions,
     ) -> Result<SweepReport, SimError> {
         let families = self.families();
-        let swept = self.sweep_families(&families, k, threads, opts)?;
+        let swept = self.sweep_families(&families, k, threads, opts, None)?;
         let mut out: Vec<PrefixReport> =
             swept.families.into_iter().flat_map(|f| f.reports).collect();
         out.sort_by_key(|r| r.prefix);
@@ -955,7 +1115,7 @@ impl Verifier {
         opts: &SweepOptions,
     ) -> Result<(SweepReport, FamilyCache), SimError> {
         let families = self.families();
-        let swept = self.sweep_families(&families, k, threads, opts)?;
+        let swept = self.sweep_families(&families, k, threads, opts, None)?;
         let mut cache = FamilyCache::new(k, self.isis_k);
         let mut out = Vec::new();
         for f in swept.families {
@@ -967,6 +1127,7 @@ impl Verifier {
                     .map(|r| CachedPrefixReport::from_report(r, &self.net.topology))
                     .collect(),
                 deps: f.deps,
+                cost: f.cost,
             });
             out.extend(f.reports);
         }
@@ -1039,7 +1200,7 @@ impl Verifier {
         let mut classifications = self.classify_families(delta, cache, k);
         let mut reports: Vec<PrefixReport> = Vec::new();
         let mut new_cache = FamilyCache::new(k, self.isis_k);
-        for (fam, reason) in classifications.iter_mut() {
+        for (ci, (fam, reason)) in classifications.iter_mut().enumerate() {
             if reason.is_some() {
                 continue;
             }
@@ -1064,20 +1225,35 @@ impl Verifier {
                             .merge(&head.stats);
                     }
                     reports.extend(rs);
+                    if hoyan_obs::events_enabled() {
+                        // Unit ids in a reverify are classification indices;
+                        // a reused family is attributed at zero cost (its
+                        // BDD bill was paid by the baseline sweep).
+                        hoyan_obs::record_for(ci as u64, hoyan_obs::EventKind::CacheReuse);
+                        hoyan_obs::record_unit_cost(cf.cost.unit_cost(
+                            ci as u64,
+                            family_label(fam),
+                            false,
+                            true,
+                        ));
+                    }
                     new_cache.insert(cf.clone());
                 }
                 None => *reason = Some(DirtyReason::ReplayFailed),
             }
         }
-        let dirty: Vec<Vec<Ipv4Prefix>> = classifications
-            .iter()
-            .filter(|(_, r)| r.is_some())
-            .map(|(f, _)| f.clone())
-            .collect();
+        let mut dirty: Vec<Vec<Ipv4Prefix>> = Vec::new();
+        let mut dirty_units: Vec<usize> = Vec::new();
+        for (ci, (fam, reason)) in classifications.iter().enumerate() {
+            if reason.is_some() {
+                dirty.push(fam.clone());
+                dirty_units.push(ci);
+            }
+        }
         let reused = classifications.len() - dirty.len();
         hoyan_obs::metric!(counter "verify.families_reused").add(reused as u64);
         hoyan_obs::metric!(counter "verify.families_recomputed").add(dirty.len() as u64);
-        let swept = self.sweep_families(&dirty, k, threads, opts)?;
+        let swept = self.sweep_families(&dirty, k, threads, opts, Some(&dirty_units))?;
         for f in swept.families {
             new_cache.insert(CachedFamily {
                 prefixes: dirty[f.index].clone(),
@@ -1087,6 +1263,7 @@ impl Verifier {
                     .map(|r| CachedPrefixReport::from_report(r, &self.net.topology))
                     .collect(),
                 deps: f.deps,
+                cost: f.cost,
             });
             reports.extend(f.reports);
         }
@@ -1115,6 +1292,8 @@ struct FamilySweep {
     reports: Vec<PrefixReport>,
     /// Devices and links the family's propagation touched.
     deps: FamilyDeps,
+    /// The family's resource bill, read off its arena at completion.
+    cost: FamilyCost,
 }
 
 /// Everything a sweep produced: the completed families plus the

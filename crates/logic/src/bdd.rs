@@ -177,6 +177,33 @@ enum IteFrame {
     Reduce { key: (Bdd, Bdd, Bdd), var: u32 },
 }
 
+/// Point-in-time copy of a manager's per-segment tallies — the same values
+/// [`BddManager::recycle`] and `Drop` fold into the process-wide registry.
+/// A manager handed out freshly recycled starts with every tally at zero,
+/// so reading this at segment end yields exactly that segment's cost; the
+/// sweep's per-family cost attribution is built on this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddTallies {
+    /// Solver steps (ITE expansions plus failure-cost evaluations).
+    pub ops: u64,
+    /// Unique-table hits.
+    pub unique_hits: u64,
+    /// Unique-table misses.
+    pub unique_misses: u64,
+    /// ITE operation-cache hits.
+    pub ite_cache_hits: u64,
+    /// ITE operation-cache misses.
+    pub ite_cache_misses: u64,
+    /// Mark-and-sweep GC passes.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by GC.
+    pub nodes_reclaimed: u64,
+    /// Nodes allocated.
+    pub nodes_created: u64,
+    /// Peak live nodes, terminals and any base segment included.
+    pub peak_live: usize,
+}
+
 /// The arena and operation caches for a family of BDDs.
 ///
 /// All [`Bdd`] handles are only meaningful relative to the manager that
@@ -288,6 +315,30 @@ impl BddManager {
         self.gc_runs = 0;
         self.nodes_reclaimed = 0;
         self.nodes_created = 0;
+    }
+
+    /// The current per-segment tallies (see [`BddTallies`]). Cheap — a
+    /// field copy; base-import work is already excluded (see
+    /// [`Self::import_base`]).
+    pub fn tallies(&self) -> BddTallies {
+        BddTallies {
+            ops: self.ops,
+            unique_hits: self.unique_hits,
+            unique_misses: self.unique_misses,
+            ite_cache_hits: self.ite_cache_hits,
+            ite_cache_misses: self.ite_cache_misses,
+            gc_runs: self.gc_runs,
+            nodes_reclaimed: self.nodes_reclaimed,
+            nodes_created: self.nodes_created,
+            peak_live: self.peak_live,
+        }
+    }
+
+    /// Peak live nodes *above* the base segment, terminals included —
+    /// the current segment's own peak footprint, comparable with
+    /// [`Self::family_node_count`].
+    pub fn family_peak_live(&self) -> usize {
+        self.peak_live - (self.base_len - 2)
     }
 
     /// Resets the manager to its post-[`Self::import_base`] state while

@@ -30,7 +30,7 @@ pub mod formula;
 pub mod order;
 pub mod sat;
 
-pub use bdd::{Bdd, BddBudget, BddManager, BudgetBreach};
+pub use bdd::{Bdd, BddBudget, BddManager, BddTallies, BudgetBreach};
 pub use cnf::{Cnf, Lit, Var};
 pub use formula::Formula;
 pub use order::{BddOrdering, VarOrder};

@@ -30,23 +30,33 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod export;
 pub mod metrics;
 pub mod spans;
 
-pub use export::{export_json, render_table, SCHEMA_VERSION};
+pub use events::{
+    begin_unit, events_enabled, events_snapshot, flush_thread_events, record, record_for,
+    record_unit_cost, reset_events, set_events_enabled, set_timing, set_worker, timing,
+    unit_costs, Event, EventKind, UnitCost,
+};
+pub use export::{
+    export_chrome_trace, export_json, render_attribution, render_table, SCHEMA_VERSION,
+};
 pub use metrics::{
     counter, counter_values, gauge, gauge_values, histogram, histogram_values,
     register_default_metrics, reset_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
     EXP2_BUCKETS,
 };
 pub use spans::{
-    enabled, flush_thread, quiet, reset_spans, set_enabled, set_quiet, span, span_values, warn,
-    SpanAgg, SpanGuard,
+    enabled, flush_thread, ordered_span_values, quiet, reset_spans, set_enabled, set_quiet, span,
+    span_values, warn, SpanAgg, SpanGuard,
 };
 
-/// Zeroes every metric and clears the span aggregate.
+/// Zeroes every metric and clears the span aggregate, the flight-recorder
+/// event log and the published unit costs.
 pub fn reset() {
     reset_metrics();
     reset_spans();
+    reset_events();
 }

@@ -238,6 +238,7 @@ pub fn register_default_metrics() {
         "bdd.unique_misses",
         "isis.conditioned_sessions",
         "isis.spf_runs",
+        "obs.events_dropped",
         "obs.warnings",
         "propagate.delivered",
         "propagate.dropped_impossible",
@@ -264,6 +265,7 @@ pub fn register_default_metrics() {
         "verify.families_reused",
         "verify.prefixes",
         "verify.queries",
+        "verify.shared_base_ops",
     ];
     const GAUGES: &[&str] = &[
         "bdd.peak_nodes",

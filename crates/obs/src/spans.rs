@@ -53,7 +53,7 @@ pub fn warn(msg: &str) {
 }
 
 /// Aggregate timing of one span path.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanAgg {
     /// Number of times the span closed.
     pub count: u64,
@@ -61,6 +61,22 @@ pub struct SpanAgg {
     pub total_ns: u64,
     /// Slowest single close, nanoseconds.
     pub max_ns: u64,
+    /// First-seen sequence: the position of this path in its recording
+    /// thread's discovery order. Merging keeps the minimum, so the table
+    /// sink can order sibling spans by when the workload first reached
+    /// them rather than by path spelling or thread join order.
+    pub seq: u64,
+}
+
+impl Default for SpanAgg {
+    fn default() -> Self {
+        SpanAgg {
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            seq: u64::MAX,
+        }
+    }
 }
 
 impl SpanAgg {
@@ -68,6 +84,7 @@ impl SpanAgg {
         self.count += other.count;
         self.total_ns += other.total_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
+        self.seq = self.seq.min(other.seq);
     }
 }
 
@@ -75,6 +92,9 @@ impl SpanAgg {
 struct Collector {
     stack: Vec<(&'static str, Instant)>,
     agg: BTreeMap<String, SpanAgg>,
+    /// Monotonic discovery counter; never reset on flush, so re-discovered
+    /// paths keep their earliest sequence after the global min-merge.
+    next_seq: u64,
 }
 
 thread_local! {
@@ -119,10 +139,18 @@ impl Drop for SpanGuard {
                 path.push('/');
             }
             path.push_str(name);
+            let next_seq = c.next_seq;
             let e = c.agg.entry(path).or_default();
+            let discovered = e.count == 0;
+            if discovered {
+                e.seq = next_seq;
+            }
             e.count += 1;
             e.total_ns += ns;
             e.max_ns = e.max_ns.max(ns);
+            if discovered {
+                c.next_seq += 1;
+            }
             if c.stack.is_empty() {
                 flush_collector(&mut c);
             }
@@ -153,12 +181,37 @@ pub fn span_values() -> BTreeMap<String, SpanAgg> {
     global().lock().unwrap_or_else(|p| p.into_inner()).clone()
 }
 
+/// The global span aggregate as a list in *discovery order*: each path
+/// sorts by the chain of first-seen sequences of its ancestors and then its
+/// own, so children stay under their parent and siblings appear in the
+/// order the workload first reached them — not in path-spelling order and
+/// not in thread join order (worker threads running the same code assign
+/// the same per-thread sequences, and the merge keeps the minimum).
+/// Cross-thread sequence ties break lexicographically by path.
+pub fn ordered_span_values() -> Vec<(String, SpanAgg)> {
+    let spans = span_values();
+    let key = |path: &str| {
+        let mut chain: Vec<u64> = Vec::new();
+        for (i, ch) in path.char_indices() {
+            if ch == '/' {
+                chain.push(spans.get(&path[..i]).map_or(u64::MAX, |a| a.seq));
+            }
+        }
+        chain.push(spans.get(path).map_or(u64::MAX, |a| a.seq));
+        chain
+    };
+    let mut out: Vec<(String, SpanAgg)> = spans.iter().map(|(p, a)| (p.clone(), *a)).collect();
+    out.sort_by(|(pa, _), (pb, _)| key(pa).cmp(&key(pb)).then_with(|| pa.cmp(pb)));
+    out
+}
+
 /// Clears the global span aggregate (test/bench scoping; this thread's
 /// buffer is flushed and discarded too).
 pub fn reset_spans() {
     COLLECTOR.with(|c| {
         let mut c = c.borrow_mut();
         c.agg.clear();
+        c.next_seq = 0;
     });
     global().lock().unwrap_or_else(|p| p.into_inner()).clear();
 }
@@ -204,6 +257,50 @@ mod tests {
         assert_eq!(v["outer/inner"].count, 3);
         assert!(v["outer"].total_ns >= v["outer/inner"].total_ns);
         assert!(v["outer/inner"].max_ns <= v["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn table_order_follows_discovery_not_spelling() {
+        let _s = serial();
+        set_enabled(true);
+        reset_spans();
+        {
+            let _z = span("zeta");
+            let _i = span("mid");
+        }
+        {
+            let _a = span("alpha");
+        }
+        set_enabled(false);
+        let ordered: Vec<String> = ordered_span_values().into_iter().map(|(p, _)| p).collect();
+        // Lexicographic order would list `alpha` first; discovery order
+        // pins `zeta` (and its child) ahead of it.
+        assert_eq!(ordered, vec!["zeta", "zeta/mid", "alpha"]);
+    }
+
+    #[test]
+    fn worker_merge_order_is_depth_sequence_not_join_order() {
+        let _s = serial();
+        set_enabled(true);
+        reset_spans();
+        // Every worker records the same structure; whichever joins (and
+        // flushes) first must not influence the merged order, and sibling
+        // spans must keep their in-code order even when it disagrees with
+        // their spelling.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = span("work");
+                    {
+                        let _a = span("zz_first");
+                    }
+                    let _b = span("aa_second");
+                });
+            }
+        });
+        set_enabled(false);
+        let ordered: Vec<String> = ordered_span_values().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(ordered, vec!["work", "work/zz_first", "work/aa_second"]);
     }
 
     #[test]

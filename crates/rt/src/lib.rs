@@ -25,9 +25,13 @@
 //! - [`fault`] — seeded, site-keyed fault injection: no-op unless a plan is
 //!   armed, and then a pure function of `(site, index)` so injected faults
 //!   land identically at any thread count.
+//! - [`json`] — a minimal JSON reader for the workspace's own emitters
+//!   (`--stats-json`, `--trace`, `BENCH_<suite>.json`), used by the
+//!   `experiments regress` gate and the trace round-trip tests.
 
 pub mod bench;
 pub mod fault;
 pub mod hash;
+pub mod json;
 pub mod prop;
 pub mod rng;

@@ -33,7 +33,11 @@
 //!
 //! Global flags (any subcommand): `--stats` prints a span-tree/metrics
 //! table, `--stats-json PATH` writes the metrics registry as deterministic
-//! JSON, and `--quiet` suppresses degradation warnings on stderr.
+//! JSON, `--attribution` prints the per-family cost table recorded by the
+//! sweep flight recorder, `--trace PATH` writes a chrome://tracing /
+//! Perfetto-loadable timeline of the sweep, `--timing` opts into wall-clock
+//! timestamps (non-deterministic outputs), and `--quiet` suppresses
+//! degradation warnings on stderr.
 //!
 //! The `HOYAN_FAULTS` environment variable arms the seeded fault-injection
 //! plan (`site@index[,index...]=error|panic|overbudget` or
@@ -58,6 +62,9 @@ fn main() -> ExitCode {
     // positional arguments keep their places.
     let stats = take_flag(&mut args, "--stats");
     let stats_json = take_value_flag(&mut args, "--stats-json");
+    let trace = take_value_flag(&mut args, "--trace");
+    let attribution = take_flag(&mut args, "--attribution");
+    let timing = take_flag(&mut args, "--timing");
     hoyan::obs::set_quiet(take_flag(&mut args, "--quiet"));
     // Seeded fault injection, for drills and tests: disarmed (the default)
     // the hooks are a single relaxed atomic load.
@@ -72,19 +79,35 @@ fn main() -> ExitCode {
             }
         }
     }
-    if stats || stats_json.is_some() {
+    if stats || stats_json.is_some() || trace.is_some() || attribution {
         hoyan::obs::set_enabled(true);
         // Pin the export schema: all standard metrics present (zeroed) even
         // when this subcommand never exercises their subsystem.
         hoyan::obs::register_default_metrics();
+        // Arm the flight recorder: any consumer of events or per-family
+        // costs turns recording on for all of them.
+        hoyan::obs::set_events_enabled(true);
     }
+    // `--timing` swaps the recorder's deterministic logical clock for wall
+    // time: richer traces and wall_ns/wall_ms columns, at the price of
+    // run-to-run (and thread-count) variation in the outputs.
+    hoyan::obs::set_timing(timing);
     let outcome = run(&args);
     // Sinks run even when the command failed: the stats explain the failure.
     if stats {
         print!("{}", hoyan::obs::render_table());
     }
+    if attribution {
+        print!("{}", hoyan::obs::render_attribution(20));
+    }
     if let Some(path) = stats_json {
         if let Err(e) = std::fs::write(&path, hoyan::obs::export_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = trace {
+        if let Err(e) = std::fs::write(&path, hoyan::obs::export_chrome_trace()) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -622,6 +645,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  global flags (any subcommand):\n\
                  \x20 --stats            print a span-tree/metrics table after the command\n\
                  \x20 --stats-json PATH  write the metrics registry as deterministic JSON\n\
+                 \x20 --attribution      print the per-family cost attribution table (top 20)\n\
+                 \x20 --trace PATH       write a chrome://tracing / Perfetto timeline JSON\n\
+                 \x20 --timing           record wall-clock times (non-deterministic outputs)\n\
                  \x20 --quiet            suppress degradation warnings on stderr"
             );
             Ok(())

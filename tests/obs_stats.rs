@@ -85,7 +85,15 @@ fn counters_are_identical_across_runs_and_thread_counts() {
         .unwrap();
     assert!(out.status.success());
 
-    let baseline = deterministic_sections(&sweep_stats_json(&dir, "1", "t1"));
+    let full = sweep_stats_json(&dir, "1", "t1");
+    // Schema v2: the version marker, the flight-recorder drop counter, the
+    // shared-base attribution counter and the family_cost section are all
+    // pinned into every export.
+    assert!(full.contains("\"schema\": 2,"), "{full}");
+    assert!(full.contains("\"obs.events_dropped\""), "{full}");
+    assert!(full.contains("\"verify.shared_base_ops\""), "{full}");
+    assert!(full.contains("\"family_cost\""), "{full}");
+    let baseline = deterministic_sections(&full);
     assert!(baseline.contains("\"propagate.runs\""), "{baseline}");
     // The ITE kernel's schema: the unified-cache and GC counters are pinned
     // into the export, the retired per-connective cache counters are not.
