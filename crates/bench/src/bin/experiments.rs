@@ -4,15 +4,26 @@
 //!
 //! Usage: `experiments <id>|all [--quick]`
 //! where `<id>` ∈ {fig7, fig8-13, fig14, fig15, fig16, table2, table3,
-//! table4, table5, formulas, incremental, bdd, faults}.
+//! table4, table5, formulas, incremental, bdd, faults, modular}.
 //!
-//! `experiments regress <baseline.json> <candidate.json> [--warn-only]` is
-//! different: it diffs two `BENCH_<suite>.json` files and exits non-zero if
-//! the candidate regressed. Deterministic counters (everything under
-//! `counters`/`gauges`/`orderings`/`family_cost`) tolerate a 2% increase;
-//! wall-clock leaves (`*_ns`, `*_ms`) tolerate 40% (schedulers are noisy);
-//! decreases are reported but never fail. `--warn-only` prints the same
-//! report but always exits 0 — the advisory mode the tier-1 flow uses.
+//! `experiments regress <baseline.json> <candidate.json> [--warn-only]
+//! [--counters-only]` is different: it diffs two `BENCH_<suite>.json` files
+//! and exits non-zero if the candidate regressed. Deterministic counters
+//! (everything under `counters`/`gauges`/`orderings`/`family_cost`)
+//! tolerate a 2% increase; wall-clock leaves (`*_ns`, `*_ms`) tolerate 40%
+//! (schedulers are noisy); decreases are reported but never fail.
+//! `--warn-only` prints the same report but always exits 0 — the advisory
+//! mode. `--counters-only` restricts the gate to leaves under a
+//! `counters` section — those are pure functions of the workload, so the
+//! gate can run *strictly* (non-warn-only) in the tier-1 test suite even
+//! though the committed baselines were produced in release mode on other
+//! hardware.
+//!
+//! `modular` measures the three-stage modular pipeline on the paper-scale
+//! `wan-large` fixture (a 42-device fixture under `--quick`): an exact-only
+//! sweep vs `--modular --abstraction full`, checking the verdicts agree,
+//! and writes `BENCH_modular.json` with the proved/refined split and both
+//! `bdd.ops` totals.
 //!
 //! `incremental` is not a paper figure: it measures the snapshot/delta
 //! pipeline (fresh full sweep vs `Verifier::reverify` against a cached
@@ -21,7 +32,9 @@
 //! the ITE/GC BDD engine under a full sweep and writes `BENCH_bdd.json`.
 //! `faults` arms a seeded fault-injection plan, drives quarantined sweeps
 //! at several thread counts, checks the quarantined set is thread-count
-//! invariant, and writes `BENCH_faults.json`.
+//! invariant, and writes `BENCH_faults.json`. `modular` benchmarks the
+//! three-stage modular pipeline against the exact-only sweep and writes
+//! `BENCH_modular.json`.
 //!
 //! Absolute numbers will differ from the paper (different hardware and a
 //! synthetic WAN); the *shapes* — who wins, by how much, where the cost
@@ -32,7 +45,7 @@ use std::time::{Duration, Instant};
 use hoyan_baselines::{BatfishLike, MinesweeperLike, PlanktonLike};
 use hoyan_bench::{fmt_dur, Cdf};
 use hoyan_config::ConfigSnapshot;
-use hoyan_core::{packet_reach, NetworkModel, Verifier};
+use hoyan_core::{packet_reach, AbstractionMode, NetworkModel, SweepOptions, Verifier};
 use hoyan_device::{Packet, VsbProfile};
 use hoyan_nettypes::{Ipv4Prefix, NodeId};
 use hoyan_rt::bench::BenchSuite;
@@ -90,6 +103,9 @@ fn main() {
     }
     if run("faults") {
         faults(quick);
+    }
+    if run("modular") {
+        modular(quick);
     }
 }
 
@@ -968,6 +984,119 @@ fn faults(quick: bool) {
     println!();
 }
 
+// ------------------------------------------------------- Modular pipeline
+
+/// Modular-pipeline benchmark: the three-stage sweep (partition → abstract
+/// first pass → exact fallback) vs the monolithic exact-only sweep on the
+/// paper-scale `wan-large` fixture (a 42-device fixture under `--quick`).
+/// Asserts the two sweeps agree on every verdict, prints the
+/// proved/refined split, and writes `BENCH_modular.json` carrying the full
+/// metrics snapshot of the modular sweep plus a `summary` block with both
+/// `bdd.ops` totals — the second committed regression baseline next to
+/// `BENCH_bdd.json`.
+fn modular(quick: bool) {
+    let spec = if quick {
+        // The bdd experiment's ≥40-device fixture keeps quick runs honest.
+        WanSpec {
+            seed: 42,
+            regions: 3,
+            pes_per_region: 4,
+            mans_per_region: 2,
+            prefixes_per_pe: 2,
+            extra_core_links: 2,
+        }
+    } else {
+        WanSpec::wan_large(42)
+    };
+    let wan = spec.build();
+    println!(
+        "=== Modular pipeline ({} devices, {} customer prefixes) ===",
+        wan.device_count(),
+        wan.customer_prefixes.len()
+    );
+    let k = 1u32;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
+    let verifier =
+        Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).expect("verifier");
+    let families = verifier.families().len();
+
+    // Window 1: monolithic exact-only sweep — the cost the abstract first
+    // pass has to beat.
+    hoyan_obs::reset_metrics();
+    let t0 = Instant::now();
+    let exact = verifier.verify_all_routes(k, threads).expect("exact sweep");
+    let exact_wall = t0.elapsed();
+    let exact_ops = hoyan_obs::counter_values()["bdd.ops"];
+    println!(
+        " exact-only: {} on {threads} threads | {} prefixes | bdd.ops {exact_ops}",
+        fmt_dur(exact_wall),
+        exact.reports.len()
+    );
+
+    // Window 2: the modular sweep with the full abstraction (proved
+    // families skip the exact stage) — this is the snapshot the baseline
+    // carries.
+    let opts = SweepOptions {
+        modular: true,
+        abstraction: AbstractionMode::Full,
+        ..SweepOptions::default()
+    };
+    hoyan_obs::reset_metrics();
+    let t0 = Instant::now();
+    let modular = verifier
+        .verify_all_routes_opts(k, threads, &opts)
+        .expect("modular sweep");
+    let modular_wall = t0.elapsed();
+    let counters = hoyan_obs::counter_values();
+    let modular_ops = counters["bdd.ops"];
+    let proved = counters["verify.families_abstract_proved"];
+    let refined = counters["verify.families_refined"];
+    let snapshot = hoyan_obs::export_json();
+    println!(
+        " modular:    {} on {threads} threads | bdd.ops {modular_ops}",
+        fmt_dur(modular_wall)
+    );
+    println!(
+        " abstract pass: {proved}/{families} families proved, {refined} refined exactly \
+         ({:.0}% settled without exact simulation)",
+        100.0 * proved as f64 / families as f64
+    );
+
+    // Soundness check, same spirit as the determinism tests: modular must
+    // agree with exact-only on every verdict.
+    assert_eq!(exact.reports.len(), modular.reports.len());
+    for (e, m) in exact.reports.iter().zip(&modular.reports) {
+        assert_eq!(e.prefix, m.prefix);
+        assert_eq!(e.scope, m.scope, "modular scope differs for {}", e.prefix);
+        assert_eq!(e.fragile, m.fragile, "modular fragility differs for {}", e.prefix);
+    }
+    assert_eq!(proved + refined, families as u64, "provenance must cover every family");
+
+    let mut suite = BenchSuite::new("modular");
+    // `summary/counters` holds the headline deterministic counters so the
+    // strict (`--counters-only`) regress gate can pin the proved fraction
+    // and the ops win without depending on wall-clock leaves.
+    suite.set_metrics_json(format!(
+        "{{\n    \"sweep\": {snapshot},\n    \"summary\": {{\"counters\": {{\
+         \"families\": {families}, \"families_abstract_proved\": {proved}, \
+         \"families_refined\": {refined}, \"exact_bdd_ops\": {exact_ops}, \
+         \"modular_bdd_ops\": {modular_ops}}}}}\n  }}"
+    ));
+    let samples = if quick { 2 } else { 5 };
+    suite.bench_with_samples("sweep_modular_full", samples, &mut || {
+        verifier
+            .verify_all_routes_opts(k, threads, &opts)
+            .expect("modular sweep")
+    });
+    suite.bench_with_samples("sweep_exact_only", samples, &mut || {
+        verifier.verify_all_routes(k, threads).expect("exact sweep")
+    });
+    suite.finish();
+    println!();
+}
+
 // ---------------------------------------------------------- Regression gate
 
 /// `experiments regress <baseline> <candidate> [--warn-only]`: diff two
@@ -987,11 +1116,22 @@ fn faults(quick: bool) {
 ///   are harness/environment facts, not measurements: skipped;
 /// - boolean leaves (`quarantined`, `reused`) regress on any flip to
 ///   `true`; decreases and disappearing/appearing paths are informational.
+///
+/// `--counters-only` restricts the comparison to leaves whose path crosses
+/// a `counters` section (the obs export's counter block, or a suite's own
+/// `summary/counters`). Those are pure functions of the seeded workload —
+/// byte-identical across machines, thread counts and build profiles — so
+/// a committed release-mode baseline can gate a debug-mode test run
+/// *strictly*, with no warn-only escape hatch.
 fn regress(args: &[String]) -> i32 {
     let warn_only = args.iter().any(|a| a == "--warn-only");
+    let counters_only = args.iter().any(|a| a == "--counters-only");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        eprintln!("usage: experiments regress <baseline.json> <candidate.json> [--warn-only]");
+        eprintln!(
+            "usage: experiments regress <baseline.json> <candidate.json> \
+             [--warn-only] [--counters-only]"
+        );
         return 2;
     };
     let load = |path: &str| -> Result<hoyan_rt::json::Value, String> {
@@ -1017,10 +1157,15 @@ fn regress(args: &[String]) -> i32 {
     let base_keys: std::collections::BTreeSet<&str> =
         base_leaves.iter().map(|(p, _)| p.as_str()).collect();
 
+    let in_scope =
+        |path: &str| !counters_only || path.split('/').any(|seg| seg == "counters");
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     let mut compared = 0usize;
     for (path, b) in &base_leaves {
+        if !in_scope(path) {
+            continue;
+        }
         let Some(&c) = cand_map.get(path.as_str()) else {
             println!("  gone    {path} (baseline {b})");
             continue;
@@ -1044,13 +1189,14 @@ fn regress(args: &[String]) -> i32 {
         }
     }
     for (path, c) in &cand_leaves {
-        if !base_keys.contains(path.as_str()) {
+        if in_scope(path) && !base_keys.contains(path.as_str()) {
             println!("  new     {path} (candidate {c})");
         }
     }
     println!(
         "regress: {compared} leaves compared, {regressions} regression(s), \
-         {improvements} improvement(s){}",
+         {improvements} improvement(s){}{}",
+        if counters_only { " [counters-only]" } else { "" },
         if warn_only { " [warn-only]" } else { "" }
     );
     if regressions > 0 && !warn_only {

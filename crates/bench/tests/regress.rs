@@ -1,8 +1,11 @@
 //! The `experiments regress` gate: exit codes and tolerance rules, plus the
-//! advisory tier-1 wiring — a fresh `experiments bdd` run diffed against the
-//! committed `BENCH_bdd.json` in warn-only mode. Warn-only never fails the
-//! build (timing numbers are machine-dependent and the committed baseline
-//! was produced in release mode); it exists to put the diff in the test log.
+//! tier-1 wiring — fresh `experiments bdd` / `experiments modular` runs
+//! diffed against the committed `BENCH_bdd.json` / `BENCH_modular.json`
+//! baselines. The tier-1 gates run *strictly* (no `--warn-only`) under
+//! `--counters-only`: deterministic counters are pure functions of the
+//! seeded workload, so they must match the committed release-mode baselines
+//! exactly even in a debug test run, while machine-dependent wall-clock
+//! leaves stay out of scope.
 
 use std::process::Command;
 
@@ -41,6 +44,8 @@ fn identical_inputs_pass_and_synthetic_regression_fails() {
     // +30% wall clock: within the 40% timing tolerance. -1% ops: an
     // improvement, never a failure.
     let noisy = write(&dir, "noisy.json", &bench_json(990, 130.0));
+    // +100% wall clock (a timing regression) but identical counters.
+    let slow = write(&dir, "slow.json", &bench_json(1000, 200.0));
 
     let run = |args: &[&str]| {
         let out = experiments().args(args).output().unwrap();
@@ -63,16 +68,29 @@ fn identical_inputs_pass_and_synthetic_regression_fails() {
     assert_eq!(code, Some(0), "timing noise and improvements pass:\n{stdout}");
     assert!(stdout.contains("improve"), "{stdout}");
 
+    // `--counters-only` still catches counter regressions strictly…
+    let (code, stdout) = run(&["regress", &base, &worse, "--counters-only"]);
+    assert_eq!(code, Some(1), "counters-only must still gate counters:\n{stdout}");
+    assert!(stdout.contains("[counters-only]"), "{stdout}");
+
+    // …but a pure timing blowup is out of scope for it (and the timing
+    // leaves are not even compared).
+    let (code, stdout) = run(&["regress", &base, &slow, "--counters-only"]);
+    assert_eq!(code, Some(0), "counters-only must ignore timing leaves:\n{stdout}");
+    assert!(!stdout.contains("median_ns"), "{stdout}");
+
     let (code, _) = run(&["regress", &base]);
     assert_eq!(code, Some(2), "missing operand is a usage error");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The advisory step the tier-1 flow runs: regenerate the BDD bench on this
-/// machine and diff it against the committed baseline, warn-only.
+/// The tier-1 gate: regenerate the BDD bench on this machine and diff its
+/// deterministic counters against the committed baseline — strictly. Any
+/// change to the BDD workload (ops, cache traffic, GC behaviour) fails the
+/// build until `BENCH_bdd.json` is regenerated on purpose.
 #[test]
-fn committed_bdd_baseline_diffs_clean_in_warn_only_mode() {
-    let dir = std::env::temp_dir().join(format!("hoyan-regress-adv-{}", std::process::id()));
+fn committed_bdd_baseline_gates_counters_strictly() {
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-bdd-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bdd.json");
@@ -95,18 +113,87 @@ fn committed_bdd_baseline_diffs_clean_in_warn_only_mode() {
     assert!(fresh.exists());
 
     let out = experiments()
-        .args(["regress", committed, fresh.to_str().unwrap(), "--warn-only"])
+        .args(["regress", committed, fresh.to_str().unwrap(), "--counters-only"])
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(out.status.code(), Some(0), "advisory gate must not fail:\n{stdout}");
-    assert!(stdout.contains("[warn-only]"), "{stdout}");
-    // The deterministic kernel counter must match the committed baseline
-    // exactly on the same fixture — if this line ever shows up, the commit
-    // changed the BDD workload without regenerating BENCH_bdd.json.
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "deterministic counters drifted from the committed BENCH_bdd.json — \
+         regenerate the baseline if the change is intentional:\n{stdout}"
+    );
+    assert!(stdout.contains("[counters-only]"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pulls the integer value of `"key": <n>` out of a JSON string. Enough
+/// for the flat `summary/counters` block the modular suite writes.
+fn json_counter(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {needle} in baseline"));
+    json[at + needle.len()..]
+        .trim_start_matches([':', ' '])
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// The second tier-1 gate, on the modular-pipeline baseline: the committed
+/// `BENCH_modular.json` must show the abstract first pass earning its keep
+/// (≥30% of families settled without exact simulation, and a lower total
+/// `bdd.ops` than the exact-only sweep), and a fresh `experiments modular`
+/// run must reproduce its deterministic counters exactly.
+#[test]
+fn committed_modular_baseline_gates_counters_strictly() {
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_modular.json");
+    let text = std::fs::read_to_string(committed)
+        .expect("committed BENCH_modular.json baseline is missing");
+    let families = json_counter(&text, "families");
+    let proved = json_counter(&text, "families_abstract_proved");
+    let exact_ops = json_counter(&text, "exact_bdd_ops");
+    let modular_ops = json_counter(&text, "modular_bdd_ops");
+    assert!(families > 0);
     assert!(
-        !stdout.contains("REGRESS metrics/sweep/counters/bdd.ops"),
-        "bdd.ops drifted from the committed baseline:\n{stdout}"
+        proved * 10 >= families * 3,
+        "only {proved}/{families} families abstract-proved in the committed baseline (<30%)"
+    );
+    assert!(
+        modular_ops < exact_ops,
+        "modular sweep must cost fewer BDD ops than exact-only \
+         ({modular_ops} vs {exact_ops})"
+    );
+
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-mod-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = experiments()
+        .args(["modular"])
+        .env("HOYAN_BENCH_DIR", dir.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = dir.join("BENCH_modular.json");
+    assert!(fresh.exists());
+
+    let out = experiments()
+        .args(["regress", committed, fresh.to_str().unwrap(), "--counters-only"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "deterministic counters drifted from the committed BENCH_modular.json — \
+         regenerate the baseline if the change is intentional:\n{stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

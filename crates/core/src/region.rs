@@ -1,0 +1,540 @@
+//! The region partitioner — stage one of the modular pipeline.
+//!
+//! LIGHTYEAR-style modular verification cuts the WAN into regions and
+//! checks each region against *summaries* of its neighbors instead of the
+//! full model. This module derives the cut and the summaries:
+//!
+//! * [`RegionMap::build`] partitions routers using the topogen hostname
+//!   convention (`PE2x1` → region 2): every router whose hostname carries
+//!   a region number anchors that region, role-less neighbors are adopted
+//!   by the lowest adjacent region (a deterministic fixpoint), and any
+//!   fixture with no role hints at all falls back to connectivity
+//!   components — so hand-written test topologies still partition.
+//! * [`summarize_regions`] computes, per region, which prefixes can cross
+//!   each *boundary session* (a BGP session whose endpoints live in
+//!   different regions) and under what condition. Summaries are built by
+//!   assume-guarantee iteration of region-local abstract closures (the
+//!   condition-free route states of [`crate::abstract_sim`]): each round
+//!   re-runs every region with the states its neighbors could export in
+//!   the previous round, until no export set grows. The conditions are
+//!   over-approximations phrased over the exporting region's *own* links
+//!   only (iBGP sessions and foreign links are assumed up), which is what
+//!   makes a summary portable to the neighbor's solver.
+//! * [`verify_region`] over-approximates one region's reachable set for a
+//!   family given its neighbors' summaries — the region-against-summaries
+//!   face of the exact fallback. Soundness contract (pinned by tests):
+//!   the *global exact* scope restricted to the region is always a subset
+//!   of the region-local result.
+
+use std::collections::BTreeSet;
+
+use hoyan_logic::{Bdd, BddManager, BudgetBreach};
+use hoyan_nettypes::{Ipv4Prefix, LinkId, NodeId};
+
+use crate::abstract_sim::{bdd_fixpoint, edge_transfer, oa_closure, AbsState, CondEdge};
+use crate::network::NetworkModel;
+use crate::topology::Topology;
+
+/// A partition of the routers into contiguous regions.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    region_of: Vec<u32>,
+    regions: Vec<Vec<NodeId>>,
+    derived_from_roles: bool,
+}
+
+impl RegionMap {
+    /// Partitions `topo` (see the module docs for the rules).
+    pub fn build(topo: &Topology) -> RegionMap {
+        let n = topo.node_count();
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut region_of = vec![UNASSIGNED; n];
+        // Anchor: hostname region hints, densely renumbered in hint order.
+        let mut hints: Vec<u32> = (0..n as u32)
+            .filter_map(|i| topo.region_hint(NodeId(i)))
+            .collect();
+        hints.sort_unstable();
+        hints.dedup();
+        let derived_from_roles = !hints.is_empty();
+        for i in 0..n as u32 {
+            if let Some(h) = topo.region_hint(NodeId(i)) {
+                let dense = hints.binary_search(&h).unwrap_or(0) as u32;
+                region_of[i as usize] = dense;
+            }
+        }
+        if derived_from_roles {
+            // Role-less routers join the lowest region among assigned
+            // neighbors; iterate to a fixpoint so chains of role-less
+            // routers are adopted too. Deterministic: node-id order, min
+            // region wins.
+            loop {
+                let mut changed = false;
+                for i in 0..n {
+                    if region_of[i] != UNASSIGNED {
+                        continue;
+                    }
+                    let adopt = topo
+                        .neighbors(NodeId(i as u32))
+                        .iter()
+                        .map(|(v, _)| region_of[v.0 as usize])
+                        .filter(|r| *r != UNASSIGNED)
+                        .min();
+                    if let Some(r) = adopt {
+                        region_of[i] = r;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        // Whatever is still unassigned (role-less fixture, or islands
+        // disconnected from every hinted router): connectivity components,
+        // appended as fresh regions in discovery order.
+        let mut next = hints.len() as u32;
+        for i in 0..n {
+            if region_of[i] != UNASSIGNED {
+                continue;
+            }
+            let mut stack = vec![NodeId(i as u32)];
+            region_of[i] = next;
+            while let Some(u) = stack.pop() {
+                for (v, _) in topo.neighbors(u) {
+                    if region_of[v.0 as usize] == UNASSIGNED {
+                        region_of[v.0 as usize] = next;
+                        stack.push(*v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        let mut regions = vec![Vec::new(); next as usize];
+        for i in 0..n {
+            regions[region_of[i] as usize].push(NodeId(i as u32));
+        }
+        RegionMap {
+            region_of,
+            regions,
+            derived_from_roles,
+        }
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region a router belongs to.
+    pub fn region_of(&self, n: NodeId) -> u32 {
+        self.region_of[n.0 as usize]
+    }
+
+    /// The routers of one region, in node-id order.
+    pub fn nodes(&self, region: u32) -> &[NodeId] {
+        &self.regions[region as usize]
+    }
+
+    /// Whether the cut came from hostname roles (vs the connectivity
+    /// fallback).
+    pub fn derived_from_roles(&self) -> bool {
+        self.derived_from_roles
+    }
+
+    /// Links whose endpoints live in different regions, in link order.
+    pub fn boundary_links(&self, topo: &Topology) -> Vec<LinkId> {
+        (0..topo.link_count() as u32)
+            .map(LinkId)
+            .filter(|l| {
+                let (a, b) = topo.link_ends(*l);
+                self.region_of(a) != self.region_of(b)
+            })
+            .collect()
+    }
+}
+
+/// One route export a region's summary promises: `prefix` can cross the
+/// boundary session `from → to` under `cond`.
+#[derive(Clone, Debug)]
+pub struct SummaryEntry {
+    /// Sending endpoint (inside the summarized region).
+    pub from: NodeId,
+    /// Receiving endpoint (in a neighboring region).
+    pub to: NodeId,
+    /// The boundary link, for eBGP sessions.
+    pub link: Option<LinkId>,
+    /// The crossing prefix.
+    pub prefix: Ipv4Prefix,
+    /// Over-approximate crossing condition, over the *sending* region's
+    /// links only (foreign links and iBGP sessions assumed up).
+    pub cond: Bdd,
+}
+
+/// What one region promises its neighbors.
+#[derive(Clone, Debug)]
+pub struct RegionSummary {
+    /// The summarized region.
+    pub region: u32,
+    /// Everything that can leave the region, in deterministic order.
+    pub egress: Vec<SummaryEntry>,
+}
+
+/// The per-region, per-prefix abstract states of one assume-guarantee
+/// round, plus the states each region is assumed to import.
+struct AgState {
+    /// `imported[region][prefix_idx]` — states pushed over boundary
+    /// sessions into the region by its neighbors.
+    imported: Vec<Vec<Vec<(NodeId, AbsState)>>>,
+}
+
+/// Computes every region's egress summary by assume-guarantee iteration.
+/// Returns `None` when any region-local closure blows up (the modular
+/// pipeline then falls back to whole-network verification).
+pub fn summarize_regions(
+    net: &NetworkModel,
+    map: &RegionMap,
+    mgr: &mut BddManager,
+    prefixes: &[Ipv4Prefix],
+) -> Result<Option<Vec<RegionSummary>>, BudgetBreach> {
+    let nregions = map.region_count();
+    let mut ag = AgState {
+        imported: vec![vec![Vec::new(); prefixes.len()]; nregions],
+    };
+    // Iterate region-local closures until no import set grows. Each round
+    // is deterministic (regions ascending, prefixes in caller order), and
+    // the import sets grow monotonically over a finite state space.
+    let mut states: Vec<Vec<Vec<Vec<AbsState>>>>;
+    loop {
+        let mut grew = false;
+        states = vec![Vec::new(); nregions];
+        for r in 0..nregions as u32 {
+            for (pi, &p) in prefixes.iter().enumerate() {
+                let local = |u: NodeId, s: &crate::network::BgpSession| {
+                    map.region_of(u) == r && map.region_of(s.peer) == r
+                };
+                let Some(st) = oa_closure(net, p, &ag.imported[r as usize][pi], local) else {
+                    return Ok(None);
+                };
+                // Export: push final states over every boundary session
+                // leaving this region; anything new becomes a neighbor
+                // import for the next round.
+                for &u in map.nodes(r) {
+                    for s in net.sessions_of(u) {
+                        if map.region_of(s.peer) == r {
+                            continue;
+                        }
+                        let t = edge_transfer(net, u, s, p, &st[u.0 as usize]);
+                        let dest = map.region_of(s.peer) as usize;
+                        for out in t.outputs {
+                            let item = (s.peer, out);
+                            if !ag.imported[dest][pi].contains(&item) {
+                                ag.imported[dest][pi].push(item);
+                                grew = true;
+                            }
+                        }
+                    }
+                }
+                states[r as usize].push(st);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Conditions: per region, an OB fixpoint over region-local edges
+    // (region eBGP links keep their variables; everything else is TRUE).
+    let mut summaries = Vec::with_capacity(nregions);
+    for r in 0..nregions as u32 {
+        let mut egress = Vec::new();
+        for (pi, &p) in prefixes.iter().enumerate() {
+            let st = &states[r as usize][pi];
+            let ob = region_ob(net, map, r, mgr, p, st, &ag.imported[r as usize][pi])?;
+            let Some(ob) = ob else {
+                return Ok(None);
+            };
+            for &u in map.nodes(r) {
+                for s in net.sessions_of(u) {
+                    if map.region_of(s.peer) == r {
+                        continue;
+                    }
+                    let t = edge_transfer(net, u, s, p, &st[u.0 as usize]);
+                    if !t.possible {
+                        continue;
+                    }
+                    // Crossing condition: the sender can be reached
+                    // (region-local OB), and an eBGP boundary link must
+                    // itself be alive — that link is shared vocabulary.
+                    let mut cond = ob[u.0 as usize];
+                    if let Some(link) = s.link {
+                        let lv = mgr.var(net.link_var(link));
+                        cond = mgr.and(cond, lv);
+                    }
+                    egress.push(SummaryEntry {
+                        from: u,
+                        to: s.peer,
+                        link: s.link,
+                        prefix: p,
+                        cond,
+                    });
+                }
+            }
+        }
+        summaries.push(RegionSummary { region: r, egress });
+    }
+    if let Some(breach) = mgr.budget_exceeded() {
+        return Err(breach);
+    }
+    Ok(Some(summaries))
+}
+
+/// Region-local over-approximate reachability: one OB fixpoint over the
+/// region's internal session edges, seeded by local originators and by
+/// imported boundary states (assumed reachable — their conditions live in
+/// the neighbor's vocabulary).
+fn region_ob(
+    net: &NetworkModel,
+    map: &RegionMap,
+    region: u32,
+    mgr: &mut BddManager,
+    prefix: Ipv4Prefix,
+    states: &[Vec<AbsState>],
+    imported: &[(NodeId, AbsState)],
+) -> Result<Option<Vec<Bdd>>, BudgetBreach> {
+    let n = net.topology.node_count();
+    let mut seeds: BTreeSet<u32> = states
+        .iter()
+        .enumerate()
+        .filter(|(i, set)| {
+            map.region_of(NodeId(*i as u32)) == region && set.iter().any(|s| s.from.is_none())
+        })
+        .map(|(i, _)| i as u32)
+        .collect();
+    for (node, _) in imported {
+        seeds.insert(node.0);
+    }
+    let seeds: Vec<NodeId> = seeds.into_iter().map(NodeId).collect();
+    let mut edges = Vec::new();
+    for &u in map.nodes(region) {
+        for s in net.sessions_of(u) {
+            if map.region_of(s.peer) != region {
+                continue;
+            }
+            let t = edge_transfer(net, u, s, prefix, &states[u.0 as usize]);
+            if !t.possible {
+                continue;
+            }
+            let cond = match s.link {
+                Some(link) if s.kind == hoyan_device::SessionKind::Ebgp => {
+                    mgr.var(net.link_var(link))
+                }
+                _ => Bdd::TRUE,
+            };
+            edges.push(CondEdge {
+                u: u.0,
+                v: s.peer.0,
+                cond,
+                guaranteed: t.guaranteed,
+            });
+        }
+    }
+    bdd_fixpoint(mgr, n, &seeds, &edges)
+}
+
+/// Per-prefix result of a region-local verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionScope {
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// Region nodes that may hold a route (over-approximation; always a
+    /// superset of the global exact scope restricted to the region).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Over-approximates which of `region`'s routers can hold a route for
+/// each prefix of `family`, trusting the neighbors' `summaries` instead
+/// of simulating the rest of the WAN. Returns `None` on abstract-state
+/// blow-up (fall back to whole-network verification).
+pub fn verify_region(
+    net: &NetworkModel,
+    map: &RegionMap,
+    region: u32,
+    summaries: &[RegionSummary],
+    mgr: &mut BddManager,
+    family: &[Ipv4Prefix],
+) -> Result<Option<Vec<RegionScope>>, BudgetBreach> {
+    let mut scopes = Vec::with_capacity(family.len());
+    for &p in family {
+        // Imports promised by neighbors: replay each summary entry's
+        // crossing into this region to get the delivered states.
+        let mut imported: Vec<(NodeId, AbsState)> = Vec::new();
+        for summary in summaries {
+            if summary.region == region {
+                continue;
+            }
+            for e in &summary.egress {
+                if e.prefix != p || map.region_of(e.to) != region {
+                    continue;
+                }
+                let from_states = oa_closure(net, p, &[], |u, s| {
+                    map.region_of(u) == summary.region && map.region_of(s.peer) == summary.region
+                });
+                let Some(from_states) = from_states else {
+                    return Ok(None);
+                };
+                let Some(session) = net
+                    .sessions_of(e.from)
+                    .iter()
+                    .find(|s| s.peer == e.to && s.link == e.link)
+                else {
+                    continue;
+                };
+                let t = edge_transfer(net, e.from, session, p, &from_states[e.from.0 as usize]);
+                for out in t.outputs {
+                    let item = (e.to, out);
+                    if !imported.contains(&item) {
+                        imported.push(item);
+                    }
+                }
+            }
+        }
+        let local =
+            |u: NodeId, s: &crate::network::BgpSession| {
+                map.region_of(u) == region && map.region_of(s.peer) == region
+            };
+        let Some(states) = oa_closure(net, p, &imported, local) else {
+            return Ok(None);
+        };
+        let Some(ob) = region_ob(net, map, region, mgr, p, &states, &imported)? else {
+            return Ok(None);
+        };
+        let nodes: Vec<NodeId> = map
+            .nodes(region)
+            .iter()
+            .copied()
+            .filter(|u| !ob[u.0 as usize].is_false())
+            .collect();
+        scopes.push(RegionScope { prefix: p, nodes });
+    }
+    Ok(Some(scopes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::Simulation;
+    use hoyan_config::parse_config;
+    use hoyan_device::VsbProfile;
+    use hoyan_nettypes::pfx;
+
+    fn build(texts: &[&str]) -> NetworkModel {
+        let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+        NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+    }
+
+    /// Two regions joined by an eBGP boundary link, with a role-less
+    /// router adopted by its neighbor's region.
+    fn cross_region_net() -> NetworkModel {
+        build(&[
+            // Region 1: origin + its core router.
+            "hostname DC1x1\ninterface e0\n peer PE1x1\nrouter bgp 65001\n network 10.0.0.0/24\n neighbor PE1x1 remote-as 64500\n",
+            concat!(
+                "hostname PE1x1\ninterface e0\n peer DC1x1\ninterface e1\n peer CR1x1\n",
+                "router isis\n area 1\nrouter bgp 64500\n neighbor DC1x1 remote-as 65001\n",
+                " neighbor CR1x1 remote-as 64500\n",
+            ),
+            concat!(
+                "hostname CR1x1\ninterface e0\n peer PE1x1\ninterface e1\n peer CR2x1\n",
+                "router isis\n area 1\nrouter bgp 64500\n neighbor PE1x1 remote-as 64500\n",
+                " neighbor PE1x1 route-reflector-client\n neighbor CR2x1 remote-as 64500\n",
+            ),
+            // Region 2: core + a role-less customer box (adopted).
+            concat!(
+                "hostname CR2x1\ninterface e0\n peer CR1x1\ninterface e1\n peer EDGE\n",
+                "router isis\n area 1\nrouter bgp 64500\n neighbor CR1x1 remote-as 64500\n",
+                " neighbor EDGE remote-as 64500\n neighbor EDGE route-reflector-client\n",
+            ),
+            concat!(
+                "hostname EDGE\ninterface e0\n peer CR2x1\n",
+                "router isis\n area 1\nrouter bgp 64500\n neighbor CR2x1 remote-as 64500\n",
+            ),
+        ])
+    }
+
+    #[test]
+    fn partition_follows_roles_and_adopts_rolodex_less_neighbors() {
+        let net = cross_region_net();
+        let map = RegionMap::build(&net.topology);
+        assert!(map.derived_from_roles());
+        assert_eq!(map.region_count(), 2);
+        let region_of = |name: &str| map.region_of(net.topology.node(name).unwrap());
+        assert_eq!(region_of("DC1x1"), region_of("PE1x1"));
+        assert_eq!(region_of("PE1x1"), region_of("CR1x1"));
+        assert_eq!(region_of("CR2x1"), region_of("EDGE"), "EDGE is adopted");
+        assert_ne!(region_of("CR1x1"), region_of("CR2x1"));
+        assert_eq!(map.boundary_links(&net.topology).len(), 1);
+    }
+
+    #[test]
+    fn roleless_fixture_falls_back_to_components() {
+        let net = build(&[
+            "hostname A\ninterface e0\n peer B\nrouter bgp 100\n neighbor B remote-as 200\n",
+            "hostname B\ninterface e0\n peer A\nrouter bgp 200\n neighbor A remote-as 100\n",
+            "hostname C\nrouter bgp 300\n",
+        ]);
+        let map = RegionMap::build(&net.topology);
+        assert!(!map.derived_from_roles());
+        assert_eq!(map.region_count(), 2); // {A, B} and isolated {C}
+    }
+
+    /// The pinned soundness property: the *global exact* scope restricted
+    /// to a region is a subset of the region-local result computed from
+    /// neighbor summaries.
+    #[test]
+    fn region_scope_over_approximates_global_exact_scope() {
+        let net = cross_region_net();
+        let map = RegionMap::build(&net.topology);
+        let p = pfx("10.0.0.0/24");
+
+        // Global exact scope.
+        let mut sim = Simulation::new_bgp(&net, vec![p], Some(1), None);
+        sim.run().expect("sim converges");
+        let exact_scope: Vec<NodeId> = net
+            .topology
+            .nodes()
+            .filter(|n| {
+                let c = sim.reach_cond(*n, p);
+                !c.is_false() && sim.mgr.eval(c, &[])
+            })
+            .collect();
+        assert!(!exact_scope.is_empty(), "fixture must propagate");
+
+        let mut mgr = BddManager::new();
+        let summaries = summarize_regions(&net, &map, &mut mgr, &[p])
+            .expect("no budget")
+            .expect("no blow-up");
+        // The origin region promises the prefix across the boundary.
+        let origin_region = map.region_of(net.topology.node("DC1x1").unwrap());
+        let origin_summary = &summaries[origin_region as usize];
+        assert!(
+            origin_summary.egress.iter().any(|e| e.prefix == p),
+            "origin region must export the prefix"
+        );
+
+        for r in 0..map.region_count() as u32 {
+            let scopes = verify_region(&net, &map, r, &summaries, &mut mgr, &[p])
+                .expect("no budget")
+                .expect("no blow-up");
+            let region_nodes: BTreeSet<u32> = scopes[0].nodes.iter().map(|n| n.0).collect();
+            for n in &exact_scope {
+                if map.region_of(*n) == r {
+                    assert!(
+                        region_nodes.contains(&n.0),
+                        "{} in global exact scope but missing from region {} result",
+                        net.topology.name(*n),
+                        r
+                    );
+                }
+            }
+        }
+    }
+}

@@ -127,6 +127,13 @@ pub enum FamilyOutcome {
         /// Human-readable breach description.
         reason: String,
     },
+    /// Modular-pipeline provenance: the abstract first pass settled the
+    /// family (the over/under-approximation sandwich was tight within the
+    /// failure ball), so no exact refinement was needed for its verdicts.
+    ProvedAbstract,
+    /// Modular-pipeline provenance: the abstract pass was inconclusive and
+    /// the exact simulation settled the family.
+    RefinedExact,
 }
 
 impl std::fmt::Display for FamilyOutcome {
@@ -134,6 +141,8 @@ impl std::fmt::Display for FamilyOutcome {
         match self {
             FamilyOutcome::Failed { reason } => write!(f, "failed: {reason}"),
             FamilyOutcome::OverBudget { reason } => write!(f, "over budget: {reason}"),
+            FamilyOutcome::ProvedAbstract => write!(f, "proved by abstract pass"),
+            FamilyOutcome::RefinedExact => write!(f, "refined by exact simulation"),
         }
     }
 }
@@ -244,6 +253,66 @@ pub struct SweepReport {
     /// ordered by family index. Deterministic at any thread count as long
     /// as no wall-clock deadline is configured.
     pub quarantined: Vec<QuarantinedFamily>,
+    /// Per-family stage provenance, ordered by family index. Empty for
+    /// monolithic sweeps and for `--abstraction off`; populated by the
+    /// modular pipeline with [`FamilyOutcome::ProvedAbstract`] /
+    /// [`FamilyOutcome::RefinedExact`]. Additive metadata: deliberately
+    /// *outside* the modular-vs-monolithic byte-identity contract, which
+    /// covers `reports` and `quarantined`.
+    pub provenance: Vec<FamilyProvenance>,
+}
+
+/// Which pipeline stage settled one family of a modular sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyProvenance {
+    /// Index into the sweep's family list.
+    pub index: usize,
+    /// The family's prefixes, sorted.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// [`FamilyOutcome::ProvedAbstract`] or [`FamilyOutcome::RefinedExact`].
+    pub outcome: FamilyOutcome,
+}
+
+/// The stages of the modular verification pipeline (`sweep --modular`).
+/// A monolithic sweep runs [`PipelineStage::Exact`] only; the modular
+/// pipeline partitions once per sweep, then runs the abstract first pass
+/// and (where needed) the exact refinement per family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Region partitioning and boundary bookkeeping (once per sweep).
+    Partition,
+    /// The abstract route-nondeterminism first pass (per family).
+    Abstract,
+    /// The exact conditioned simulation (per family).
+    Exact,
+}
+
+impl PipelineStage {
+    /// Stable span/provenance name for the stage.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineStage::Partition => "verify.partition",
+            PipelineStage::Abstract => "verify.abstract",
+            PipelineStage::Exact => "verify.exact",
+        }
+    }
+}
+
+/// What the modular pipeline's abstract first pass is allowed to decide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AbstractionMode {
+    /// Skip the abstract pass entirely; every family runs exact.
+    Off,
+    /// Run the abstract pass for provenance and counters, but still settle
+    /// every family exactly — reports are byte-identical to a monolithic
+    /// sweep *by construction*.
+    #[default]
+    ProveOnly,
+    /// Families the abstract pass proves skip the exact simulation; their
+    /// reports are synthesized from the proofs (soundness: the abstract
+    /// pass only ever returns proofs that are exact within the ball, and
+    /// anything inconclusive falls through to the exact stage).
+    Full,
 }
 
 /// Per-family resource caps for a sweep. The node and op caps are
@@ -281,6 +350,12 @@ pub struct SweepOptions {
     pub fail_fast: bool,
     /// Per-family resource caps.
     pub budget: FamilyBudget,
+    /// Run the modular three-stage pipeline (partition → abstract first
+    /// pass → exact refinement) instead of the monolithic per-family
+    /// simulation. Off by default.
+    pub modular: bool,
+    /// What the abstract first pass may decide (ignored unless `modular`).
+    pub abstraction: AbstractionMode,
 }
 
 /// How one family failed inside the sweep, before it is folded into a
@@ -683,17 +758,17 @@ impl Verifier {
     /// arena, because it unwinds through the owning simulation.
     fn run_family(
         &self,
-        arena: BddManager,
+        mut arena: BddManager,
         base: &AttachedBase,
         fam: &[Ipv4Prefix],
         index: usize,
         k: u32,
-        budget: &FamilyBudget,
+        opts: &SweepOptions,
     ) -> (Result<FamilySweep, SimError>, BddManager) {
         // Seeded injection site: tests and `experiments faults` arm it to
         // exercise quarantine deterministically; disarmed it is one relaxed
         // atomic load. A planned panic fires inside `hit` itself.
-        let mut budget = *budget;
+        let mut budget = opts.budget;
         match hoyan_rt::fault::hit("verify.family", index as u64) {
             None => {}
             Some(hoyan_rt::fault::Fault::Error) => {
@@ -711,6 +786,98 @@ impl Verifier {
             Some(hoyan_rt::fault::Fault::OverBudget) => budget.max_ite_ops = Some(0),
         }
         let t0 = Instant::now();
+        // Stage 2 of the modular pipeline: the abstract first pass. Runs in
+        // the *same* arena as the exact stage (its ops count against the
+        // family budget), against the same shared-base session conditions,
+        // so both stages price sessions alike. A proof in `Full` mode
+        // settles the family without simulating; in `ProveOnly` mode the
+        // proof is provenance and the exact stage still produces every
+        // report — byte-identical to a monolithic sweep by construction.
+        let mut provenance = None;
+        if opts.modular && opts.abstraction != AbstractionMode::Off {
+            // Own injection site so tests can fault the abstract stage
+            // specifically: an error or breach here quarantines only this
+            // family, exactly like an exact-stage fault.
+            match hoyan_rt::fault::hit("verify.abstract", index as u64) {
+                None => {}
+                Some(hoyan_rt::fault::Fault::Error) => {
+                    return (
+                        Err(SimError::Injected {
+                            site: "verify.abstract",
+                            index: index as u64,
+                        }),
+                        arena,
+                    );
+                }
+                Some(hoyan_rt::fault::Fault::OverBudget) => budget.max_ite_ops = Some(0),
+            }
+            let abs_span = hoyan_obs::span(PipelineStage::Abstract.name());
+            arena.set_budget(budget.bdd());
+            let outcome = crate::abstract_sim::prove_family(
+                &self.net,
+                crate::abstract_sim::SessionConds::Base(base),
+                &mut arena,
+                fam,
+                k,
+            );
+            drop(abs_span);
+            match outcome {
+                Err(breach) => {
+                    hoyan_obs::record(hoyan_obs::EventKind::BudgetBreach);
+                    return (Err(SimError::OverBudget(breach)), arena);
+                }
+                Ok(crate::abstract_sim::AbstractOutcome::Proved(proofs)) => {
+                    hoyan_obs::record(hoyan_obs::EventKind::StageAbstract { proved: true });
+                    provenance = Some(FamilyOutcome::ProvedAbstract);
+                    if opts.abstraction == AbstractionMode::Full {
+                        // The proof settles the family: synthesize the
+                        // reports it implies. Prune stats and cond sizes
+                        // describe exact propagation, which never ran —
+                        // they stay zero. Deps are conservatively "all of
+                        // the network", so an incremental reverify always
+                        // reclassifies the family dirty.
+                        if let Some(breach) = arena.budget_exceeded() {
+                            hoyan_obs::record(hoyan_obs::EventKind::BudgetBreach);
+                            return (Err(SimError::OverBudget(breach)), arena);
+                        }
+                        let reports = proofs
+                            .iter()
+                            .enumerate()
+                            .map(|(pi, proof)| PrefixReport {
+                                prefix: proof.prefix,
+                                sim_time: Duration::ZERO,
+                                query_time: Duration::ZERO,
+                                stats: PruneStats::default(),
+                                max_cond_len: 0,
+                                max_reach_formula_len: proof.max_reach_formula_len,
+                                scope: proof.scope.clone(),
+                                fragile: proof.fragile.clone(),
+                                family_head: pi == 0,
+                            })
+                            .collect();
+                        let wall_ns = if hoyan_obs::timing() {
+                            t0.elapsed().as_nanos() as u64
+                        } else {
+                            0
+                        };
+                        let sweep = FamilySweep {
+                            index,
+                            stats: PruneStats::default(),
+                            reports,
+                            deps: self.whole_network_deps(),
+                            cost: FamilyCost::from_manager(&arena, wall_ns),
+                            provenance,
+                        };
+                        return (Ok(sweep), arena);
+                    }
+                }
+                Ok(crate::abstract_sim::AbstractOutcome::Inconclusive(_reason)) => {
+                    hoyan_obs::record(hoyan_obs::EventKind::StageAbstract { proved: false });
+                    provenance = Some(FamilyOutcome::RefinedExact);
+                }
+            }
+            hoyan_obs::record(hoyan_obs::EventKind::StageExact);
+        }
         let sim_span = hoyan_obs::span("verify.sim");
         let mut sim = Simulation::new_bgp_in(
             arena,
@@ -784,8 +951,35 @@ impl Verifier {
             reports: family_reports,
             deps: FamilyDeps::from_trace(&sim.deps, &self.net.topology),
             cost: FamilyCost::from_manager(&sim.mgr, wall_ns),
+            provenance,
         };
         (Ok(sweep), sim.into_manager())
+    }
+
+    /// The most conservative [`FamilyDeps`]: every device and link. Used
+    /// for abstract-proved families, whose exact propagation never ran and
+    /// therefore never traced its true footprint — any snapshot change
+    /// reclassifies them dirty, which is always sound.
+    fn whole_network_deps(&self) -> FamilyDeps {
+        let topo = &self.net.topology;
+        let devices: std::collections::BTreeSet<String> =
+            topo.nodes().map(|n| topo.name(n).to_string()).collect();
+        let links = (0..topo.link_count())
+            .map(|l| {
+                let (a, b) = topo.link_ends(hoyan_nettypes::LinkId(l as u32));
+                let (a, b) = (topo.name(a).to_string(), topo.name(b).to_string());
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        FamilyDeps {
+            origin_devices: devices.clone(),
+            touched_devices: devices,
+            touched_links: links,
+        }
     }
 
     /// Simulates the given prefix families at budget `k` on `threads` scoped
@@ -882,7 +1076,7 @@ impl Verifier {
                                     &families[i],
                                     i,
                                     k,
-                                    &opts.budget,
+                                    opts,
                                 )
                             }));
                             let failure = match work {
@@ -1020,6 +1214,18 @@ impl Verifier {
         hoyan_obs::metric!(counter "verify.families_over_budget").add(over_budget);
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|f| f.index);
+        // Stage-provenance counters, also bumped once post-join so the
+        // modular pipeline keeps the same thread-count-invariance contract.
+        let proved = out
+            .iter()
+            .filter(|f| f.provenance == Some(FamilyOutcome::ProvedAbstract))
+            .count() as u64;
+        let refined = out
+            .iter()
+            .filter(|f| f.provenance == Some(FamilyOutcome::RefinedExact))
+            .count() as u64;
+        hoyan_obs::metric!(counter "verify.families_abstract_proved").add(proved);
+        hoyan_obs::metric!(counter "verify.families_refined").add(refined);
         // Publish the per-family cost attribution and the quarantine
         // verdicts to the flight recorder — post-join and in index order,
         // so the merged log is deterministic at any thread count.
@@ -1081,7 +1287,9 @@ impl Verifier {
         opts: &SweepOptions,
     ) -> Result<SweepReport, SimError> {
         let families = self.families();
+        self.partition_stage(opts);
         let swept = self.sweep_families(&families, k, threads, opts, None)?;
+        let provenance = Self::stage_provenance(&families, &swept);
         let mut out: Vec<PrefixReport> =
             swept.families.into_iter().flat_map(|f| f.reports).collect();
         out.sort_by_key(|r| r.prefix);
@@ -1089,7 +1297,43 @@ impl Verifier {
         Ok(SweepReport {
             reports: out,
             quarantined: swept.quarantined,
+            provenance,
         })
+    }
+
+    /// Stage 1 of the modular pipeline: derive the region partition from
+    /// topogen role metadata (connectivity components for role-less
+    /// fixtures) and publish its shape. The sweep itself stays whole-
+    /// network — region-local verification against neighbor summaries is
+    /// the [`crate::region`] API — so partitioning cannot perturb verdicts.
+    fn partition_stage(&self, opts: &SweepOptions) {
+        if !opts.modular {
+            return;
+        }
+        let _sp = hoyan_obs::span(PipelineStage::Partition.name());
+        let map = crate::region::RegionMap::build(&self.net.topology);
+        hoyan_obs::metric!(gauge "verify.regions").set(map.region_count() as u64);
+        hoyan_obs::metric!(gauge "verify.region_boundary_links")
+            .set(map.boundary_links(&self.net.topology).len() as u64);
+    }
+
+    /// Collects the per-family stage provenance of a modular sweep (empty
+    /// for monolithic sweeps — no completed family carries provenance).
+    fn stage_provenance(
+        families: &[Vec<Ipv4Prefix>],
+        swept: &SweepOutcome,
+    ) -> Vec<FamilyProvenance> {
+        swept
+            .families
+            .iter()
+            .filter_map(|f| {
+                f.provenance.clone().map(|outcome| FamilyProvenance {
+                    index: f.index,
+                    prefixes: families[f.index].clone(),
+                    outcome,
+                })
+            })
+            .collect()
     }
 
     /// Like [`Verifier::verify_all_routes`], but also returns a
@@ -1115,7 +1359,9 @@ impl Verifier {
         opts: &SweepOptions,
     ) -> Result<(SweepReport, FamilyCache), SimError> {
         let families = self.families();
+        self.partition_stage(opts);
         let swept = self.sweep_families(&families, k, threads, opts, None)?;
+        let provenance = Self::stage_provenance(&families, &swept);
         let mut cache = FamilyCache::new(k, self.isis_k);
         let mut out = Vec::new();
         for f in swept.families {
@@ -1137,6 +1383,7 @@ impl Verifier {
             SweepReport {
                 reports: out,
                 quarantined: swept.quarantined,
+                provenance,
             },
             cache,
         ))
@@ -1294,6 +1541,10 @@ struct FamilySweep {
     deps: FamilyDeps,
     /// The family's resource bill, read off its arena at completion.
     cost: FamilyCost,
+    /// Modular-pipeline stage provenance (`None` for monolithic sweeps):
+    /// [`FamilyOutcome::ProvedAbstract`] when the abstract first pass
+    /// settled the family, [`FamilyOutcome::RefinedExact`] otherwise.
+    provenance: Option<FamilyOutcome>,
 }
 
 /// Everything a sweep produced: the completed families plus the

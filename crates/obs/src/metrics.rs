@@ -259,9 +259,11 @@ pub fn register_default_metrics() {
         "tuner.mismatches",
         "verify.equiv_families_skipped",
         "verify.families",
+        "verify.families_abstract_proved",
         "verify.families_over_budget",
         "verify.families_quarantined",
         "verify.families_recomputed",
+        "verify.families_refined",
         "verify.families_reused",
         "verify.prefixes",
         "verify.queries",
@@ -273,6 +275,8 @@ pub fn register_default_metrics() {
         "propagate.max_formula_len",
         "verify.fanout_families",
         "verify.fanout_threads",
+        "verify.region_boundary_links",
+        "verify.regions",
         "verify.sweep_delivered",
         "verify.sweep_dropped",
         "verify.sweep_max_formula_len",

@@ -96,6 +96,22 @@ impl WanSpec {
         }
     }
 
+    /// Paper-scale preset (~100 devices including DC and ISP edges):
+    /// 4 regions of 2 CRs + 8 PEs + 3 MANs, i.e. 52 core routers, plus one
+    /// DC router per PE and one ISP per MAN. The scale used by
+    /// `experiments modular` to measure how much of the sweep the abstract
+    /// first pass settles.
+    pub fn wan_large(seed: u64) -> WanSpec {
+        WanSpec {
+            seed,
+            regions: 4,
+            pes_per_region: 8,
+            mans_per_region: 3,
+            prefixes_per_pe: 2,
+            extra_core_links: 4,
+        }
+    }
+
     /// Number of core (single-AS) routers this spec produces.
     pub fn core_router_count(&self) -> usize {
         self.regions * (2 + self.pes_per_region + self.mans_per_region)
@@ -635,6 +651,17 @@ mod tests {
         assert_eq!(WanSpec::medium(1).core_router_count(), 80);
         let reference = WanSpec::reference(1).core_router_count();
         assert!((90..=130).contains(&reference));
+    }
+
+    #[test]
+    fn wan_large_is_paper_scale() {
+        // The `gen --size wan-large` preset: ~100 devices total, pinned so
+        // the modular-pipeline benchmarks measure a stable workload.
+        let spec = WanSpec::wan_large(1);
+        assert_eq!(spec.core_router_count(), 52);
+        let wan = spec.build();
+        assert_eq!(wan.device_count(), 96);
+        assert_eq!(wan.customer_prefixes.len(), 64);
     }
 
     #[test]

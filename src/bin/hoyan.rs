@@ -2,7 +2,7 @@
 //! "user-friendly interfaces for our operators").
 //!
 //! ```text
-//! hoyan gen <dir> [--size tiny|small|medium|reference] [--seed N]
+//! hoyan gen <dir> [--size tiny|small|medium|reference|wan-large] [--seed N]
 //! hoyan verify <dir> --prefix 10.0.0.0/24 --device CR1x0 [--k 2]
 //! hoyan packet <dir> --prefix 10.0.0.0/24 --from MAN1x0 [--k 2] [--proto tcp|udp]
 //! hoyan scope  <dir> --prefix 10.0.0.0/24
@@ -12,6 +12,7 @@
 //! hoyan sweep  <dir> [--k 1] [--baseline <dirA>] [--fail-fast]
 //!              [--family-node-budget N] [--family-op-budget N]
 //!              [--family-deadline-ms MS]
+//!              [--modular] [--abstraction off|prove-only|full]
 //! hoyan diff   <dirA> <dirB> [--k 1]
 //! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
 //! hoyan tune   <dir>
@@ -30,6 +31,15 @@
 //! failing family regardless of `--threads`. The per-family budgets are
 //! operation-counted and deterministic; `--family-deadline-ms` is the one
 //! wall-clock (hence non-deterministic) guard and is opt-in only.
+//!
+//! `sweep --modular` runs the three-stage modular pipeline: partition the
+//! topology into role-derived regions, try the abstract (route-
+//! nondeterminism) first pass per prefix family, and fall through to the
+//! exact conditioned simulation where the abstraction is inconclusive.
+//! `--abstraction` picks what the first pass may decide: `prove-only` (the
+//! default) keeps reports byte-identical to a monolithic sweep and uses the
+//! pass for provenance/counters only; `full` lets proved families skip the
+//! exact stage; `off` disables the pass.
 //!
 //! Global flags (any subcommand): `--stats` prints a span-tree/metrics
 //! table, `--stats-json PATH` writes the metrics registry as deterministic
@@ -50,7 +60,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hoyan::config::{parse_config, ConfigSnapshot, DeviceConfig};
-use hoyan::core::{FamilyBudget, SweepOptions, SweepReport, Verifier};
+use hoyan::core::{AbstractionMode, FamilyBudget, FamilyOutcome, SweepOptions, SweepReport, Verifier};
 use hoyan::device::{Packet, VsbProfile};
 use hoyan::nettypes::Ipv4Prefix;
 use hoyan::topogen::WanSpec;
@@ -142,9 +152,12 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
+    // Both spellings are accepted: `--flag value` and `--flag=value`.
+    if let Some(i) = args.iter().position(|a| a == name) {
+        return args.get(i + 1).cloned();
+    }
     args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+        .find_map(|a| a.strip_prefix(name)?.strip_prefix('=').map(String::from))
 }
 
 fn flags(args: &[String], name: &str) -> Vec<String> {
@@ -244,6 +257,16 @@ fn get_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
             Some(v) => v.parse().map(Some).map_err(|_| format!("bad {name} `{v}`")),
         }
     };
+    let abstraction = match flag(args, "--abstraction").as_deref() {
+        None | Some("prove-only") => AbstractionMode::ProveOnly,
+        Some("off") => AbstractionMode::Off,
+        Some("full") => AbstractionMode::Full,
+        Some(other) => {
+            return Err(format!(
+                "unknown --abstraction `{other}` (off|prove-only|full)"
+            ))
+        }
+    };
     Ok(SweepOptions {
         fail_fast: has_flag(args, "--fail-fast"),
         budget: FamilyBudget {
@@ -251,6 +274,8 @@ fn get_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
             max_ite_ops: num("--family-op-budget")?,
             deadline_ms: num("--family-deadline-ms")?,
         },
+        modular: has_flag(args, "--modular"),
+        abstraction,
     })
 }
 
@@ -307,6 +332,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some("tiny") => WanSpec::tiny(seed),
                 Some("medium") => WanSpec::medium(seed),
                 Some("reference") => WanSpec::reference(seed),
+                Some("wan-large") => WanSpec::wan_large(seed),
                 Some(other) => return Err(format!("unknown --size `{other}`")),
             };
             let wan = spec.build();
@@ -485,10 +511,22 @@ fn run(args: &[String]) -> Result<(), String> {
                         SweepReport {
                             reports: outcome.reports,
                             quarantined: outcome.quarantined,
+                            provenance: Vec::new(),
                         },
                     )
                 }
             };
+            if !swept.provenance.is_empty() {
+                let proved = swept
+                    .provenance
+                    .iter()
+                    .filter(|p| matches!(p.outcome, FamilyOutcome::ProvedAbstract))
+                    .count();
+                println!(
+                    "modular pipeline: {proved} family(ies) proved by abstract pass, {} refined exactly",
+                    swept.provenance.len() - proved
+                );
+            }
             if !swept.quarantined.is_empty() {
                 println!(
                     "{} family(ies) quarantined (reports above exclude them):",
@@ -628,7 +666,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "hoyan — configuration verifier (SIGCOMM'20 reproduction)\n\
                  \n\
                  usage:\n\
-                 \x20 hoyan gen <dir> [--size tiny|small|medium|reference] [--seed N]\n\
+                 \x20 hoyan gen <dir> [--size tiny|small|medium|reference|wan-large] [--seed N]\n\
                  \x20 hoyan verify <dir> --prefix P --device D [--k K]\n\
                  \x20 hoyan packet <dir> --prefix P --from D [--k K] [--proto tcp|udp|ip]\n\
                  \x20 hoyan scope  <dir> --prefix P\n\
@@ -638,6 +676,7 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan sweep  <dir> [--k K] [--threads N] [--baseline <dirA>] [--fail-fast]\n\
                  \x20              [--family-node-budget N] [--family-op-budget N] [--family-deadline-ms MS]\n\
                  \x20              [--bdd-order registration|dfs|bfs]\n\
+                 \x20              [--modular] [--abstraction off|prove-only|full]\n\
                  \x20 hoyan diff   <dirA> <dirB> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
                  \x20 hoyan tune   <dir>\n\

@@ -37,6 +37,39 @@ fn sweep_stats_json(dir: &std::path::Path, threads: &str, tag: &str) -> String {
     sweep_stats_json_ordered(dir, threads, tag, "registration")
 }
 
+/// Like [`sweep_stats_json`] but running the modular pipeline
+/// (`--modular --abstraction <mode>`).
+fn sweep_stats_json_modular(
+    dir: &std::path::Path,
+    threads: &str,
+    tag: &str,
+    abstraction: &str,
+) -> String {
+    let json_path = dir.join(format!("stats-{tag}.json"));
+    let out = hoyan()
+        .args([
+            "sweep",
+            dir.to_str().unwrap(),
+            "--k",
+            "1",
+            "--threads",
+            threads,
+            "--modular",
+            "--abstraction",
+            abstraction,
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(&json_path).unwrap()
+}
+
 fn sweep_stats_json_ordered(
     dir: &std::path::Path,
     threads: &str,
@@ -128,6 +161,75 @@ fn counters_are_identical_across_runs_and_thread_counts() {
             baseline, got,
             "counters/histograms must not depend on scheduling (threads={threads})"
         );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The modular pipeline's stage counters are pinned into the schema-v2
+/// export — present (zeroed) even on monolithic sweeps — and, like every
+/// counter, byte-identical across thread counts when the pipeline runs.
+#[test]
+fn modular_stage_counters_are_pinned_and_thread_invariant() {
+    let dir = std::env::temp_dir().join(format!("hoyan-obs-mod-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Monolithic sweep: the counters exist in the schema, both zero, and
+    // the region gauges are pinned too.
+    let plain = sweep_stats_json(&dir, "1", "plain");
+    assert!(
+        plain.contains("\"verify.families_abstract_proved\": 0,"),
+        "{plain}"
+    );
+    assert!(plain.contains("\"verify.families_refined\": 0,"), "{plain}");
+    assert!(plain.contains("\"verify.regions\""), "{plain}");
+    assert!(plain.contains("\"verify.region_boundary_links\""), "{plain}");
+
+    // Modular prove-only sweep: every family carries provenance, so the
+    // two stage counters must sum to the family count.
+    let modular = sweep_stats_json_modular(&dir, "1", "mod-t1", "prove-only");
+    let count = |json: &str, key: &str| -> u64 {
+        let at = json.find(key).unwrap_or_else(|| panic!("no {key} in {json}"));
+        json[at + key.len()..]
+            .trim_start_matches([':', ' '])
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let proved = count(&modular, "\"verify.families_abstract_proved\"");
+    let refined = count(&modular, "\"verify.families_refined\"");
+    let families = count(&modular, "\"verify.families\"");
+    assert_eq!(proved + refined, families, "{modular}");
+    assert!(proved > 0, "abstract pass settled nothing on the fixture");
+
+    // Thread-count invariance of the whole counter/histogram section, in
+    // both prove-only and full mode.
+    for mode in ["prove-only", "full"] {
+        let baseline = deterministic_sections(&sweep_stats_json_modular(
+            &dir,
+            "1",
+            &format!("{mode}-t1"),
+            mode,
+        ));
+        for threads in ["2", "8"] {
+            let got = deterministic_sections(&sweep_stats_json_modular(
+                &dir,
+                threads,
+                &format!("{mode}-t{threads}"),
+                mode,
+            ));
+            assert_eq!(
+                baseline, got,
+                "mode={mode}: counters must not depend on threads={threads}"
+            );
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
