@@ -1,0 +1,69 @@
+//! Scratch review test: 3-region chain, middle region is pure transit.
+
+use hoyan_core::{summarize_regions, verify_region, NetworkModel, RegionMap};
+use hoyan_config::parse_config;
+use hoyan_device::VsbProfile;
+use hoyan_logic::BddManager;
+use hoyan_nettypes::pfx;
+
+fn build(texts: &[&str]) -> NetworkModel {
+    let configs = texts.iter().map(|t| parse_config(t).unwrap()).collect();
+    NetworkModel::from_configs(configs, VsbProfile::ground_truth).unwrap()
+}
+
+#[test]
+fn transit_region_summaries_reach_the_far_region() {
+    let net = build(&[
+        "hostname DC1x1\ninterface e0\n peer PE1x1\nrouter bgp 65001\n network 10.0.0.0/24\n neighbor PE1x1 remote-as 64500\n",
+        "hostname PE1x1\ninterface e0\n peer DC1x1\ninterface e1\n peer PE2x1\nrouter bgp 64500\n neighbor DC1x1 remote-as 65001\n neighbor PE2x1 remote-as 64501\n",
+        "hostname PE2x1\ninterface e0\n peer PE1x1\ninterface e1\n peer PE3x1\nrouter bgp 64501\n neighbor PE1x1 remote-as 64500\n neighbor PE3x1 remote-as 64502\n",
+        "hostname PE3x1\ninterface e0\n peer PE2x1\nrouter bgp 64502\n neighbor PE2x1 remote-as 64501\n",
+    ]);
+    let map = RegionMap::build(&net.topology);
+    assert_eq!(map.region_count(), 3);
+    let p = pfx("10.0.0.0/24");
+
+    // Global exact scope: everyone holds the route.
+    let mut sim = hoyan_core::Simulation::new_bgp(&net, vec![p], Some(1), None);
+    sim.run().expect("sim converges");
+    let exact: Vec<&str> = net
+        .topology
+        .nodes()
+        .filter(|n| {
+            let c = sim.reach_cond(*n, p);
+            !c.is_false() && sim.mgr.eval(c, &[])
+        })
+        .map(|n| net.topology.name(n))
+        .collect();
+    println!("exact scope: {exact:?}");
+    assert!(exact.contains(&"PE3x1"));
+
+    let mut mgr = BddManager::new();
+    let summaries = summarize_regions(&net, &map, &mut mgr, &[p])
+        .expect("no budget")
+        .expect("no blow-up");
+    for s in &summaries {
+        for e in &s.egress {
+            println!(
+                "summary region {}: {} -> {}",
+                s.region,
+                net.topology.name(e.from),
+                net.topology.name(e.to)
+            );
+        }
+    }
+    let r3 = map.region_of(net.topology.node("PE3x1").unwrap());
+    let scopes = verify_region(&net, &map, r3, &summaries, &mut mgr, &[p])
+        .expect("no budget")
+        .expect("no blow-up");
+    let names: Vec<&str> = scopes[0]
+        .nodes
+        .iter()
+        .map(|n| net.topology.name(*n))
+        .collect();
+    println!("region {r3} scope: {names:?}");
+    assert!(
+        names.contains(&"PE3x1"),
+        "PE3x1 is in the global exact scope but missing from its region-local result"
+    );
+}
