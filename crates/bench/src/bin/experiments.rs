@@ -4,7 +4,7 @@
 //!
 //! Usage: `experiments <id>|all [--quick]`
 //! where `<id>` ∈ {fig7, fig8-13, fig14, fig15, fig16, table2, table3,
-//! table4, table5, formulas, incremental, bdd, faults, modular}.
+//! table4, table5, formulas, incremental, bdd, faults, modular, serve}.
 //!
 //! `experiments regress <baseline.json> <candidate.json> [--warn-only]
 //! [--counters-only]` is different: it diffs two `BENCH_<suite>.json` files
@@ -34,7 +34,13 @@
 //! at several thread counts, checks the quarantined set is thread-count
 //! invariant, and writes `BENCH_faults.json`. `modular` benchmarks the
 //! three-stage modular pipeline against the exact-only sweep and writes
-//! `BENCH_modular.json`.
+//! `BENCH_modular.json`. `serve` binds the resident daemon on an ephemeral
+//! port, fires a seeded request mix from 8 concurrent in-process clients
+//! (cache-hit `reach`, fresh-simulation `reach k=2`, hostile over-budget
+//! probes, `equiv`, `stats`), pushes a config via `whatif` and checks the
+//! post-push answer byte-for-byte against a fresh one-shot sweep, and
+//! writes `BENCH_serve.json` with the daemon's deterministic counters and
+//! client-side latency percentiles.
 //!
 //! Absolute numbers will differ from the paper (different hardware and a
 //! synthetic WAN); the *shapes* — who wins, by how much, where the cost
@@ -106,6 +112,9 @@ fn main() {
     }
     if run("modular") {
         modular(quick);
+    }
+    if run("serve") {
+        serve(quick);
     }
 }
 
@@ -1095,6 +1104,322 @@ fn modular(quick: bool) {
     });
     suite.finish();
     println!();
+}
+
+// ------------------------------------------------------- Resident daemon
+
+/// One line-delimited-JSON client connection to the daemon under test.
+struct ServeConn {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl ServeConn {
+    fn connect(addr: std::net::SocketAddr) -> ServeConn {
+        let s = std::net::TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(600))).expect("timeout");
+        s.set_nodelay(true).expect("nodelay");
+        ServeConn {
+            reader: std::io::BufReader::new(s.try_clone().expect("clone")),
+            writer: s,
+        }
+    }
+
+    /// One write per request — a split `line` + `"\n"` pair trips
+    /// Nagle/delayed-ACK stalls and poisons the latency percentiles.
+    fn send(&mut self, line: &str) -> String {
+        use std::io::{BufRead as _, Write as _};
+        self.writer.write_all(format!("{line}\n").as_bytes()).expect("write");
+        self.writer.flush().expect("flush");
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("read");
+        assert!(!out.is_empty(), "daemon disconnected");
+        out.trim_end().to_string()
+    }
+}
+
+/// In-process load generation against `hoyan serve`: 8 concurrent clients,
+/// a seeded mix of 200 requests (cache-hit `reach`, fresh `reach k=2`,
+/// hostile over-budget probes, one `equiv`, per-client `stats`), then a
+/// sequential `whatif` push whose post-push `reach` answer must be
+/// byte-identical to a fresh one-shot sweep of the updated configs.
+fn serve(quick: bool) {
+    use hoyan_core::{render_reach_response, ServeOptions, Server};
+    use hoyan_rt::json::{self, Value};
+    use hoyan_rt::rng::StdRng;
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 25;
+
+    let wan = WanSpec {
+        seed: 42,
+        regions: 3,
+        pes_per_region: 4,
+        mans_per_region: 2,
+        prefixes_per_pe: 2,
+        extra_core_links: 2,
+    }
+    .build();
+    println!(
+        "=== Resident daemon ({} devices, {CLIENTS} clients x {PER_CLIENT} requests) ===",
+        wan.device_count()
+    );
+    let hosts: Vec<String> = wan.configs.iter().map(|c| c.hostname.clone()).collect();
+    let prefixes = wan.customer_prefixes.clone();
+    let (cr_a, cr_b) = wan.equiv_pairs[0].clone();
+
+    let opts = ServeOptions {
+        workers: CLIENTS,
+        queue_cap: 64,
+        k: 1,
+        sweep_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8),
+        ..ServeOptions::default()
+    };
+    let t0 = Instant::now();
+    let server = Server::bind(wan.configs.clone(), "127.0.0.1:0", opts).expect("bind");
+    let addr = server.local_addr();
+    println!(
+        " warm sweep: {} | {} resident families | listening on {addr}",
+        fmt_dur(t0.elapsed()),
+        server.family_count()
+    );
+
+    let field = |v: &Value, key: &str| -> u64 {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("no numeric `{key}` in {v}")) as u64
+    };
+
+    let (stats_line, latencies, whatif_dirty, whatif_reused) = std::thread::scope(|s| {
+        let daemon = s.spawn(|| server.run());
+        // A failed assertion below must not leave the daemon running —
+        // the scope would block on it forever. Drain first, then re-raise.
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+
+        // Phase 1: the concurrent seeded mix. Every request's outcome is
+        // asserted — a hostile probe must be quarantined (`over_budget`),
+        // everything else must succeed. Zero quarantine escapes.
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let hosts = &hosts;
+                let prefixes = &prefixes;
+                let (cr_a, cr_b) = (&cr_a, &cr_b);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 + c as u64);
+                    let mut conn = ServeConn::connect(addr);
+                    let mut lat = Vec::with_capacity(PER_CLIENT);
+                    for i in 0..PER_CLIENT {
+                        let (req, expect_err) = if i == 20 && c < 2 {
+                            // Hostile: one ITE op of budget forces the
+                            // admission control to quarantine the request.
+                            let p = prefixes[rng.gen_range(0..prefixes.len())];
+                            (
+                                format!(
+                                    r#"{{"kind":"reach","prefix":"{p}","device":"{}","k":2,"budget_ops":1}}"#,
+                                    hosts[rng.gen_range(0..hosts.len())]
+                                ),
+                                Some("over_budget"),
+                            )
+                        } else if i == 12 && c == 0 {
+                            (format!(r#"{{"kind":"equiv","a":"{cr_a}","b":"{cr_b}"}}"#), None)
+                        } else if i == 7 && c < 3 {
+                            // Off-cache k: a fresh budgeted simulation.
+                            let p = prefixes[rng.gen_range(0..prefixes.len())];
+                            (
+                                format!(
+                                    r#"{{"kind":"reach","prefix":"{p}","device":"{}","k":2}}"#,
+                                    hosts[rng.gen_range(0..hosts.len())]
+                                ),
+                                None,
+                            )
+                        } else if i == 24 {
+                            (r#"{"kind":"stats"}"#.to_string(), None)
+                        } else {
+                            let p = prefixes[rng.gen_range(0..prefixes.len())];
+                            (
+                                format!(
+                                    r#"{{"kind":"reach","prefix":"{p}","device":"{}"}}"#,
+                                    hosts[rng.gen_range(0..hosts.len())]
+                                ),
+                                None,
+                            )
+                        };
+                        let t = Instant::now();
+                        let line = conn.send(&req);
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        let v = json::parse(&line).expect("response json");
+                        match expect_err {
+                            None => assert_eq!(
+                                v.get("ok"),
+                                Some(&Value::Bool(true)),
+                                "client {c} request {i} failed: {line}"
+                            ),
+                            Some(code) => {
+                                assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{line}");
+                                assert_eq!(
+                                    v.get("error"),
+                                    Some(&Value::Str(code.to_string())),
+                                    "hostile request must be quarantined, got: {line}"
+                                );
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut latencies: Vec<u64> = Vec::with_capacity(CLIENTS * PER_CLIENT);
+        for c in clients {
+            latencies.extend(c.join().expect("client thread"));
+        }
+        latencies.sort_unstable();
+
+        // Phase 2 (sequential): push a config through `whatif`, then check
+        // the post-push cached answer byte-for-byte against a fresh sweep.
+        let (new_prefix, dc, pe) = {
+            let (_, dc, pe) = wan.prefix_origin[0].clone();
+            ("198.51.100.0/24".parse::<Ipv4Prefix>().expect("prefix"), dc, pe)
+        };
+        let dc_idx = wan.configs.iter().position(|c| c.hostname == dc).expect("dc");
+        let at = wan.texts[dc_idx].find("  network ").expect("network stanza");
+        let mut pushed = wan.texts[dc_idx].clone();
+        pushed.insert_str(at, &format!("  network {new_prefix}\n"));
+
+        let mut conn = ServeConn::connect(addr);
+        let req = Value::Obj(vec![
+            ("kind".into(), Value::Str("whatif".into())),
+            ("configs".into(), Value::Arr(vec![Value::Str(pushed.clone())])),
+        ]);
+        let t0 = Instant::now();
+        let line = conn.send(&req.to_string());
+        let v = json::parse(&line).expect("whatif json");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{line}");
+        assert_eq!(field(&v, "devices_changed"), 1, "{line}");
+        assert_eq!(field(&v, "quarantined"), 0, "{line}");
+        let (dirty, reused) = (field(&v, "dirty"), field(&v, "reused"));
+        println!(
+            " whatif push: {} | {dirty} dirty / {reused} reused families",
+            fmt_dur(t0.elapsed())
+        );
+
+        let line = conn.send(&format!(
+            r#"{{"id":"pp","kind":"reach","prefix":"{new_prefix}","device":"{pe}"}}"#
+        ));
+        let mut updated = wan.configs.clone();
+        updated[dc_idx] =
+            hoyan_config::parse_config(&pushed).expect("pushed config parses");
+        let fresh = Verifier::new(updated, VsbProfile::ground_truth, Some(3)).expect("verifier");
+        let report = fresh
+            .verify_all_routes(1, opts_threads())
+            .expect("fresh sweep")
+            .reports
+            .into_iter()
+            .find(|r| r.prefix == new_prefix)
+            .expect("pushed prefix swept");
+        let node = fresh.net.topology.node(&pe).expect("pe");
+        let reachable = report.scope.contains(&node);
+        let resilient = reachable && !report.fragile.contains(&node);
+        let id = Value::Str("pp".into());
+        let expect =
+            render_reach_response(Some(&id), new_prefix, &pe, 1, reachable, resilient, "cache")
+                .to_string();
+        assert_eq!(
+            line, expect,
+            "post-push reach must be byte-identical to a fresh sweep of the updated configs"
+        );
+        println!(" post-push reach: byte-identical to fresh sweep ({new_prefix} at {pe})");
+
+        // The counters snapshot everything downstream pins: taken at a
+        // fixed point, before the latency bench adds more requests.
+        let stats_line = conn.send(r#"{"kind":"stats"}"#);
+        (stats_line, latencies, dirty, reused)
+
+        }));
+        if work.is_err() {
+            server.request_shutdown();
+        } else {
+            let mut shut = ServeConn::connect(addr);
+            shut.send(r#"{"kind":"shutdown"}"#);
+        }
+        let summary = daemon.join().expect("daemon thread");
+        let out = match work {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        assert_eq!(summary.rejected, 0, "no connection may be rejected at this load");
+        out
+    });
+
+    let stats = json::parse(&stats_line).expect("stats json");
+    let total = field(&stats, "requests");
+    assert!(total >= 200, "acceptance floor: >=200 mixed requests, got {total}");
+    assert_eq!(field(&stats, "over_budget"), 2, "both hostile probes quarantined");
+    assert_eq!(field(&stats, "rejected"), 0);
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let (hits, misses) =
+        (field(&stats, "cache_hits"), field(&stats, "cache_misses"));
+    let hit_pct = 100 * hits / (hits + misses);
+    println!(
+        " {total} requests | p50 {} p95 {} p99 {} | cache hit {hit_pct}% | 2 hostile quarantined",
+        fmt_dur(Duration::from_nanos(p50)),
+        fmt_dur(Duration::from_nanos(p95)),
+        fmt_dur(Duration::from_nanos(p99)),
+    );
+
+    let mut suite = BenchSuite::new("serve");
+    // `summary/counters` carries the daemon's deterministic counters (pure
+    // functions of the seeded mix) for the strict `--counters-only` gate;
+    // latency percentiles live outside any `counters` section, so the gate
+    // never compares them.
+    suite.set_metrics_json(format!(
+        "{{\n    \"summary\": {{\"counters\": {{\
+         \"requests\": {total}, \"reach\": {reach}, \"equiv\": {equiv}, \
+         \"whatif\": {whatif}, \"stats\": {statc}, \"cache_hits\": {hits}, \
+         \"cache_misses\": {misses}, \"over_budget\": {ob}, \"rejected\": {rej}, \
+         \"reverify_dirty\": {whatif_dirty}, \"reverify_reused\": {whatif_reused}, \
+         \"malformed\": {malformed}, \"cache_hit_ratio_pct\": {hit_pct}}}}},\n    \
+         \"latency\": {{\"clients\": {CLIENTS}, \"p50_ns\": {p50}, \
+         \"p95_ns\": {p95}, \"p99_ns\": {p99}}}\n  }}",
+        reach = field(&stats, "reach"),
+        equiv = field(&stats, "equiv"),
+        whatif = field(&stats, "whatif"),
+        statc = field(&stats, "stats"),
+        ob = field(&stats, "over_budget"),
+        rej = field(&stats, "rejected"),
+        malformed = field(&stats, "malformed"),
+    ));
+
+    // Client-observed round-trip latency of a cache-hit `reach` against a
+    // fresh daemon (the load-phase percentiles above include contention).
+    let server = Server::bind(
+        wan.configs.clone(),
+        "127.0.0.1:0",
+        ServeOptions { workers: 1, sweep_threads: opts_threads(), ..ServeOptions::default() },
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr();
+    std::thread::scope(|s| {
+        let daemon = s.spawn(|| server.run());
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut conn = ServeConn::connect(addr);
+            let p = prefixes[0];
+            let req = format!(r#"{{"kind":"reach","prefix":"{p}","device":"{}"}}"#, hosts[0]);
+            let samples = if quick { 5 } else { 30 };
+            suite.bench_with_samples("reach_hit_roundtrip", samples, &mut || conn.send(&req));
+        }));
+        server.request_shutdown();
+        daemon.join().expect("bench daemon");
+        if let Err(p) = work {
+            std::panic::resume_unwind(p);
+        }
+    });
+    suite.finish();
+    println!();
+}
+
+fn opts_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8)
 }
 
 // ---------------------------------------------------------- Regression gate

@@ -143,6 +143,62 @@ fn json_counter(json: &str, key: &str) -> u64 {
         .unwrap()
 }
 
+/// The third tier-1 gate, on the resident-daemon baseline: the committed
+/// `BENCH_serve.json` must show the acceptance-level load (≥200 mixed
+/// requests from the 8-client mix, both hostile probes quarantined, zero
+/// rejected connections, a real cache-hit majority), and a fresh
+/// `experiments serve` run must reproduce its deterministic counters
+/// exactly. Latency percentiles live outside the `counters` section and
+/// are never compared.
+#[test]
+fn committed_serve_baseline_gates_counters_strictly() {
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(committed)
+        .expect("committed BENCH_serve.json baseline is missing");
+    let requests = json_counter(&text, "requests");
+    assert!(requests >= 200, "baseline must cover >=200 mixed requests, has {requests}");
+    assert_eq!(json_counter(&text, "over_budget"), 2, "both hostile probes quarantined");
+    assert_eq!(json_counter(&text, "rejected"), 0);
+    let hits = json_counter(&text, "cache_hits");
+    let misses = json_counter(&text, "cache_misses");
+    assert!(
+        hits > misses,
+        "the resident cache must answer the majority of the mix ({hits} hits / {misses} misses)"
+    );
+    assert!(json_counter(&text, "reverify_dirty") >= 1, "the whatif push must dirty a family");
+
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = experiments()
+        .args(["serve"])
+        .env("HOYAN_BENCH_DIR", dir.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = dir.join("BENCH_serve.json");
+    assert!(fresh.exists());
+
+    let out = experiments()
+        .args(["regress", committed, fresh.to_str().unwrap(), "--counters-only"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "deterministic counters drifted from the committed BENCH_serve.json — \
+         regenerate the baseline if the change is intentional:\n{stdout}"
+    );
+    assert!(stdout.contains("[counters-only]"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The second tier-1 gate, on the modular-pipeline baseline: the committed
 /// `BENCH_modular.json` must show the abstract first pass earning its keep
 /// (≥30% of families settled without exact simulation, and a lower total

@@ -23,6 +23,7 @@ pub mod packet;
 pub mod propagate;
 pub mod racing;
 pub mod region;
+pub mod serve;
 pub mod snapshot;
 pub mod topology;
 pub mod verify;
@@ -40,6 +41,7 @@ pub use racing::{racing_check, RacingReport};
 pub use region::{
     summarize_regions, verify_region, RegionMap, RegionScope, RegionSummary, SummaryEntry,
 };
+pub use serve::{render_reach_response, ServeError, ServeOptions, ServeSummary, Server};
 pub use snapshot::{
     classify_family, CachedFamily, CachedPrefixReport, CompiledNetwork, DirtyReason, FamilyCache,
     FamilyDeps,

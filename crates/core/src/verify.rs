@@ -174,7 +174,7 @@ pub struct FamilyCost {
 }
 
 impl FamilyCost {
-    fn from_manager(mgr: &BddManager, wall_ns: u64) -> FamilyCost {
+    pub(crate) fn from_manager(mgr: &BddManager, wall_ns: u64) -> FamilyCost {
         let t = mgr.tallies();
         FamilyCost {
             ops: t.ops,
@@ -198,7 +198,13 @@ impl FamilyCost {
         }
     }
 
-    fn unit_cost(&self, unit: u64, label: String, quarantined: bool, reused: bool) -> hoyan_obs::UnitCost {
+    pub(crate) fn unit_cost(
+        &self,
+        unit: u64,
+        label: String,
+        quarantined: bool,
+        reused: bool,
+    ) -> hoyan_obs::UnitCost {
         hoyan_obs::UnitCost {
             unit,
             label,
@@ -368,7 +374,7 @@ enum FamilyFailure {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -254,6 +254,11 @@ pub fn register_default_metrics() {
         "sat.propagations",
         "sat.restarts",
         "sat.solves",
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.rejected",
+        "serve.requests",
+        "serve.reverify_dirty",
         "tuner.checks",
         "tuner.localization_candidates",
         "tuner.mismatches",

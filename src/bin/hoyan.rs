@@ -16,6 +16,9 @@
 //! hoyan diff   <dirA> <dirB> [--k 1]
 //! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
 //! hoyan tune   <dir>
+//! hoyan serve  <dir> [--addr 127.0.0.1:7411] [--k 1] [--workers N] [--queue N]
+//!              [--family-node-budget N] [--family-op-budget N]
+//!              [--family-deadline-ms MS]
 //! ```
 //!
 //! `diff` prints the snapshot delta between two directories and classifies
@@ -31,6 +34,13 @@
 //! failing family regardless of `--threads`. The per-family budgets are
 //! operation-counted and deterministic; `--family-deadline-ms` is the one
 //! wall-clock (hence non-deterministic) guard and is opt-in only.
+//!
+//! `serve` starts the resident verification daemon: it compiles the
+//! directory once, runs the warm-up sweep, then answers `reach` / `equiv` /
+//! `whatif` / `stats` / `shutdown` requests over a line-delimited JSON
+//! protocol (see `hoyan::core::serve` and the README's "Resident daemon"
+//! section). The `--family-*-budget` flags become the per-request admission
+//! caps; `--workers` and `--queue` bound concurrency.
 //!
 //! `sweep --modular` runs the three-stage modular pipeline: partition the
 //! topology into role-derived regions, try the abstract (route-
@@ -124,11 +134,41 @@ fn main() -> ExitCode {
     }
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        // Usage errors (bad flag values, missing operands) exit with 2,
+        // the conventional "wrong invocation" code; runtime failures
+        // (bad configs, failed verifications) keep exit code 1.
+        Err(CliError::Usage(e)) => {
+            eprintln!("usage error: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// CLI failure, split by exit code: `Usage` exits 2 (the invocation is
+/// wrong), `Run` exits 1 (the invocation was fine; the work failed).
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> CliError {
+        CliError::Run(e)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(e: &str) -> CliError {
+        CliError::Run(e.to_string())
+    }
+}
+
+fn usage(e: impl Into<String>) -> CliError {
+    CliError::Usage(e.into())
 }
 
 fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
@@ -151,13 +191,24 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    // Both spellings are accepted: `--flag value` and `--flag=value`.
-    if let Some(i) = args.iter().position(|a| a == name) {
-        return args.get(i + 1).cloned();
-    }
-    args.iter()
+fn flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    // Both spellings are accepted: `--flag value` and `--flag=value`. A
+    // flag that is present but valueless (`sweep d --threads`, or
+    // `--threads --fail-fast`) is a usage error, not a silent
+    // fall-through to the default.
+    if let Some(v) = args
+        .iter()
         .find_map(|a| a.strip_prefix(name)?.strip_prefix('=').map(String::from))
+    {
+        return Ok(Some(v));
+    }
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(usage(format!("{name} needs a value"))),
+        },
+    }
 }
 
 fn flags(args: &[String], name: &str) -> Vec<String> {
@@ -222,49 +273,58 @@ fn verifier_for_ordered(
         .map_err(|e| format!("model construction failed: {e}"))
 }
 
-fn get_bdd_order(args: &[String]) -> Result<hoyan::logic::BddOrdering, String> {
-    match flag(args, "--bdd-order") {
+fn get_bdd_order(args: &[String]) -> Result<hoyan::logic::BddOrdering, CliError> {
+    match flag(args, "--bdd-order")? {
         None => Ok(hoyan::logic::BddOrdering::Registration),
         Some(v) => hoyan::logic::BddOrdering::parse(&v)
-            .ok_or_else(|| format!("bad --bdd-order `{v}` (want registration, dfs or bfs)")),
+            .ok_or_else(|| usage(format!("bad --bdd-order `{v}` (want registration, dfs or bfs)"))),
     }
 }
 
-fn parse_prefix(s: &str) -> Result<Ipv4Prefix, String> {
-    s.parse().map_err(|_| format!("bad prefix `{s}`"))
+fn parse_prefix(s: &str) -> Result<Ipv4Prefix, CliError> {
+    s.parse().map_err(|_| usage(format!("bad prefix `{s}`")))
 }
 
-fn get_k(args: &[String]) -> Result<u32, String> {
-    match flag(args, "--k") {
+fn get_k(args: &[String]) -> Result<u32, CliError> {
+    match flag(args, "--k")? {
         None => Ok(1),
-        Some(v) => v.parse().map_err(|_| format!("bad --k `{v}`")),
+        Some(v) => v.parse().map_err(|_| usage(format!("bad --k `{v}`"))),
     }
 }
 
-fn get_threads(args: &[String]) -> Result<usize, String> {
-    match flag(args, "--threads") {
+fn get_threads(args: &[String]) -> Result<usize, CliError> {
+    match flag(args, "--threads")? {
         None => Ok(std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)),
-        Some(t) => t.parse().map_err(|_| format!("bad --threads `{t}`")),
+        Some(t) => t
+            .parse()
+            .map_err(|_| usage(format!("bad --threads `{t}`"))),
     }
 }
 
-fn get_sweep_options(args: &[String]) -> Result<SweepOptions, String> {
-    let num = |name: &str| -> Result<Option<u64>, String> {
-        match flag(args, name) {
-            None => Ok(None),
-            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {name} `{v}`")),
-        }
-    };
-    let abstraction = match flag(args, "--abstraction").as_deref() {
+/// Parses one optional numeric flag; an unparsable value is a usage error
+/// (exit 2), never a silent fall-back to the default.
+fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match flag(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| usage(format!("bad {name} `{v}`"))),
+    }
+}
+
+fn get_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
+    let num = |name: &str| num_flag(args, name);
+    let abstraction = match flag(args, "--abstraction")?.as_deref() {
         None | Some("prove-only") => AbstractionMode::ProveOnly,
         Some("off") => AbstractionMode::Off,
         Some("full") => AbstractionMode::Full,
         Some(other) => {
-            return Err(format!(
+            return Err(usage(format!(
                 "unknown --abstraction `{other}` (off|prove-only|full)"
-            ))
+            )))
         }
     };
     Ok(SweepOptions {
@@ -291,16 +351,27 @@ fn print_delta(delta: &hoyan::config::SnapshotDelta, snap_b: &ConfigSnapshot) {
             ""
         }
     );
+    // Added/removed devices are surfaced explicitly. A device absent from
+    // the target snapshot must never collapse to `hash 0` — that made a
+    // rename look like a modification of a hash-0 device.
     for d in &delta.added {
-        let h = snap_b.device_hash(&d.hostname).unwrap_or(0);
-        println!("  + {} (hash {h:016x})", d.hostname);
+        match snap_b.device_hash(&d.hostname) {
+            Some(h) => println!("  + {} (added, hash {h:016x})", d.hostname),
+            None => println!("  + {} (added, missing from target snapshot)", d.hostname),
+        }
     }
     for d in &delta.removed {
-        println!("  - {}", d.hostname);
+        println!("  - {} (removed)", d.hostname);
     }
     for m in &delta.modified {
-        let h = snap_b.device_hash(&m.hostname).unwrap_or(0);
-        println!("  ~ {} [{}] (hash {h:016x})", m.hostname, m.kinds());
+        match snap_b.device_hash(&m.hostname) {
+            Some(h) => println!("  ~ {} [{}] (hash {h:016x})", m.hostname, m.kinds()),
+            None => println!(
+                "  ~ {} [{}] (missing from target snapshot)",
+                m.hostname,
+                m.kinds()
+            ),
+        }
     }
     for (a, b) in &delta.links_added {
         println!("  + link {a}-{b}");
@@ -318,22 +389,22 @@ fn fam_label(fam: &[Ipv4Prefix]) -> String {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     match cmd {
         "gen" => {
-            let dir = args.get(1).ok_or("gen needs a target directory")?;
-            let seed: u64 = flag(args, "--seed")
-                .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+            let dir = args.get(1).ok_or_else(|| usage("gen needs a target directory"))?;
+            let seed: u64 = flag(args, "--seed")?
+                .map(|s| s.parse().map_err(|_| usage(format!("bad --seed `{s}`"))))
                 .transpose()?
                 .unwrap_or(7);
-            let spec = match flag(args, "--size").as_deref() {
+            let spec = match flag(args, "--size")?.as_deref() {
                 None | Some("small") => WanSpec::small(seed),
                 Some("tiny") => WanSpec::tiny(seed),
                 Some("medium") => WanSpec::medium(seed),
                 Some("reference") => WanSpec::reference(seed),
                 Some("wan-large") => WanSpec::wan_large(seed),
-                Some(other) => return Err(format!("unknown --size `{other}`")),
+                Some(other) => return Err(usage(format!("unknown --size `{other}`"))),
             };
             let wan = spec.build();
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -350,9 +421,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "verify" => {
-            let dir = args.get(1).ok_or("verify needs a config directory")?;
-            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
-            let device = flag(args, "--device").ok_or("--device required")?;
+            let dir = args.get(1).ok_or_else(|| usage("verify needs a config directory"))?;
+            let prefix = parse_prefix(&flag(args, "--prefix")?.ok_or_else(|| usage("--prefix required"))?)?;
+            let device = flag(args, "--device")?.ok_or_else(|| usage("--device required"))?;
             let k = get_k(args)?;
             let v = verifier_for(dir, k)?;
             let r = v
@@ -368,19 +439,19 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "packet" => {
-            let dir = args.get(1).ok_or("packet needs a config directory")?;
-            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
-            let from = flag(args, "--from").ok_or("--from required")?;
+            let dir = args.get(1).ok_or_else(|| usage("packet needs a config directory"))?;
+            let prefix = parse_prefix(&flag(args, "--prefix")?.ok_or_else(|| usage("--prefix required"))?)?;
+            let from = flag(args, "--from")?.ok_or_else(|| usage("--from required"))?;
             let k = get_k(args)?;
-            let proto = match flag(args, "--proto").as_deref() {
+            let proto = match flag(args, "--proto")?.as_deref() {
                 None | Some("tcp") => hoyan::config::AclProto::Tcp,
                 Some("udp") => hoyan::config::AclProto::Udp,
                 Some("ip") => hoyan::config::AclProto::Ip,
-                Some(other) => return Err(format!("unknown --proto `{other}`")),
+                Some(other) => return Err(usage(format!("unknown --proto `{other}`"))),
             };
             let v = verifier_for(dir, k)?;
             let packet = Packet {
-                src: "192.0.2.1".parse().unwrap(),
+                src: "192.0.2.1".parse().expect("literal address"),
                 dst: prefix.network(),
                 proto,
             };
@@ -396,8 +467,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "scope" => {
-            let dir = args.get(1).ok_or("scope needs a config directory")?;
-            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let dir = args.get(1).ok_or_else(|| usage("scope needs a config directory"))?;
+            let prefix = parse_prefix(&flag(args, "--prefix")?.ok_or_else(|| usage("--prefix required"))?)?;
             let v = verifier_for(dir, 0)?;
             let scope = v.propagation_scope(prefix).map_err(|e| e.to_string())?;
             println!("{} devices hold a route for {prefix}:", scope.len());
@@ -407,9 +478,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "routers" => {
-            let dir = args.get(1).ok_or("routers needs a config directory")?;
-            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
-            let device = flag(args, "--device").ok_or("--device required")?;
+            let dir = args.get(1).ok_or_else(|| usage("routers needs a config directory"))?;
+            let prefix = parse_prefix(&flag(args, "--prefix")?.ok_or_else(|| usage("--prefix required"))?)?;
+            let device = flag(args, "--device")?.ok_or_else(|| usage("--device required"))?;
             let v = verifier_for(dir, 4)?;
             let fatal = v
                 .router_failure_tolerance(prefix, &device)
@@ -424,8 +495,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "racing" => {
-            let dir = args.get(1).ok_or("racing needs a config directory")?;
-            let prefix = parse_prefix(&flag(args, "--prefix").ok_or("--prefix required")?)?;
+            let dir = args.get(1).ok_or_else(|| usage("racing needs a config directory"))?;
+            let prefix = parse_prefix(&flag(args, "--prefix")?.ok_or_else(|| usage("--prefix required"))?)?;
             let v = verifier_for(dir, 0)?;
             let r = v.racing(prefix);
             println!(
@@ -438,9 +509,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "equiv" => {
-            let dir = args.get(1).ok_or("equiv needs a config directory")?;
-            let a = flag(args, "--a").ok_or("--a required")?;
-            let b = flag(args, "--b").ok_or("--b required")?;
+            let dir = args.get(1).ok_or_else(|| usage("equiv needs a config directory"))?;
+            let a = flag(args, "--a")?.ok_or_else(|| usage("--a required"))?;
+            let b = flag(args, "--b")?.ok_or_else(|| usage("--b required"))?;
             let v = verifier_for(dir, 1)?;
             let r = v.role_equivalence(&a, &b).map_err(|e| e.to_string())?;
             println!(
@@ -453,13 +524,13 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "sweep" => {
-            let dir = args.get(1).ok_or("sweep needs a config directory")?;
+            let dir = args.get(1).ok_or_else(|| usage("sweep needs a config directory"))?;
             let k = get_k(args)?;
             let threads = get_threads(args)?;
             let opts = get_sweep_options(args)?;
             let ordering = get_bdd_order(args)?;
             let t0 = std::time::Instant::now();
-            let (v, swept) = match flag(args, "--baseline") {
+            let (v, swept) = match flag(args, "--baseline")? {
                 None => {
                     let v = verifier_for_ordered(dir, k, ordering)?;
                     let swept = v
@@ -547,8 +618,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "diff" => {
-            let dir_a = args.get(1).ok_or("diff needs <dirA> <dirB>")?;
-            let dir_b = args.get(2).ok_or("diff needs <dirA> <dirB>")?;
+            let dir_a = args.get(1).ok_or_else(|| usage("diff needs <dirA> <dirB>"))?;
+            let dir_b = args.get(2).ok_or_else(|| usage("diff needs <dirA> <dirB>"))?;
             let k = get_k(args)?;
             let threads = get_threads(args)?;
             let snap_a = ConfigSnapshot::new(load_dir(dir_a)?);
@@ -591,8 +662,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "audit" => {
-            let before_dir = args.get(1).ok_or("audit needs <before-dir> <after-dir>")?;
-            let after_dir = args.get(2).ok_or("audit needs <before-dir> <after-dir>")?;
+            let before_dir = args.get(1).ok_or_else(|| usage("audit needs <before-dir> <after-dir>"))?;
+            let after_dir = args.get(2).ok_or_else(|| usage("audit needs <before-dir> <after-dir>"))?;
             let k = get_k(args)?;
             let before = load_dir(before_dir)?;
             let after = load_dir(after_dir)?;
@@ -625,7 +696,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "tune" => {
-            let dir = args.get(1).ok_or("tune needs a config directory")?;
+            let dir = args.get(1).ok_or_else(|| usage("tune needs a config directory"))?;
             let configs = load_dir(dir)?;
             let validator = Validator::new(configs.clone()).map_err(|e| e.to_string())?;
             let mut registry = ModelRegistry::naive();
@@ -661,6 +732,48 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "serve" => {
+            let dir = args.get(1).ok_or_else(|| usage("serve needs a config directory"))?;
+            let addr = flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7411".to_string());
+            let k = get_k(args)?;
+            let workers = match num_flag(args, "--workers")? {
+                Some(0) => return Err(usage("--workers must be at least 1")),
+                Some(n) => n as usize,
+                None => 4,
+            };
+            let queue_cap = num_flag(args, "--queue")?.unwrap_or(64) as usize;
+            let sweep_opts = get_sweep_options(args)?;
+            let configs = load_dir(dir)?;
+            let server = hoyan::core::Server::bind(
+                configs,
+                &addr,
+                hoyan::core::ServeOptions {
+                    workers,
+                    queue_cap,
+                    k,
+                    sweep_threads: get_threads(args)?,
+                    budget: sweep_opts.budget,
+                    retry_after_ms: 100,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            // The "listening on" line is the startup handshake: scripts
+            // bind port 0 and scrape the resolved ephemeral port from it.
+            println!(
+                "hoyan serve: {} device(s), {} resident family(ies) at k={k}; listening on {}",
+                server.device_count(),
+                server.family_count(),
+                server.local_addr()
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let summary = server.run();
+            println!(
+                "hoyan serve: drained after {} request(s) ({} connection(s) rejected)",
+                summary.requests, summary.rejected
+            );
+            Ok(())
+        }
         _ => {
             println!(
                 "hoyan — configuration verifier (SIGCOMM'20 reproduction)\n\
@@ -680,6 +793,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  \x20 hoyan diff   <dirA> <dirB> [--k K] [--threads N]\n\
                  \x20 hoyan audit  <before-dir> <after-dir> [--k K] [--prefix P ...]\n\
                  \x20 hoyan tune   <dir>\n\
+                 \x20 hoyan serve  <dir> [--addr A:P] [--k K] [--workers N] [--queue N]\n\
+                 \x20              [--family-node-budget N] [--family-op-budget N] [--family-deadline-ms MS]\n\
                  \n\
                  global flags (any subcommand):\n\
                  \x20 --stats            print a span-tree/metrics table after the command\n\

@@ -250,6 +250,81 @@ fn diff_classifies_families() {
 }
 
 #[test]
+fn unparsable_numeric_flags_exit_with_usage_code_2() {
+    let dir = tempdir("usage");
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let d = dir.to_str().unwrap();
+
+    let cases: &[&[&str]] = &[
+        &["sweep", d, "--threads", "nope"],
+        &["sweep", d, "--k", "many"],
+        &["sweep", d, "--family-node-budget", "1e9"],
+        &["sweep", d, "--family-op-budget", "-5"],
+        &["gen", d, "--seed", "0x2a"],
+        // A flag present without a value must be a usage error, not a
+        // silent fall-back to the default.
+        &["sweep", d, "--threads"],
+        &["sweep", d, "--k", "--threads", "2"],
+        &["serve", d, "--workers", "0"],
+    ];
+    for args in cases {
+        let out = hoyan().args(*args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2 (usage), got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage error:"), "{args:?}: {err}");
+    }
+
+    // Runtime failures (not operator typos) keep exit code 1.
+    let out = hoyan()
+        .args(["scope", "/nonexistent-hoyan-dir", "--prefix", "10.0.0.0/24"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_reports_renamed_device_as_add_plus_remove() {
+    let (a, b) = diff_pair("rename");
+    // Rename PE1x0 → PE9x0 everywhere in the target snapshot (file name,
+    // hostname, and every neighbor's `peer`/session reference, so the
+    // configs stay consistent): the device genuinely disappears from one
+    // side and appears on the other.
+    for entry in std::fs::read_dir(&b).unwrap() {
+        let p = entry.unwrap().path();
+        let text = std::fs::read_to_string(&p).unwrap();
+        if text.contains("PE1x0") {
+            std::fs::write(&p, text.replace("PE1x0", "PE9x0")).unwrap();
+        }
+    }
+    std::fs::rename(b.join("PE1x0.cfg"), b.join("PE9x0.cfg")).unwrap();
+
+    let out = hoyan()
+        .args(["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("+ PE9x0 (added"), "{stdout}");
+    assert!(stdout.contains("- PE1x0 (removed)"), "{stdout}");
+    // The old bug: missing devices collapsed to `unwrap_or(0)` and
+    // printed as an all-zero hash instead of being surfaced.
+    assert!(!stdout.contains("hash 0000000000000000"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
 fn incremental_sweep_matches_fresh_sweep_output() {
     let (a, b) = diff_pair("basesweep");
     let fresh = hoyan()

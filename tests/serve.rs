@@ -1,0 +1,381 @@
+//! The resident daemon (`hoyan::core::serve`): protocol round-trips on an
+//! ephemeral port, byte-identical responses across worker counts,
+//! admission control (an over-budget request is quarantined while a
+//! concurrent well-behaved one completes; connections beyond the bounded
+//! queue are rejected with `retry_after_ms`), `whatif` pushes reflected by
+//! subsequent `reach` answers, and structured errors for malformed lines.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hoyan::config::parse_config;
+use hoyan::core::{render_reach_response, ServeOptions, Server, Verifier};
+use hoyan::device::VsbProfile;
+use hoyan::nettypes::Ipv4Prefix;
+use hoyan::rt::json::{parse as json_parse, Value};
+use hoyan::topogen::{Wan, WanSpec};
+
+fn tiny() -> Wan {
+    WanSpec::tiny(7).build()
+}
+
+fn opts(workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        sweep_threads: 2,
+        ..ServeOptions::default()
+    }
+}
+
+/// Binds a server on an ephemeral port, runs `f` against it, then sends
+/// `shutdown` and joins the daemon. Test closures must NOT send their own
+/// `shutdown`. Panic-safe: if `f` fails (or the protocol shutdown is
+/// rejected by a saturated daemon), the out-of-band `request_shutdown`
+/// still drains the scope so the failure surfaces instead of hanging.
+fn with_server<F: FnOnce(SocketAddr)>(wan: &Wan, o: ServeOptions, f: F) {
+    let server = Server::bind(wan.configs.clone(), "127.0.0.1:0", o).expect("bind");
+    let addr = server.local_addr();
+    std::thread::scope(|s| {
+        let daemon = s.spawn(|| server.run());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+        let mut drained = false;
+        for _ in 0..200 {
+            match try_request(addr, r#"{"kind":"shutdown"}"#) {
+                Some(resp) if resp.contains("\"kind\":\"shutdown\"") => {
+                    drained = true;
+                    break;
+                }
+                // Rejected (`overloaded`) or raced a dying worker: retry.
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        if !drained {
+            server.request_shutdown();
+        }
+        daemon.join().expect("daemon thread");
+        if let Err(p) = outcome {
+            std::panic::resume_unwind(p);
+        }
+        assert!(drained, "protocol shutdown never accepted");
+    });
+}
+
+/// One best-effort request round-trip; `None` on any I/O failure.
+fn try_request(addr: SocketAddr, line: &str) -> Option<String> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    s.set_nodelay(true).ok()?;
+    s.write_all(format!("{line}\n").as_bytes()).ok()?;
+    s.flush().ok()?;
+    let mut out = String::new();
+    BufReader::new(s).read_line(&mut out).ok()?;
+    Some(out)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        s.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(s.try_clone().expect("clone")),
+            writer: s,
+        }
+    }
+
+    /// One request line, one response line. A single write per request —
+    /// a split `line` + `"\n"` pair trips Nagle/delayed-ACK stalls.
+    fn send(&mut self, line: &str) -> String {
+        self.writer.write_all(format!("{line}\n").as_bytes()).expect("write");
+        self.writer.flush().expect("flush");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("read");
+        assert!(!out.is_empty(), "daemon disconnected");
+        out.trim_end().to_string()
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key).unwrap_or_else(|| panic!("no `{key}` in {v}"))
+}
+
+/// The wire line a `reach` cache hit must produce, computed independently
+/// from a fresh one-shot sweep of `configs`.
+fn expected_reach_line(
+    configs: &[hoyan::config::DeviceConfig],
+    id: &str,
+    prefix: Ipv4Prefix,
+    device: &str,
+    k: u32,
+) -> String {
+    let v = Verifier::new(configs.to_vec(), VsbProfile::ground_truth, Some(k.max(3))).expect("build");
+    let report = v
+        .verify_all_routes(k, 2)
+        .expect("sweep")
+        .reports
+        .into_iter()
+        .find(|r| r.prefix == prefix)
+        .expect("prefix swept");
+    let node = v.net.topology.node(device).expect("device");
+    let reachable = report.scope.contains(&node);
+    let resilient = reachable && !report.fragile.contains(&node);
+    let id_val = Value::Str(id.to_string());
+    render_reach_response(Some(&id_val), prefix, device, k, reachable, resilient, "cache")
+        .to_string()
+}
+
+#[test]
+fn protocol_round_trip_on_ephemeral_port() {
+    let wan = tiny();
+    let (prefix, dc, pe) = wan.prefix_origin[0].clone();
+    with_server(&wan, opts(2), |addr| {
+        let mut c = Client::connect(addr);
+
+        // A cached reach answer must be byte-identical to what a fresh
+        // one-shot sweep reports for the same prefix/device.
+        let line = c.send(&format!(
+            r#"{{"id":"q1","kind":"reach","prefix":"{prefix}","device":"{pe}"}}"#
+        ));
+        assert_eq!(line, expected_reach_line(&wan.configs, "q1", prefix, &pe, 1));
+
+        let line = c.send(&format!(
+            r#"{{"id":"q2","kind":"equiv","a":"{dc}","b":"{dc}"}}"#
+        ));
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+        assert_eq!(field(&v, "equivalent"), &Value::Bool(true), "{line}");
+
+        let line = c.send(r#"{"id":"q3","kind":"stats"}"#);
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "kind"), &Value::Str("stats".into()), "{line}");
+        assert_eq!(field(&v, "requests"), &Value::Num(3.0), "{line}");
+        assert_eq!(field(&v, "cache_hits"), &Value::Num(1.0), "{line}");
+        assert_eq!(field(&v, "rejected"), &Value::Num(0.0), "{line}");
+
+        // Unknown kinds and unknown devices are structured errors.
+        let line = c.send(r#"{"kind":"frobnicate"}"#);
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(false), "{line}");
+        assert_eq!(field(&v, "error"), &Value::Str("bad_request".into()));
+        let line = c.send(&format!(
+            r#"{{"kind":"reach","prefix":"{prefix}","device":"NOPE"}}"#
+        ));
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "error"), &Value::Str("unknown_device".into()));
+    });
+}
+
+#[test]
+fn responses_byte_identical_across_worker_counts() {
+    let wan = tiny();
+    let (prefix, dc, _) = wan.prefix_origin[0].clone();
+    let script = [
+        format!(r#"{{"id":"a","kind":"reach","prefix":"{prefix}","device":"{dc}"}}"#),
+        // k above the cache's k: a fresh budgeted simulation.
+        format!(r#"{{"id":"b","kind":"reach","prefix":"{prefix}","device":"{dc}","k":2}}"#),
+        "{not json".to_string(),
+        format!(r#"{{"id":"c","kind":"equiv","a":"{dc}","b":"{dc}"}}"#),
+        r#"{"id":"d","kind":"stats"}"#.to_string(),
+    ];
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let mut lines = Vec::new();
+        with_server(&wan, opts(workers), |addr| {
+            let mut c = Client::connect(addr);
+            for req in &script {
+                lines.push(c.send(req));
+            }
+        });
+        transcripts.push(lines);
+    }
+    assert_eq!(transcripts[0], transcripts[1], "1 vs 2 workers");
+    assert_eq!(transcripts[0], transcripts[2], "1 vs 8 workers");
+}
+
+#[test]
+fn over_budget_request_is_quarantined_while_concurrent_request_completes() {
+    let wan = tiny();
+    let (prefix, dc, _) = wan.prefix_origin[0].clone();
+    with_server(&wan, opts(2), |addr| {
+        std::thread::scope(|s| {
+            let hostile = s.spawn(|| {
+                let mut c = Client::connect(addr);
+                // k=2 forces the simulation path; one ITE op of budget
+                // trips immediately. The request must be answered (not
+                // dropped) and the connection must survive it.
+                let line = c.send(&format!(
+                    r#"{{"id":"h","kind":"reach","prefix":"{prefix}","device":"{dc}","k":2,"budget_ops":1}}"#
+                ));
+                let v = json_parse(&line).expect("json");
+                assert_eq!(field(&v, "ok"), &Value::Bool(false), "{line}");
+                assert_eq!(field(&v, "error"), &Value::Str("over_budget".into()), "{line}");
+                // Same connection, same worker: a well-behaved request
+                // still gets a real answer afterwards.
+                let line = c.send(&format!(
+                    r#"{{"id":"h2","kind":"reach","prefix":"{prefix}","device":"{dc}"}}"#
+                ));
+                let v = json_parse(&line).expect("json");
+                assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+            });
+            let polite = s.spawn(|| {
+                let mut c = Client::connect(addr);
+                let line = c.send(&format!(
+                    r#"{{"id":"p","kind":"reach","prefix":"{prefix}","device":"{dc}"}}"#
+                ));
+                let v = json_parse(&line).expect("json");
+                assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+                assert_eq!(field(&v, "source"), &Value::Str("cache".into()), "{line}");
+            });
+            hostile.join().expect("hostile client");
+            polite.join().expect("polite client");
+        });
+    });
+}
+
+#[test]
+fn config_push_then_reach_reflects_delta() {
+    let wan = tiny();
+    let (_, dc, _) = wan.prefix_origin[0].clone();
+    let new_prefix: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+    // The push: the DC edge additionally announces 198.51.100.0/24.
+    let dc_idx = wan
+        .configs
+        .iter()
+        .position(|c| c.hostname == dc)
+        .expect("dc config");
+    let at = wan.texts[dc_idx].find("  network ").expect("network stanza");
+    let mut pushed = wan.texts[dc_idx].clone();
+    pushed.insert_str(at, &format!("  network {new_prefix}\n"));
+
+    with_server(&wan, opts(2), |addr| {
+        let mut c = Client::connect(addr);
+        // Before the push the prefix is unknown: the miss-path simulation
+        // finds nobody announcing it.
+        let line = c.send(&format!(
+            r#"{{"id":"w0","kind":"reach","prefix":"{new_prefix}","device":"{dc}"}}"#
+        ));
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "reachable_now"), &Value::Bool(false), "{line}");
+        assert_eq!(field(&v, "source"), &Value::Str("sim".into()), "{line}");
+
+        let req = Value::Obj(vec![
+            ("id".into(), Value::Str("w1".into())),
+            ("kind".into(), Value::Str("whatif".into())),
+            ("configs".into(), Value::Arr(vec![Value::Str(pushed.clone())])),
+        ]);
+        let line = c.send(&req.to_string());
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+        assert_eq!(field(&v, "devices_changed"), &Value::Num(1.0), "{line}");
+        let dirty = field(&v, "dirty").as_f64().expect("dirty") as u64;
+        let reused = field(&v, "reused").as_f64().expect("reused") as u64;
+        assert!(dirty >= 1, "the new family must be dirty: {line}");
+        assert!(reused >= 1, "untouched families must be reused: {line}");
+        assert_eq!(field(&v, "quarantined"), &Value::Num(0.0), "{line}");
+
+        // After the push, the answer comes from the refreshed cache and is
+        // byte-identical to a fresh one-shot sweep of the updated configs.
+        let mut updated = wan.configs.clone();
+        updated[dc_idx] = parse_config(&pushed).expect("pushed config parses");
+        let line = c.send(&format!(
+            r#"{{"id":"w2","kind":"reach","prefix":"{new_prefix}","device":"{dc}"}}"#
+        ));
+        assert_eq!(
+            line,
+            expected_reach_line(&updated, "w2", new_prefix, &dc, 1),
+            "post-push reach must match a fresh sweep of the updated configs"
+        );
+    });
+}
+
+#[test]
+fn malformed_json_line_gets_structured_error_not_disconnect() {
+    let wan = tiny();
+    with_server(&wan, opts(2), |addr| {
+        let mut c = Client::connect(addr);
+        for bad in ["{oops", "[1,2", "hello", "{\"kind\":\"reach\"} trailing"] {
+            let line = c.send(bad);
+            let v = json_parse(&line).expect("json");
+            assert_eq!(field(&v, "ok"), &Value::Bool(false), "{line}");
+            assert_eq!(field(&v, "error"), &Value::Str("parse".into()), "{line}");
+        }
+        // The connection survived all four malformed lines.
+        let line = c.send(r#"{"kind":"stats"}"#);
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+        assert_eq!(field(&v, "malformed"), &Value::Num(4.0), "{line}");
+    });
+}
+
+#[test]
+fn connection_beyond_bounded_queue_is_rejected_with_retry_after() {
+    let wan = tiny();
+    let o = ServeOptions {
+        workers: 1,
+        queue_cap: 0,
+        sweep_threads: 2,
+        ..ServeOptions::default()
+    };
+    with_server(&wan, o, |addr| {
+        // The round-trip guarantees the single worker owns this
+        // connection before the second one arrives.
+        let mut holder = Client::connect(addr);
+        let line = holder.send(r#"{"kind":"stats"}"#);
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        let mut rejected = Client::connect(addr);
+        let line = rejected.read_line();
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(false), "{line}");
+        assert_eq!(field(&v, "error"), &Value::Str("overloaded".into()), "{line}");
+        assert_eq!(field(&v, "retry_after_ms"), &Value::Num(100.0), "{line}");
+        // `holder` drops here, freeing the worker for the shutdown.
+    });
+}
+
+#[test]
+fn serve_cli_smoke_ephemeral_port_and_clean_drain() {
+    let dir = std::env::temp_dir().join(format!("hoyan-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hoyan"))
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "7"])
+        .output()
+        .expect("gen");
+    assert!(out.status.success());
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_hoyan"))
+        .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner");
+    let addr: SocketAddr = banner
+        .rsplit("listening on ")
+        .next()
+        .expect("listening banner")
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad banner: {banner}"));
+
+    let mut c = Client::connect(addr);
+    let line = c.send(r#"{"id":"s","kind":"stats"}"#);
+    assert!(line.contains("\"ok\":true"), "{line}");
+    let line = c.send(r#"{"kind":"shutdown"}"#);
+    assert!(line.contains("\"kind\":\"shutdown\""), "{line}");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve must drain cleanly: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
