@@ -199,6 +199,82 @@ fn committed_serve_baseline_gates_counters_strictly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The paper-scale WAN gate, on the committed `BENCH_wan.json` baseline:
+/// the dependency-aware schedule must beat round-robin on both `bdd.ops`
+/// and ITE hit rate, the modular pipeline riding that schedule must stay
+/// under the round-robin bill, and whole-batch work stealing must have
+/// fired when the baseline was generated (two workers). `sched_steals` is
+/// a gauge — thread-count dependent, excluded from `--counters-only` — so
+/// it is pinned here on the committed file, not on the fresh run. The
+/// fresh `experiments wan` run must then reproduce every deterministic
+/// counter exactly.
+#[test]
+fn committed_wan_baseline_gates_counters_strictly() {
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wan.json");
+    let text = std::fs::read_to_string(committed)
+        .expect("committed BENCH_wan.json baseline is missing");
+    let families = json_counter(&text, "families");
+    assert!(families >= 2000, "paper-scale fixture must carry O(1k) families, has {families}");
+    assert!(json_counter(&text, "prefixes") >= 10_000, "paper-scale fixture must carry O(10k) prefixes");
+    let rr_ops = json_counter(&text, "rr_bdd_ops");
+    let deps_ops = json_counter(&text, "deps_bdd_ops");
+    let modular_ops = json_counter(&text, "modular_bdd_ops");
+    assert!(
+        deps_ops < rr_ops,
+        "deps schedule must cost fewer BDD ops than round-robin ({deps_ops} vs {rr_ops})"
+    );
+    assert!(
+        modular_ops < rr_ops,
+        "modular+deps must stay under the round-robin bill ({modular_ops} vs {rr_ops})"
+    );
+    // Hit rates as cross-multiplied integers: hits_d/(hits_d+miss_d) >
+    // hits_r/(hits_r+miss_r) without touching floats.
+    let rr_hits = json_counter(&text, "rr_ite_hits") as u128;
+    let rr_misses = json_counter(&text, "rr_ite_misses") as u128;
+    let deps_hits = json_counter(&text, "deps_ite_hits") as u128;
+    let deps_misses = json_counter(&text, "deps_ite_misses") as u128;
+    assert!(
+        deps_hits * (rr_hits + rr_misses) > rr_hits * (deps_hits + deps_misses),
+        "deps schedule must raise the ITE hit rate over round-robin"
+    );
+    assert!(json_counter(&text, "sched_batches") > 1, "planner must emit multiple batches");
+    assert!(
+        json_counter(&text, "sched_steals") > 0,
+        "whole-batch stealing must have fired in the committed two-worker baseline"
+    );
+
+    let dir = std::env::temp_dir().join(format!("hoyan-regress-wan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = experiments()
+        .args(["wan"])
+        .env("HOYAN_BENCH_DIR", dir.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = dir.join("BENCH_wan.json");
+    assert!(fresh.exists());
+
+    let out = experiments()
+        .args(["regress", committed, fresh.to_str().unwrap(), "--counters-only"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "deterministic counters drifted from the committed BENCH_wan.json — \
+         regenerate the baseline if the change is intentional:\n{stdout}"
+    );
+    assert!(stdout.contains("[counters-only]"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The second tier-1 gate, on the modular-pipeline baseline: the committed
 /// `BENCH_modular.json` must show the abstract first pass earning its keep
 /// (≥30% of families settled without exact simulation, and a lower total

@@ -44,11 +44,11 @@ pub use region::{
 pub use serve::{render_reach_response, ServeError, ServeOptions, ServeSummary, Server};
 pub use snapshot::{
     classify_family, CachedFamily, CachedPrefixReport, CompiledNetwork, DirtyReason, FamilyCache,
-    FamilyDeps,
+    FamilyDeps, OriginIndex,
 };
 pub use topology::{Topology, TopologyError};
 pub use verify::{
     AbstractionMode, EquivalenceReport, FamilyBudget, FamilyCost, FamilyOutcome, FamilyProvenance,
-    PipelineStage, PrefixReport, QuarantinedFamily, ReachReport, ReverifyOutcome, SweepOptions,
-    SweepReport, Verifier, VerifierError,
+    PipelineStage, PrefixReport, QuarantinedFamily, ReachReport, ReverifyOutcome, StreamSummary,
+    StreamedFamily, SweepOptions, SweepReport, SweepSchedule, Verifier, VerifierError,
 };

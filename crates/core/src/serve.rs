@@ -80,7 +80,11 @@ pub struct ServeOptions {
     /// Server-wide per-request resource caps (requests may tighten,
     /// never loosen). `Default` = uncapped.
     pub budget: FamilyBudget,
-    /// Advisory backoff carried on `overloaded` rejections.
+    /// *Floor* of the advisory backoff carried on `overloaded`
+    /// rejections. The advertised value scales with how deep the wait
+    /// queue already is (see [`Server`]'s admission docs): a static
+    /// hint tells every rejected client to retry at the same moment,
+    /// which re-creates the overload it is backing off from.
     pub retry_after_ms: u64,
 }
 
@@ -305,6 +309,7 @@ impl Server {
         let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
         let free = self.opts.workers.max(1).saturating_sub(q.busy);
         if q.waiting.len() >= self.opts.queue_cap + free {
+            let retry_ms = self.retry_after_ms(q.waiting.len());
             drop(q);
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             hoyan_obs::metric!(counter "serve.rejected").inc();
@@ -313,7 +318,7 @@ impl Server {
                 ("error".to_string(), Value::Str("overloaded".to_string())),
                 (
                     "retry_after_ms".to_string(),
-                    Value::Num(self.opts.retry_after_ms as f64),
+                    Value::Num(retry_ms as f64),
                 ),
             ]);
             let mut s = stream;
@@ -324,6 +329,19 @@ impl Server {
         q.waiting.push_back(stream);
         drop(q);
         self.ready.notify_one();
+    }
+
+    /// Advisory backoff for an `overloaded` rejection: the configured
+    /// floor when the queue has just filled, growing linearly with how
+    /// many connections are already waiting per worker —
+    /// `floor * (1 + waiting/workers)` — so the deeper the backlog, the
+    /// longer rejected clients are told to stay away, and retries spread
+    /// out instead of stampeding back at a fixed interval.
+    fn retry_after_ms(&self, waiting: usize) -> u64 {
+        let workers = self.opts.workers.max(1) as u64;
+        self.opts
+            .retry_after_ms
+            .saturating_mul(1 + waiting as u64 / workers)
     }
 
     fn worker_loop(&self) {
@@ -762,6 +780,19 @@ impl Server {
                 ("reverify_dirty".to_string(), n(&c.reverify_dirty)),
                 ("reverify_reused".to_string(), n(&c.reverify_reused)),
                 ("malformed".to_string(), n(&c.malformed)),
+                // The backoff an `overloaded` rejection would advertise
+                // right now, given the current queue depth — lets clients
+                // and tests observe the load-scaled value.
+                (
+                    "retry_after_ms".to_string(),
+                    Value::Num(self.retry_after_ms(
+                        self.queue
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .waiting
+                            .len(),
+                    ) as f64),
+                ),
             ],
         )
     }

@@ -347,6 +347,66 @@ impl FamilyBudget {
     }
 }
 
+/// How [`Verifier::sweep_families`] hands families to workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepSchedule {
+    /// A bare atomic claim counter: the next free worker takes the next
+    /// family index, and the arena is recycled between families. The
+    /// historical behavior and the default.
+    #[default]
+    RoundRobin,
+    /// Dependency-aware batching: families whose pre-simulation origin
+    /// footprints ([`crate::snapshot::OriginIndex`]) overlap are grouped
+    /// into batches run back-to-back on one arena *without* recycling —
+    /// consecutive families re-hit the ITE cache and unique table they
+    /// share. Batches are planned deterministically up front and stolen
+    /// whole between per-worker deques, so reports and counters stay
+    /// identical to `RoundRobin` at any thread count; only the work (and
+    /// the `bdd.ops` / `bdd.ite_cache_*` bill) shrinks.
+    Deps,
+}
+
+/// Maximum families per [`SweepSchedule::Deps`] batch. Bounds how much
+/// warm-arena state a chain accumulates (under warm chaining the node
+/// budget sees predecessors' still-live nodes until a GC) and keeps
+/// enough batches in flight to spread across workers.
+const DEPS_BATCH_MAX: usize = 16;
+
+/// One unit of a streaming sweep's output, handed to the caller's sink as
+/// soon as it exists instead of being accumulated in memory — the point of
+/// [`Verifier::verify_all_routes_streaming`]: peak report memory is
+/// bounded by the channel depth (O(threads)), not by the family count.
+#[derive(Clone, Debug)]
+pub enum StreamedFamily {
+    /// A family completed. Delivered in *arrival* order (whichever worker
+    /// finishes first), not family order — `index` identifies the family,
+    /// and each report carries its prefix.
+    Done {
+        /// Index into the sweep's family list.
+        index: usize,
+        /// The family's per-prefix reports, head first.
+        reports: Vec<PrefixReport>,
+        /// The family's resource bill.
+        cost: FamilyCost,
+    },
+    /// A family was quarantined. Delivered after the workers drain, in
+    /// index order (quarantine verdicts are folded post-join to keep them
+    /// deterministic — see [`Verifier::verify_all_routes`]).
+    Quarantined(QuarantinedFamily),
+}
+
+/// What a streaming sweep returns after every report has been handed to
+/// the sink.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Families that completed (their reports went to the sink).
+    pub families: usize,
+    /// Prefixes those families covered.
+    pub prefixes: usize,
+    /// Families quarantined (also streamed to the sink).
+    pub quarantined: usize,
+}
+
 /// Sweep configuration beyond `k` and the thread count.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SweepOptions {
@@ -362,6 +422,8 @@ pub struct SweepOptions {
     pub modular: bool,
     /// What the abstract first pass may decide (ignored unless `modular`).
     pub abstraction: AbstractionMode,
+    /// How families are scheduled onto workers.
+    pub schedule: SweepSchedule,
 }
 
 /// How one family failed inside the sweep, before it is folded into a
@@ -371,6 +433,37 @@ enum FamilyFailure {
     /// off the handed-back arena before the recycle flushed it.
     Error(SimError, FamilyCost),
     Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// Pops the next batch id for worker `w`: the front of its own deque
+/// first, then — work stealing — a *whole* batch off the back of the
+/// nearest busy peer in a fixed scan order. Batches are never split, so a
+/// stolen batch's warm chain replays exactly as it would have at home.
+fn claim_batch(
+    w: usize,
+    deques: &[std::sync::Mutex<std::collections::VecDeque<usize>>],
+    steals: &mut u64,
+) -> Option<usize> {
+    if let Some(b) = deques[w]
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .pop_front()
+    {
+        return Some(b);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(b) = deques[victim]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+        {
+            *steals += 1;
+            return Some(b);
+        }
+    }
+    None
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -999,10 +1092,13 @@ impl Verifier {
     /// of the sweep completes. With [`SweepOptions::fail_fast`] the sweep
     /// instead aborts like the pre-quarantine implementation — but failures
     /// are recorded keyed by family index, so the surfaced error is the
-    /// *lowest-index* failing family at any thread count (claims are issued
-    /// in index order, so once a failure at index `j` stops the claim
-    /// counter, every index below it has been claimed and its outcome
-    /// recorded before the workers drain).
+    /// *lowest-index* failing family at any thread count (under the
+    /// round-robin schedule claims are issued in index order, so once a
+    /// failure at index `j` stops the claim counter, every index below it
+    /// has been claimed and its outcome recorded before the workers drain;
+    /// under [`SweepSchedule::Deps`] the surfaced error is the lowest
+    /// *recorded* failing index, which can vary with the thread count —
+    /// prefer the default schedule with `fail_fast`).
     ///
     /// Determinism: a family's reports are pushed atomically (all or
     /// nothing), the final list is sorted by family index, and the
@@ -1017,7 +1113,83 @@ impl Verifier {
         opts: &SweepOptions,
         units: Option<&[usize]>,
     ) -> Result<SweepOutcome, SimError> {
-        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        self.sweep_families_sink(families, k, threads, opts, units, None)
+    }
+
+    /// Plans the [`SweepSchedule::Deps`] batches: families that share an
+    /// origin device (per [`crate::snapshot::OriginIndex`] — the
+    /// pre-simulation footprint, so no simulation is needed to plan) are
+    /// unioned into clusters, and each cluster is split into runs of at
+    /// most [`DEPS_BATCH_MAX`] families. A batch is the unit of both
+    /// warmth and stealing: it always executes front-to-back on one arena,
+    /// so its ITE-cache reuse is identical wherever it lands. The plan is
+    /// computed on the calling thread from the family list and the configs
+    /// alone — thread-count invariant, like every counter derived from it.
+    fn plan_batches(&self, families: &[Vec<Ipv4Prefix>]) -> Vec<Vec<usize>> {
+        let _sp = hoyan_obs::span("verify.schedule");
+        let origins = crate::snapshot::OriginIndex::build(&self.net);
+        // Union-find over family indices keyed by shared origin device.
+        // Unions always point the larger root at the smaller, so a
+        // cluster's root is its first family and the BTreeMap below walks
+        // clusters in first-family order.
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut parent: Vec<usize> = (0..families.len()).collect();
+        let mut owner: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for (i, fam) in families.iter().enumerate() {
+            for dev in origins.origin_devices(fam) {
+                match owner.entry(dev) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let a = find(&mut parent, *e.get());
+                        let b = find(&mut parent, i);
+                        if a != b {
+                            parent[a.max(b)] = a.min(b);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(i);
+                    }
+                }
+            }
+        }
+        let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..families.len() {
+            clusters
+                .entry(find(&mut parent, i))
+                .or_default()
+                .push(i);
+        }
+        let mut batches = Vec::new();
+        for members in clusters.into_values() {
+            for chunk in members.chunks(DEPS_BATCH_MAX) {
+                batches.push(chunk.to_vec());
+            }
+        }
+        batches
+    }
+
+    /// [`Verifier::sweep_families`] with an optional streaming sink: when
+    /// `sink` is set, each completed family's reports are sent through a
+    /// bounded channel as the worker finishes them (backpressure bounds
+    /// the reports alive at once to O(threads)) and the returned
+    /// [`SweepOutcome`] keeps report-less shells for the post-join
+    /// bookkeeping. Quarantined families are streamed post-join, in index
+    /// order. The sink runs on the calling thread.
+    fn sweep_families_sink(
+        &self,
+        families: &[Vec<Ipv4Prefix>],
+        k: u32,
+        threads: usize,
+        opts: &SweepOptions,
+        units: Option<&[usize]>,
+        mut sink: Option<&mut dyn FnMut(StreamedFamily)>,
+    ) -> Result<SweepOutcome, SimError> {
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
         let _sweep = hoyan_obs::span("verify.sweep");
         // Fan-out occupancy: thread-count-dependent by nature, so a gauge
         // (the determinism contract covers counters/histograms only).
@@ -1048,10 +1220,61 @@ impl Verifier {
         // attribution must reconcile with that counter. Built on the
         // calling thread, so the value is thread-count invariant.
         hoyan_obs::metric!(counter "verify.shared_base_ops").add(base.construction_ops());
+        let nw = threads.max(1);
+        // The dependency-aware plan (None = round-robin claim counter).
+        // Planned on the calling thread, so the batch count — a counter,
+        // covered by the determinism contract — never depends on `nw`.
+        let plan = match opts.schedule {
+            SweepSchedule::RoundRobin => None,
+            SweepSchedule::Deps => Some(self.plan_batches(families)),
+        };
+        if let Some(batches) = &plan {
+            hoyan_obs::metric!(counter "verify.sched_batches").add(batches.len() as u64);
+        }
+        // Per-worker batch deques: batch `b` homes on worker `b % nw`; an
+        // idle worker steals a *whole* batch from the back of the nearest
+        // busy peer. How batches land on workers is timing-dependent, but
+        // a batch's contents and order are not — so only the steal tally
+        // (a gauge) varies with scheduling, never a counter.
+        let deques: Vec<std::sync::Mutex<std::collections::VecDeque<usize>>> =
+            (0..nw).map(|_| Default::default()).collect();
+        if let Some(batches) = &plan {
+            for b in 0..batches.len() {
+                deques[b % nw]
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push_back(b);
+            }
+        }
+        let steals = AtomicU64::new(0);
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads.max(1))
-                .map(|_| {
-                    s.spawn(|| {
+            // Streaming channel: bounded at two families per worker, so a
+            // slow sink throttles the sweep instead of buffering every
+            // report.
+            let (tx, rx) = if sink.is_some() {
+                let (t, r) = std::sync::mpsc::sync_channel::<StreamedFamily>(nw * 2);
+                (Some(t), Some(r))
+            } else {
+                (None, None)
+            };
+            // Shadow references: the worker closures are `move` (each owns
+            // its clone of the streaming sender) and must not capture the
+            // shared state by value.
+            let this = self;
+            let results = &results;
+            let failures = &failures;
+            let failed = &failed;
+            let next = &next;
+            let worker_seq = &worker_seq;
+            let base = &base;
+            let plan = &plan;
+            let deques = &deques;
+            let steals = &steals;
+            let unit_of = &unit_of;
+            let handles: Vec<_> = (0..nw)
+                .map(|w| {
+                    let tx = tx.clone();
+                    s.spawn(move || {
                         hoyan_obs::set_worker(
                             worker_seq.fetch_add(1, Ordering::Relaxed) as u32
                         );
@@ -1064,19 +1287,68 @@ impl Verifier {
                         // excluded) and survives every recycle.
                         let mut arena = BddManager::new();
                         let mut attached = base.attach(&mut arena);
+                        // Deps-schedule worker state: the batch being
+                        // drained, the cursor into it, and whether the
+                        // warm chain from the previous family is intact.
+                        let mut batch: &[usize] = &[];
+                        let mut pos = 0usize;
+                        let mut chain_warm = false;
+                        let mut local_steals = 0u64;
                         loop {
                             if opts.fail_fast && failed.load(Ordering::Acquire) {
                                 break;
                             }
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= families.len() {
-                                break;
+                            // Claim the next family and decide the arena
+                            // temperature it starts at.
+                            let (i, warm) = match plan {
+                                // Round-robin: the bare claim counter;
+                                // every family starts cold.
+                                None => {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= families.len() {
+                                        break;
+                                    }
+                                    (i, false)
+                                }
+                                // Deps: drain the current batch front to
+                                // back (warm after its first family), then
+                                // pop the next home batch or steal one.
+                                Some(batches) => {
+                                    if pos >= batch.len() {
+                                        let Some(b) =
+                                            claim_batch(w, deques, &mut local_steals)
+                                        else {
+                                            break;
+                                        };
+                                        batch = &batches[b];
+                                        pos = 0;
+                                        chain_warm = false;
+                                    }
+                                    let i = batch[pos];
+                                    pos += 1;
+                                    let warm = chain_warm;
+                                    chain_warm = true;
+                                    (i, warm)
+                                }
+                            };
+                            // Arena prep happens at claim time. Cold:
+                            // recycle — flushes the previous segment's
+                            // tallies (a no-op on a pristine arena) and
+                            // drops everything above the shared base.
+                            // Warm: keep nodes and caches, flush tallies
+                            // and restart the per-family accounting, so
+                            // each family still bills exactly its own
+                            // delta (`BddManager::next_family_warm`).
+                            if warm {
+                                arena.next_family_warm();
+                            } else {
+                                arena.recycle();
                             }
                             let _fam_span = hoyan_obs::span("verify.family");
                             hoyan_obs::begin_unit(unit_of(i));
                             hoyan_obs::record(hoyan_obs::EventKind::FamilyStart);
                             let work = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                self.run_family(
+                                this.run_family(
                                     std::mem::take(&mut arena),
                                     &attached,
                                     &families[i],
@@ -1086,15 +1358,18 @@ impl Verifier {
                                 )
                             }));
                             let failure = match work {
-                                Ok((Ok(sweep), mgr)) => {
+                                Ok((Ok(mut sweep), mgr)) => {
                                     hoyan_obs::record(hoyan_obs::EventKind::FamilyEnd {
                                         ops: sweep.cost.ops,
                                         peak_nodes: sweep.cost.peak_family_nodes,
                                     });
-                                    // Recycle flushes this family's tallies
-                                    // exactly like a Drop would.
+                                    // The family's tallies stay on the
+                                    // arena until the next claim recycles
+                                    // or warm-chains it (or Drop flushes at
+                                    // sweep end) — each segment folds into
+                                    // the global counters exactly once
+                                    // either way.
                                     arena = mgr;
-                                    arena.recycle();
                                     // Under fail-fast, partial output must
                                     // not be published past a peer's
                                     // failure (pre-quarantine semantics).
@@ -1108,6 +1383,20 @@ impl Verifier {
                                     hoyan_obs::metric!(counter "verify.families").inc();
                                     hoyan_obs::metric!(counter "verify.prefixes")
                                         .add(families[i].len() as u64);
+                                    if let Some(tx) = &tx {
+                                        // Streaming: hand the reports to
+                                        // the sink now (the bounded send
+                                        // is the backpressure) and keep a
+                                        // report-less shell for the
+                                        // post-join bookkeeping.
+                                        let reports = std::mem::take(&mut sweep.reports);
+                                        sweep.deps = FamilyDeps::default();
+                                        let _ = tx.send(StreamedFamily::Done {
+                                            index: sweep.index,
+                                            reports,
+                                            cost: sweep.cost,
+                                        });
+                                    }
                                     results
                                         .lock()
                                         .unwrap_or_else(|p| p.into_inner())
@@ -1115,27 +1404,30 @@ impl Verifier {
                                     continue;
                                 }
                                 Ok((Err(e), mgr)) => {
-                                    // The error path hands the warm arena
-                                    // back (via `into_manager`): read the
-                                    // partial cost off it *before* the
-                                    // recycle flushes the tallies, then
-                                    // keep going.
+                                    // The error path hands the arena back
+                                    // (via `into_manager`) with this
+                                    // family's tallies still on it: read
+                                    // the partial cost now; the next
+                                    // claim's recycle flushes it. A warm
+                                    // chain never survives a failure.
                                     let cost = FamilyCost::from_manager(&mgr, 0);
                                     hoyan_obs::record(hoyan_obs::EventKind::FamilyEnd {
                                         ops: cost.ops,
                                         peak_nodes: cost.peak_family_nodes,
                                     });
                                     arena = mgr;
-                                    arena.recycle();
+                                    chain_warm = false;
                                     FamilyFailure::Error(e, cost)
                                 }
                                 Err(payload) => {
                                     // The arena unwound with the failed
                                     // simulation; this worker restarts cold
                                     // — which means re-importing the base
-                                    // (the old handles died with the arena).
+                                    // (the old handles died with the arena)
+                                    // — and the warm chain breaks.
                                     arena = BddManager::new();
                                     attached = base.attach(&mut arena);
+                                    chain_warm = false;
                                     FamilyFailure::Panic(payload)
                                 }
                             };
@@ -1148,12 +1440,24 @@ impl Verifier {
                                 break;
                             }
                         }
+                        steals.fetch_add(local_steals, Ordering::Relaxed);
                         // Merge this worker's event buffer into the global
                         // log before the thread exits.
                         hoyan_obs::flush_thread_events();
                     })
                 })
                 .collect();
+            // The streaming pump runs on this (the calling) thread while
+            // the workers produce. Dropping the original sender first
+            // leaves the workers holding the only clones, so the receive
+            // loop ends exactly when the last worker exits.
+            drop(tx);
+            if let Some(rx) = rx {
+                let sink = sink.as_mut().expect("streaming channel implies a sink");
+                for item in rx {
+                    sink(item);
+                }
+            }
             // Join explicitly and re-raise the first *harness* panic (the
             // per-family work is already caught above; anything escaping
             // here is a bug in the sweep itself).
@@ -1218,6 +1522,20 @@ impl Verifier {
         // long as no wall-clock deadline is configured — see the docs).
         hoyan_obs::metric!(counter "verify.families_quarantined").add(quarantined.len() as u64);
         hoyan_obs::metric!(counter "verify.families_over_budget").add(over_budget);
+        // How many batches moved between workers: timing-dependent by
+        // nature (whichever worker idles first steals), hence a gauge —
+        // the counter contract stays thread-count invariant.
+        if plan.is_some() {
+            hoyan_obs::metric!(gauge "verify.sched_steals")
+                .record_max(steals.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        // Quarantine verdicts reach a streaming sink post-join too, in
+        // index order, mirroring their deterministic fold above.
+        if let Some(sink) = sink.as_mut() {
+            for q in &quarantined {
+                sink(StreamedFamily::Quarantined(q.clone()));
+            }
+        }
         let mut out = results.into_inner().unwrap_or_else(|p| p.into_inner());
         out.sort_by_key(|f| f.index);
         // Stage-provenance counters, also bumped once post-join so the
@@ -1304,6 +1622,42 @@ impl Verifier {
             reports: out,
             quarantined: swept.quarantined,
             provenance,
+        })
+    }
+
+    /// Streaming [`Verifier::verify_all_routes_opts`]: instead of
+    /// accumulating every [`PrefixReport`] and returning them at the end,
+    /// each family's reports are handed to `sink` as soon as a worker
+    /// finishes the family — so peak report memory is bounded by the
+    /// bounded channel (O(threads) families), not by the sweep size.
+    ///
+    /// Delivery order is *arrival* order for completed families (identify
+    /// them by index or by each report's prefix) and index order for
+    /// quarantined ones, which stream after the workers drain. The sink
+    /// runs on the calling thread; a slow sink backpressures the workers.
+    /// The set of streamed reports — and every counter — is identical to
+    /// the materialized sweep at any thread count; only the arrival order
+    /// varies (see `tests/determinism.rs`).
+    pub fn verify_all_routes_streaming(
+        &self,
+        k: u32,
+        threads: usize,
+        opts: &SweepOptions,
+        sink: &mut dyn FnMut(StreamedFamily),
+    ) -> Result<StreamSummary, SimError> {
+        let families = self.families();
+        self.partition_stage(opts);
+        let swept = self.sweep_families_sink(&families, k, threads, opts, None, Some(sink))?;
+        self.flush_sweep_gauges();
+        let prefixes = swept
+            .families
+            .iter()
+            .map(|f| families[f.index].len())
+            .sum();
+        Ok(StreamSummary {
+            families: swept.families.len(),
+            prefixes,
+            quarantined: swept.quarantined.len(),
         })
     }
 
@@ -1459,8 +1813,19 @@ impl Verifier {
             }
             // Clean family: replay the cached reports against the new
             // topology (node ids may have been renumbered). A hostname that
-            // no longer resolves demotes the family to dirty.
-            let cf = cache.get(fam).expect("clean family must be cached");
+            // no longer resolves demotes the family to dirty — as does a
+            // cache entry that is missing despite the clean verdict
+            // (defensive: a cache pruned or drifted behind our back must
+            // degrade to re-simulation, not panic the whole reverify; the
+            // fault site below lets tests force that drift).
+            let lookup = match hoyan_rt::fault::hit("verify.cache_lookup", ci as u64) {
+                Some(_) => None,
+                None => cache.get(fam),
+            };
+            let Some(cf) = lookup else {
+                *reason = Some(DirtyReason::NotCached);
+                continue;
+            };
             let replayed: Option<Vec<PrefixReport>> = cf
                 .reports
                 .iter()

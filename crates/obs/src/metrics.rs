@@ -272,6 +272,7 @@ pub fn register_default_metrics() {
         "verify.families_reused",
         "verify.prefixes",
         "verify.queries",
+        "verify.sched_batches",
         "verify.shared_base_ops",
     ];
     const GAUGES: &[&str] = &[
@@ -282,6 +283,7 @@ pub fn register_default_metrics() {
         "verify.fanout_threads",
         "verify.region_boundary_links",
         "verify.regions",
+        "verify.sched_steals",
         "verify.sweep_delivered",
         "verify.sweep_dropped",
         "verify.sweep_max_formula_len",

@@ -40,10 +40,17 @@ pub struct WanSpec {
     pub pes_per_region: usize,
     /// MAN routers per region (each with an external ISP).
     pub mans_per_region: usize,
-    /// Customer prefixes per PE.
+    /// Customer leaf (/24) prefixes per PE.
     pub prefixes_per_pe: usize,
     /// Extra random cross-region core links (asymmetry knob).
     pub extra_core_links: usize,
+    /// Leaf prefixes per aggregate block. At the default (`1`) every
+    /// customer prefix is a flat /24 as before. At `4`, each PE's leaves
+    /// are grouped into /22 blocks and the DC additionally announces the
+    /// covering /22 — the overlap closure then co-simulates each block as
+    /// one five-prefix family, which is how the paper-scale preset reaches
+    /// O(10k) prefixes without O(10k) separate simulations.
+    pub block_prefixes: usize,
 }
 
 impl WanSpec {
@@ -56,6 +63,7 @@ impl WanSpec {
             mans_per_region: 1,
             prefixes_per_pe: 1,
             extra_core_links: 1,
+            block_prefixes: 1,
         }
     }
 
@@ -68,6 +76,7 @@ impl WanSpec {
             mans_per_region: 3,
             prefixes_per_pe: 2,
             extra_core_links: 2,
+            block_prefixes: 1,
         }
     }
 
@@ -80,6 +89,7 @@ impl WanSpec {
             mans_per_region: 6,
             prefixes_per_pe: 2,
             extra_core_links: 5,
+            block_prefixes: 1,
         }
     }
 
@@ -93,6 +103,7 @@ impl WanSpec {
             mans_per_region: 7,
             prefixes_per_pe: 3,
             extra_core_links: 8,
+            block_prefixes: 1,
         }
     }
 
@@ -109,6 +120,26 @@ impl WanSpec {
             mans_per_region: 3,
             prefixes_per_pe: 2,
             extra_core_links: 4,
+            block_prefixes: 1,
+        }
+    }
+
+    /// The Table-3 preset: O(100) core routers and O(10k) announced
+    /// customer prefixes. Leaves are grouped into /22 aggregate blocks
+    /// (`block_prefixes = 4`, i.e. five announced prefixes per block) so
+    /// the sweep co-simulates each block as one family — the scale knob
+    /// that makes a whole-WAN sweep tractable, exactly like the paper's
+    /// per-"related group" simulation. Seeded and pinned like `wan_large`
+    /// (see `wan_paper_is_table3_scale`).
+    pub fn wan_paper(seed: u64) -> WanSpec {
+        WanSpec {
+            seed,
+            regions: 4,
+            pes_per_region: 10,
+            mans_per_region: 3,
+            prefixes_per_pe: 200,
+            extra_core_links: 4,
+            block_prefixes: 4,
         }
     }
 
@@ -344,17 +375,42 @@ impl Builder {
         // ---- Prefixes ----
         let mut customer_by_pe: Vec<(String, Vec<Ipv4Prefix>)> = Vec::new();
         let mut counter = 0u32;
+        let mut block = 0u32;
         for r in 0..spec.regions {
             for p in 0..spec.pes_per_region {
                 let mut list = Vec::new();
-                for _ in 0..spec.prefixes_per_pe {
-                    let pfx = Ipv4Prefix::new(
-                        Ipv4Addr::new(10, (counter / 250) as u8, (counter % 250) as u8, 0),
-                        24,
-                    );
-                    counter += 1;
-                    list.push(pfx);
-                    self.customer_prefixes.push(pfx);
+                if spec.block_prefixes > 1 {
+                    // Aggregate blocks: each /22 covers `block_prefixes`
+                    // leaf /24s announced alongside it, so the overlap
+                    // closure co-simulates the whole block as one family.
+                    let bs = spec.block_prefixes.min(4) as u32;
+                    let blocks = spec.prefixes_per_pe / spec.block_prefixes.min(4);
+                    for _ in 0..blocks {
+                        let x = (block / 64) as u8;
+                        let y = ((block % 64) * 4) as u8;
+                        block += 1;
+                        let agg = Ipv4Prefix::new(Ipv4Addr::new(10, x, y, 0), 22);
+                        list.push(agg);
+                        self.customer_prefixes.push(agg);
+                        for i in 0..bs {
+                            let pfx = Ipv4Prefix::new(
+                                Ipv4Addr::new(10, x, y + i as u8, 0),
+                                24,
+                            );
+                            list.push(pfx);
+                            self.customer_prefixes.push(pfx);
+                        }
+                    }
+                } else {
+                    for _ in 0..spec.prefixes_per_pe {
+                        let pfx = Ipv4Prefix::new(
+                            Ipv4Addr::new(10, (counter / 250) as u8, (counter % 250) as u8, 0),
+                            24,
+                        );
+                        counter += 1;
+                        list.push(pfx);
+                        self.customer_prefixes.push(pfx);
+                    }
                 }
                 customer_by_pe.push((format!("DC{r}x{p}"), list));
             }
@@ -662,6 +718,42 @@ mod tests {
         let wan = spec.build();
         assert_eq!(wan.device_count(), 96);
         assert_eq!(wan.customer_prefixes.len(), 64);
+    }
+
+    #[test]
+    fn wan_paper_is_table3_scale() {
+        // The `gen --size wan-paper` preset: O(100) routers and O(10k)
+        // announced prefixes, pinned so `experiments wan` measures a
+        // stable whole-WAN workload across PRs.
+        let spec = WanSpec::wan_paper(1);
+        assert_eq!(spec.core_router_count(), 60);
+        let wan = spec.build();
+        assert_eq!(wan.device_count(), 112);
+        // 40 PEs × 50 blocks × (1 aggregate + 4 leaves).
+        assert_eq!(wan.customer_prefixes.len(), 10_000);
+        assert_eq!(wan.external_prefixes.len(), 12);
+        // Every block is one overlap family: the /22 covers its leaves.
+        let agg = wan.customer_prefixes[0];
+        assert_eq!(agg.len(), 22);
+        for leaf in &wan.customer_prefixes[1..5] {
+            assert_eq!(leaf.len(), 24);
+            assert!(agg.contains(*leaf), "{agg} should cover {leaf}");
+        }
+        // Blocks stay inside 10.0.0.0/8 well clear of the perturbation
+        // range (10.240.0.0/12).
+        let last = *wan.customer_prefixes.last().unwrap();
+        assert!(last.network().octets()[1] < 32);
+    }
+
+    #[test]
+    fn block_prefixes_default_keeps_legacy_addressing() {
+        // `block_prefixes: 1` must reproduce the historical flat-/24
+        // scheme byte-for-byte — committed fixtures and BENCH baselines
+        // depend on it.
+        let wan = WanSpec::wan_large(42).build();
+        assert_eq!(wan.customer_prefixes.len(), 64);
+        assert!(wan.customer_prefixes.iter().all(|p| p.len() == 24));
+        assert_eq!(wan.customer_prefixes[0], "10.0.0.0/24".parse().unwrap());
     }
 
     #[test]

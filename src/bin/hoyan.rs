@@ -2,7 +2,7 @@
 //! "user-friendly interfaces for our operators").
 //!
 //! ```text
-//! hoyan gen <dir> [--size tiny|small|medium|reference|wan-large] [--seed N]
+//! hoyan gen <dir> [--size tiny|small|medium|reference|wan-large|wan-paper] [--seed N]
 //! hoyan verify <dir> --prefix 10.0.0.0/24 --device CR1x0 [--k 2]
 //! hoyan packet <dir> --prefix 10.0.0.0/24 --from MAN1x0 [--k 2] [--proto tcp|udp]
 //! hoyan scope  <dir> --prefix 10.0.0.0/24
@@ -13,6 +13,7 @@
 //!              [--family-node-budget N] [--family-op-budget N]
 //!              [--family-deadline-ms MS]
 //!              [--modular] [--abstraction off|prove-only|full]
+//!              [--schedule roundrobin|deps] [--stream]
 //! hoyan diff   <dirA> <dirB> [--k 1]
 //! hoyan audit  <before-dir> <after-dir> [--k 1] [--prefix P]...
 //! hoyan tune   <dir>
@@ -34,6 +35,15 @@
 //! failing family regardless of `--threads`. The per-family budgets are
 //! operation-counted and deterministic; `--family-deadline-ms` is the one
 //! wall-clock (hence non-deterministic) guard and is opt-in only.
+//!
+//! `sweep --schedule deps` groups prefix families whose origin devices
+//! overlap into batches run back-to-back on one warm BDD arena (shared ITE
+//! cache and unique table), with whole-batch work stealing between workers
+//! — reports are byte-identical to the default `roundrobin` schedule at
+//! any thread count; only the `bdd.*` bill shrinks. `sweep --stream`
+//! prints per-family outcomes as workers finish them and keeps only
+//! running aggregates in memory (peak report memory O(threads), not
+//! O(families)); it does not combine with `--baseline`.
 //!
 //! `serve` starts the resident verification daemon: it compiles the
 //! directory once, runs the warm-up sweep, then answers `reach` / `equiv` /
@@ -70,7 +80,10 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use hoyan::config::{parse_config, ConfigSnapshot, DeviceConfig};
-use hoyan::core::{AbstractionMode, FamilyBudget, FamilyOutcome, SweepOptions, SweepReport, Verifier};
+use hoyan::core::{
+    AbstractionMode, FamilyBudget, FamilyOutcome, StreamedFamily, SweepOptions, SweepReport,
+    SweepSchedule, Verifier,
+};
 use hoyan::device::{Packet, VsbProfile};
 use hoyan::nettypes::Ipv4Prefix;
 use hoyan::topogen::WanSpec;
@@ -327,6 +340,15 @@ fn get_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
             )))
         }
     };
+    let schedule = match flag(args, "--schedule")?.as_deref() {
+        None | Some("roundrobin") => SweepSchedule::RoundRobin,
+        Some("deps") => SweepSchedule::Deps,
+        Some(other) => {
+            return Err(usage(format!(
+                "unknown --schedule `{other}` (roundrobin|deps)"
+            )))
+        }
+    };
     Ok(SweepOptions {
         fail_fast: has_flag(args, "--fail-fast"),
         budget: FamilyBudget {
@@ -336,6 +358,7 @@ fn get_sweep_options(args: &[String]) -> Result<SweepOptions, CliError> {
         },
         modular: has_flag(args, "--modular"),
         abstraction,
+        schedule,
     })
 }
 
@@ -404,6 +427,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 Some("medium") => WanSpec::medium(seed),
                 Some("reference") => WanSpec::reference(seed),
                 Some("wan-large") => WanSpec::wan_large(seed),
+                Some("wan-paper") => WanSpec::wan_paper(seed),
                 Some(other) => return Err(usage(format!("unknown --size `{other}`"))),
             };
             let wan = spec.build();
@@ -530,6 +554,56 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let opts = get_sweep_options(args)?;
             let ordering = get_bdd_order(args)?;
             let t0 = std::time::Instant::now();
+            if has_flag(args, "--stream") {
+                // Streaming path: per-family outcomes print as workers
+                // finish them (arrival order) and only running aggregates
+                // stay in memory — peak report memory is O(threads), not
+                // O(families), so paper-scale sweeps don't accumulate.
+                if flag(args, "--baseline")?.is_some() {
+                    return Err(usage("--stream does not combine with --baseline"));
+                }
+                let v = verifier_for_ordered(dir, k, ordering)?;
+                let mut fragile: Vec<(Ipv4Prefix, Vec<String>)> = Vec::new();
+                let mut sink = |item: StreamedFamily| match item {
+                    StreamedFamily::Done { reports, cost, .. } => {
+                        let Some(head) = reports.first() else { return };
+                        println!(
+                            "  family {} ({} prefix(es)): {} ops",
+                            head.prefix,
+                            reports.len(),
+                            cost.ops
+                        );
+                        for r in &reports {
+                            if !r.fragile.is_empty() {
+                                let names = r
+                                    .fragile
+                                    .iter()
+                                    .map(|n| v.net.topology.name(*n).to_string())
+                                    .collect();
+                                fragile.push((r.prefix, names));
+                            }
+                        }
+                    }
+                    StreamedFamily::Quarantined(q) => {
+                        println!("  QUARANTINED {}: {}", fam_label(&q.prefixes), q.outcome);
+                    }
+                };
+                let summary = v
+                    .verify_all_routes_streaming(k, threads, &opts, &mut sink)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "swept {} prefixes ({} family(ies), {} quarantined) at k={k} in {:?} [streaming]",
+                    summary.prefixes,
+                    summary.families,
+                    summary.quarantined,
+                    t0.elapsed()
+                );
+                fragile.sort();
+                for (p, names) in &fragile {
+                    println!("  {p}: not {k}-failure resilient at {names:?}");
+                }
+                return Ok(());
+            }
             let (v, swept) = match flag(args, "--baseline")? {
                 None => {
                     let v = verifier_for_ordered(dir, k, ordering)?;
@@ -779,7 +853,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 "hoyan — configuration verifier (SIGCOMM'20 reproduction)\n\
                  \n\
                  usage:\n\
-                 \x20 hoyan gen <dir> [--size tiny|small|medium|reference|wan-large] [--seed N]\n\
+                 \x20 hoyan gen <dir> [--size tiny|small|medium|reference|wan-large|wan-paper] [--seed N]\n\
                  \x20 hoyan verify <dir> --prefix P --device D [--k K]\n\
                  \x20 hoyan packet <dir> --prefix P --from D [--k K] [--proto tcp|udp|ip]\n\
                  \x20 hoyan scope  <dir> --prefix P\n\

@@ -4,7 +4,10 @@
 //! reports atomically and sorting the final list by prefix; this test pins
 //! the guarantee on a seeded topogen WAN.
 
-use hoyan::core::{AbstractionMode, FamilyOutcome, PrefixReport, SweepOptions, Verifier};
+use hoyan::core::{
+    AbstractionMode, FamilyOutcome, PrefixReport, StreamedFamily, SweepOptions, SweepSchedule,
+    Verifier,
+};
 use hoyan::device::VsbProfile;
 use hoyan::logic::BddOrdering;
 use hoyan::topogen::WanSpec;
@@ -192,6 +195,89 @@ fn modular_full_verdicts_match_and_are_thread_invariant() {
     let off_report = verifier.verify_all_routes_opts(1, 2, &off).unwrap();
     assert_reports_equal(&monolithic, &off_report.reports, "abstraction=off");
     assert!(off_report.provenance.is_empty());
+}
+
+/// A multi-region fixture big enough for the dependency planner to emit
+/// several batches (same shape as the bench suites' quick fixture).
+fn batchy_wan() -> hoyan::topogen::Wan {
+    WanSpec {
+        seed: 42,
+        regions: 3,
+        pes_per_region: 4,
+        mans_per_region: 2,
+        prefixes_per_pe: 2,
+        extra_core_links: 2,
+        block_prefixes: 1,
+    }
+    .build()
+}
+
+/// The dependency-aware schedule is a *performance* knob, not a semantic
+/// one: `--schedule deps` must produce a report list identical (modulo
+/// wall-clock timings) to round-robin, and the deps report itself must be
+/// thread-count invariant at 1, 2 and 8 workers — whole-batch stealing
+/// may move work between threads, never change it.
+#[test]
+fn deps_schedule_matches_roundrobin_and_is_thread_invariant() {
+    let wan = batchy_wan();
+    let verifier = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(1)).unwrap();
+    let rr = verifier.verify_all_routes(1, 1).unwrap();
+    assert!(!rr.reports.is_empty());
+    let opts = SweepOptions {
+        schedule: SweepSchedule::Deps,
+        ..SweepOptions::default()
+    };
+    for threads in [1usize, 2, 8] {
+        let deps = verifier.verify_all_routes_opts(1, threads, &opts).unwrap();
+        assert_reports_equal(
+            &rr.reports,
+            &deps.reports,
+            &format!("roundrobin vs deps, threads={threads}"),
+        );
+        assert_eq!(rr.quarantined, deps.quarantined, "threads={threads}");
+    }
+}
+
+/// The streaming sink must see exactly the families the materialized sweep
+/// reports — same verdicts, same costs in aggregate, every family index
+/// exactly once — under both schedules.
+#[test]
+fn streaming_sweep_matches_materialized() {
+    let wan = batchy_wan();
+    let verifier = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(1)).unwrap();
+    let materialized = verifier.verify_all_routes(1, 2).unwrap();
+    for schedule in [SweepSchedule::RoundRobin, SweepSchedule::Deps] {
+        let opts = SweepOptions {
+            schedule,
+            ..SweepOptions::default()
+        };
+        let mut reports: Vec<PrefixReport> = Vec::new();
+        let mut indices: Vec<usize> = Vec::new();
+        let mut quarantined = 0usize;
+        let summary = verifier
+            .verify_all_routes_streaming(1, 2, &opts, &mut |item| match item {
+                StreamedFamily::Done { index, reports: r, .. } => {
+                    indices.push(index);
+                    reports.extend(r);
+                }
+                StreamedFamily::Quarantined(_) => quarantined += 1,
+            })
+            .unwrap();
+        assert_eq!(summary.families, verifier.families().len());
+        assert_eq!(summary.prefixes, materialized.reports.len());
+        assert_eq!(summary.quarantined, 0);
+        assert_eq!(quarantined, 0);
+        // Every family streamed exactly once.
+        indices.sort_unstable();
+        assert_eq!(indices, (0..verifier.families().len()).collect::<Vec<_>>());
+        // Arrival order is scheduling-dependent; the *set* of reports is not.
+        reports.sort_by_key(|r| r.prefix);
+        assert_reports_equal(
+            &materialized.reports,
+            &reports,
+            &format!("streaming vs materialized ({schedule:?})"),
+        );
+    }
 }
 
 #[test]

@@ -14,7 +14,8 @@ use std::sync::Mutex;
 
 use hoyan::config::ConfigSnapshot;
 use hoyan::core::{
-    AbstractionMode, FamilyBudget, FamilyOutcome, PrefixReport, SimError, SweepOptions, Verifier,
+    AbstractionMode, DirtyReason, FamilyBudget, FamilyOutcome, PrefixReport, SimError,
+    SweepOptions, Verifier,
 };
 use hoyan::device::VsbProfile;
 use hoyan::rt::fault::{self, FaultKind, FaultPlan};
@@ -355,6 +356,54 @@ fn abstract_fault_reverify_retries_on_exact_path() {
     let a: Vec<String> = fresh.reports.iter().map(stable_view).collect();
     let b: Vec<String> = outcome.reports.iter().map(stable_view).collect();
     assert_eq!(a, b, "exact-path retry must reproduce the fresh sweep");
+}
+
+/// Regression: a family classified *clean* whose cache entry has drifted
+/// away (snapshot truncation, a buggy eviction — simulated here by the
+/// `verify.cache_lookup` fault site) used to panic the whole reverify with
+/// "clean family must be cached". It must instead demote the family to
+/// [`DirtyReason::NotCached`] and re-simulate it like any other dirty
+/// family.
+#[test]
+fn clean_family_missing_from_cache_is_recomputed_not_a_panic() {
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    fault::clear();
+    let wan = WanSpec::tiny(9).build();
+    let snap = ConfigSnapshot::new(wan.configs.clone());
+    let delta = snap.diff(&snap);
+    assert!(delta.is_empty(), "empty delta: every family classifies clean");
+
+    let v = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let n = v.families().len();
+    let (base, cache) = v.verify_all_routes_cached(K, 2).unwrap();
+    assert!(base.quarantined.is_empty());
+    assert_eq!(cache.len(), n, "healthy baseline caches every family");
+
+    // The cache lookup for clean family 1 comes back empty.
+    fault::install(FaultPlan::new().at("verify.cache_lookup", &[1], FaultKind::Error));
+    let v2 = Verifier::new(wan.configs.clone(), VsbProfile::ground_truth, Some(3)).unwrap();
+    let outcome = v2.reverify(&delta, &cache, K, 2).unwrap();
+    fault::clear();
+
+    assert_eq!(outcome.recomputed, 1, "exactly the evicted family");
+    assert_eq!(outcome.reused, n - 1);
+    assert!(outcome.quarantined.is_empty());
+    let demoted: Vec<_> = outcome
+        .classifications
+        .iter()
+        .filter(|(_, reason)| *reason == Some(DirtyReason::NotCached))
+        .collect();
+    assert_eq!(demoted.len(), 1, "family 1 must be demoted to NotCached");
+    // The recomputed family lands back in the refreshed cache…
+    assert_eq!(outcome.cache.len(), n);
+    // …and the merged reports match a fresh sweep exactly.
+    let fresh = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3))
+        .unwrap()
+        .verify_all_routes(K, 2)
+        .unwrap();
+    let a: Vec<String> = fresh.reports.iter().map(stable_view).collect();
+    let b: Vec<String> = outcome.reports.iter().map(stable_view).collect();
+    assert_eq!(a, b, "drift recovery must reproduce the fresh sweep");
 }
 
 #[test]

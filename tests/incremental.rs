@@ -162,6 +162,7 @@ fn role_equivalence_skips_indistinguishable_families() {
         mans_per_region: 1,
         prefixes_per_pe: 1,
         extra_core_links: 1,
+        block_prefixes: 1,
     };
     let wan = spec.build();
     let v = Verifier::new(wan.configs, VsbProfile::ground_truth, Some(3)).unwrap();
@@ -195,6 +196,7 @@ fn one_device_change_recomputes_under_30_percent() {
         mans_per_region: 2,
         prefixes_per_pe: 2,
         extra_core_links: 2,
+        block_prefixes: 1,
     };
     let wan = spec.build();
     assert!(wan.device_count() >= 40, "need a ≥40-router WAN");

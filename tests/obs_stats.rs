@@ -234,6 +234,79 @@ fn modular_stage_counters_are_pinned_and_thread_invariant() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Like [`sweep_stats_json`] but with `--schedule <schedule>`.
+fn sweep_stats_json_scheduled(
+    dir: &std::path::Path,
+    threads: &str,
+    tag: &str,
+    schedule: &str,
+) -> String {
+    let json_path = dir.join(format!("stats-{tag}.json"));
+    let out = hoyan()
+        .args([
+            "sweep",
+            dir.to_str().unwrap(),
+            "--k",
+            "1",
+            "--threads",
+            threads,
+            "--schedule",
+            schedule,
+            "--stats-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(&json_path).unwrap()
+}
+
+/// `--schedule deps` plans its batches on the calling thread before any
+/// worker starts, so `verify.sched_batches` (a counter) and the whole
+/// counter/histogram section are byte-identical across 1/2/8 threads.
+/// Work stealing *does* vary with the worker count — which is exactly why
+/// `verify.sched_steals` is classed as a gauge and stays outside the
+/// deterministic sections.
+#[test]
+fn deps_schedule_counters_are_thread_invariant() {
+    let dir = std::env::temp_dir().join(format!("hoyan-obs-sched-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = hoyan()
+        .args(["gen", dir.to_str().unwrap(), "--size", "tiny", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let full = sweep_stats_json_scheduled(&dir, "1", "deps-t1", "deps");
+    // The planner ran and chunked the families into at least one batch; the
+    // steal gauge is pinned into the schema (zero on a single worker).
+    assert!(!full.contains("\"verify.sched_batches\": 0,"), "{full}");
+    assert!(full.contains("\"verify.sched_batches\""), "{full}");
+    assert!(full.contains("\"verify.sched_steals\""), "{full}");
+    let baseline = deterministic_sections(&full);
+    for threads in ["2", "8"] {
+        let got = deterministic_sections(&sweep_stats_json_scheduled(
+            &dir,
+            threads,
+            &format!("deps-t{threads}"),
+            "deps",
+        ));
+        assert_eq!(
+            baseline, got,
+            "deps schedule: counters must not depend on threads={threads}"
+        );
+    }
+    // Round-robin plans nothing: the batch counter stays zero there.
+    let rr = sweep_stats_json_scheduled(&dir, "2", "rr-t2", "roundrobin");
+    assert!(rr.contains("\"verify.sched_batches\": 0,"), "{rr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The determinism contract holds *per ordering* too: with `--bdd-order
 /// dfs|bfs` the ordering pass runs and the per-worker shared-base import
 /// count varies with the thread count, yet the exported counters and

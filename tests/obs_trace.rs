@@ -38,6 +38,7 @@ fn forty_two_router_spec() -> WanSpec {
         mans_per_region: 2,
         prefixes_per_pe: 2,
         extra_core_links: 2,
+        block_prefixes: 1,
     }
 }
 

@@ -343,6 +343,58 @@ fn connection_beyond_bounded_queue_is_rejected_with_retry_after() {
     });
 }
 
+/// The rejection backoff is not a constant: it scales with the waiting
+/// backlog (`floor * (1 + waiting/workers)`), so a client bounced off a
+/// deep queue backs off longer than one bounced off a full-but-shallow
+/// one, and `stats` reports the advisory value a rejection would carry
+/// *right now*.
+#[test]
+fn retry_after_scales_with_queue_depth() {
+    let wan = tiny();
+    let o = ServeOptions {
+        workers: 1,
+        queue_cap: 2,
+        sweep_threads: 2,
+        ..ServeOptions::default()
+    };
+    with_server(&wan, o, |addr| {
+        // Round-trip first so the single worker provably owns `holder`.
+        let mut holder = Client::connect(addr);
+        let line = holder.send(r#"{"kind":"stats"}"#);
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        // Two more connections fill the wait queue. They get no ack on
+        // admission, so give the acceptor a beat to enqueue each before
+        // the next arrives — ordering is what the assertions below pin.
+        let mut w1 = Client::connect(addr);
+        std::thread::sleep(Duration::from_millis(100));
+        let _w2 = Client::connect(addr);
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Third extra connection: two already waiting on one worker, so
+        // the advisory backoff is 100ms * (1 + 2/1) = 300ms, not the flat
+        // floor the old daemon always quoted.
+        let mut rejected = Client::connect(addr);
+        let line = rejected.read_line();
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(false), "{line}");
+        assert_eq!(field(&v, "error"), &Value::Str("overloaded".into()), "{line}");
+        assert_eq!(field(&v, "retry_after_ms"), &Value::Num(300.0), "{line}");
+
+        // Queue the request on the first waiter, then free the worker: it
+        // pops `w1` (FIFO) while `w2` still waits, so the stats snapshot
+        // must quote 100ms * (1 + 1/1) = 200ms.
+        w1.writer.write_all(b"{\"kind\":\"stats\"}\n").expect("write");
+        w1.writer.flush().expect("flush");
+        drop(holder);
+        let line = w1.read_line();
+        let v = json_parse(&line).expect("json");
+        assert_eq!(field(&v, "ok"), &Value::Bool(true), "{line}");
+        assert_eq!(field(&v, "retry_after_ms"), &Value::Num(200.0), "{line}");
+        // `w1`/`w2` drop here; the freed worker then drains the shutdown.
+    });
+}
+
 #[test]
 fn serve_cli_smoke_ephemeral_port_and_clean_drain() {
     let dir = std::env::temp_dir().join(format!("hoyan-serve-cli-{}", std::process::id()));
